@@ -1,0 +1,33 @@
+//! # wazi-baselines
+//!
+//! The baseline spatial indexes of the WaZI evaluation (Section 6.1), all
+//! implementing [`wazi_core::SpatialIndex`]:
+//!
+//! * [`StrRTree`] — Sort-Tile-Recursive packed R-tree (Leutenegger et al.);
+//! * [`CurTree`] — cost-based unbalanced R-tree (Ross et al.), adapted to
+//!   point data with a query-weighted RFDE as described in the paper;
+//! * [`FloodIndex`] — a simplified two-dimensional Flood grid index
+//!   (Nathan et al.) whose column count is tuned on a workload sample;
+//! * [`Quasii`] — the converged query-aware cracking index
+//!   (Pavlovic et al.);
+//! * [`ZOrderSorted`] — a rank-space Z-order sorted array with BIGMIN
+//!   skipping, representing the `Zpgm`/`ZM` family that Figure 4 discards.
+//!
+//! The base Z-index itself lives in `wazi-core` (it shares its implementation
+//! with WaZI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cur;
+mod flood;
+mod quasii;
+mod rtree;
+mod str_rtree;
+mod zorder_sorted;
+
+pub use cur::CurTree;
+pub use flood::FloodIndex;
+pub use quasii::Quasii;
+pub use str_rtree::StrRTree;
+pub use zorder_sorted::ZOrderSorted;

@@ -1,0 +1,375 @@
+//! Shared R-tree machinery used by the STR and CUR baselines.
+//!
+//! Both baselines are *packed* R-trees: the leaf level is produced by a
+//! bulk-loading algorithm (plain Sort-Tile-Recursive for STR, query-weighted
+//! tiling for CUR) and the upper levels group consecutive packed leaves.
+//! This module holds the common node structure, query processing and a
+//! simple insert path (descend by least area enlargement, split overflowing
+//! leaves), so the two baselines only differ in how the leaf pages are
+//! packed.
+
+use wazi_geom::{Point, Rect};
+use wazi_storage::{ExecStats, PageId, PageStore};
+
+/// Maximum number of children of an internal R-tree node.
+pub(crate) const NODE_FANOUT: usize = 16;
+
+/// A node of the packed R-tree.
+#[derive(Debug, Clone)]
+pub(crate) enum RNode {
+    /// An internal node: bounding box plus child node indices.
+    Internal { mbr: Rect, children: Vec<u32> },
+    /// A leaf node: bounding box plus the backing page.
+    Leaf { mbr: Rect, page: PageId },
+}
+
+impl RNode {
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            RNode::Internal { mbr, .. } | RNode::Leaf { mbr, .. } => *mbr,
+        }
+    }
+}
+
+/// A packed R-tree over a clustered page store.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedRTree {
+    pub(crate) nodes: Vec<RNode>,
+    pub(crate) root: u32,
+    pub(crate) store: PageStore,
+    pub(crate) len: usize,
+}
+
+impl PackedRTree {
+    /// Builds the tree bottom-up from already-packed leaf pages (one leaf
+    /// node per page, in packing order).
+    pub(crate) fn from_packed_pages(store: PageStore, len: usize) -> Self {
+        let mut nodes: Vec<RNode> = store
+            .pages()
+            .map(|page| RNode::Leaf {
+                mbr: page.bbox(),
+                page: page.id(),
+            })
+            .collect();
+        if nodes.is_empty() {
+            // An empty tree still needs a root so queries have somewhere to
+            // start; use an empty leaf over an empty page.
+            let mut store = store;
+            let page = store.allocate(Vec::new());
+            return Self {
+                nodes: vec![RNode::Leaf {
+                    mbr: Rect::EMPTY,
+                    page,
+                }],
+                root: 0,
+                store,
+                len,
+            };
+        }
+
+        // Group consecutive nodes level by level until a single root remains.
+        let mut level: Vec<u32> = (0..nodes.len() as u32).collect();
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / NODE_FANOUT + 1);
+            for chunk in level.chunks(NODE_FANOUT) {
+                let mbr = chunk
+                    .iter()
+                    .fold(Rect::EMPTY, |acc, &i| acc.union(&nodes[i as usize].mbr()));
+                let index = nodes.len() as u32;
+                nodes.push(RNode::Internal {
+                    mbr,
+                    children: chunk.to_vec(),
+                });
+                next_level.push(index);
+            }
+            level = next_level;
+        }
+        let root = level[0];
+        Self {
+            nodes,
+            root,
+            store,
+            len,
+        }
+    }
+
+    /// Range query in the two phases the paper's Figure 9 distinguishes:
+    /// a projection phase traversing the tree to collect the pages of
+    /// overlapping leaves, then a scan phase filtering those pages.
+    pub(crate) fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        let projection_start = std::time::Instant::now();
+        let mut relevant_pages = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(index) = stack.pop() {
+            match &self.nodes[index as usize] {
+                RNode::Internal { children, .. } => {
+                    stats.nodes_visited += 1;
+                    for &child in children {
+                        stats.bbs_checked += 1;
+                        if self.nodes[child as usize].mbr().overlaps(query) {
+                            stack.push(child);
+                        }
+                    }
+                }
+                RNode::Leaf { page, .. } => relevant_pages.push(*page),
+            }
+        }
+        stats.add_projection(projection_start.elapsed());
+
+        let scan_start = std::time::Instant::now();
+        let mut result = Vec::new();
+        for page in relevant_pages {
+            self.store.filter_page(page, query, &mut result, stats);
+        }
+        stats.add_scan(scan_start.elapsed());
+        result
+    }
+
+    /// Point query: descend into every child whose bounding box contains the
+    /// point (R-tree leaves may overlap after inserts).
+    pub(crate) fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+        let mut stack = vec![self.root];
+        while let Some(index) = stack.pop() {
+            match &self.nodes[index as usize] {
+                RNode::Internal { children, .. } => {
+                    stats.nodes_visited += 1;
+                    for &child in children {
+                        stats.bbs_checked += 1;
+                        if self.nodes[child as usize].mbr().contains(p) {
+                            stack.push(child);
+                        }
+                    }
+                }
+                RNode::Leaf { page, .. } => {
+                    if self.store.probe_page(*page, p, stats) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts a point: descend by least area enlargement, append to the
+    /// chosen leaf's page and split the leaf when it overflows.
+    pub(crate) fn insert(&mut self, p: Point) {
+        // Descend, remembering the path for MBR updates.
+        let mut path = Vec::new();
+        let mut current = self.root;
+        loop {
+            match &self.nodes[current as usize] {
+                RNode::Internal { children, .. } => {
+                    path.push(current);
+                    let chosen = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ea = enlargement(&self.nodes[a as usize].mbr(), &p);
+                            let eb = enlargement(&self.nodes[b as usize].mbr(), &p);
+                            ea.total_cmp(&eb)
+                        })
+                        .expect("internal nodes always have children");
+                    current = chosen;
+                }
+                RNode::Leaf { .. } => break,
+            }
+        }
+        path.push(current);
+
+        // Append the point to the leaf page and grow MBRs along the path.
+        let leaf_page = match &self.nodes[current as usize] {
+            RNode::Leaf { page, .. } => *page,
+            RNode::Internal { .. } => unreachable!("descent ends at a leaf"),
+        };
+        self.store.append(leaf_page, p);
+        self.len += 1;
+        for &index in &path {
+            match &mut self.nodes[index as usize] {
+                RNode::Internal { mbr, .. } | RNode::Leaf { mbr, .. } => mbr.expand(&p),
+            }
+        }
+
+        if self.store.is_overflowing(leaf_page) {
+            self.split_leaf(current, &path);
+        }
+    }
+
+    /// Splits an overflowing leaf into two along the longer axis of its
+    /// bounding box and attaches the new leaf to the parent (or a new root).
+    fn split_leaf(&mut self, leaf_index: u32, path: &[u32]) {
+        let (mbr, page) = match &self.nodes[leaf_index as usize] {
+            RNode::Leaf { mbr, page } => (*mbr, *page),
+            RNode::Internal { .. } => return,
+        };
+        let split_on_x = mbr.width() >= mbr.height();
+        let points = self.store.page(page).points().to_vec();
+        let mut coords: Vec<f64> = points
+            .iter()
+            .map(|q| if split_on_x { q.x } else { q.y })
+            .collect();
+        coords.sort_unstable_by(f64::total_cmp);
+        let median = coords[coords.len() / 2];
+        let pages = self.store.split_page(page, 2, |q| {
+            usize::from(if split_on_x { q.x > median } else { q.y > median })
+        });
+        // Refresh the original leaf and create the sibling.
+        let first_bbox = self.store.page(pages[0]).bbox();
+        let second_bbox = self.store.page(pages[1]).bbox();
+        self.nodes[leaf_index as usize] = RNode::Leaf {
+            mbr: first_bbox,
+            page: pages[0],
+        };
+        let sibling = self.nodes.len() as u32;
+        self.nodes.push(RNode::Leaf {
+            mbr: second_bbox,
+            page: pages[1],
+        });
+
+        // Attach the sibling to the parent. Packed parents may grow beyond
+        // the packing fanout after many inserts; that trades some balance for
+        // simplicity, which matches the role of these baselines (bulk-loaded
+        // structures receiving a moderate volume of inserts in Figure 11).
+        let parent = path.iter().rev().nth(1).copied();
+        match parent {
+            Some(parent_index) => {
+                if let RNode::Internal { children, .. } = &mut self.nodes[parent_index as usize] {
+                    children.push(sibling);
+                }
+            }
+            None => {
+                // The split leaf was the root: grow a new root above the two
+                // halves.
+                let mbr = self.nodes[leaf_index as usize]
+                    .mbr()
+                    .union(&self.nodes[sibling as usize].mbr());
+                let new_root = self.nodes.len() as u32;
+                self.nodes.push(RNode::Internal {
+                    mbr,
+                    children: vec![leaf_index, sibling],
+                });
+                self.root = new_root;
+            }
+        }
+    }
+
+    /// Approximate structure size in bytes (excluding the clustered data
+    /// pages, consistent with the other indexes).
+    pub(crate) fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    std::mem::size_of::<RNode>()
+                        + match n {
+                            RNode::Internal { children, .. } => {
+                                children.capacity() * std::mem::size_of::<u32>()
+                            }
+                            RNode::Leaf { .. } => 0,
+                        }
+                })
+                .sum::<usize>()
+    }
+
+    /// Height of the tree (leaf-only tree has height 1).
+    pub(crate) fn height(&self) -> usize {
+        fn depth(tree: &PackedRTree, node: u32) -> usize {
+            match &tree.nodes[node as usize] {
+                RNode::Leaf { .. } => 1,
+                RNode::Internal { children, .. } => {
+                    1 + children.iter().map(|&c| depth(tree, c)).max().unwrap_or(0)
+                }
+            }
+        }
+        depth(self, self.root)
+    }
+}
+
+/// Area enlargement required for `mbr` to include `p` (the ChooseLeaf
+/// criterion of the classic R-tree insert).
+fn enlargement(mbr: &Rect, p: &Point) -> f64 {
+    if mbr.is_empty() {
+        return 0.0;
+    }
+    let mut grown = *mbr;
+    grown.expand(p);
+    grown.area() - mbr.area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packed_tree(n: usize) -> PackedRTree {
+        // Pack points row-by-row into pages of 8.
+        let mut store = PageStore::new(8);
+        let points: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 32) as f64 / 32.0, (i / 32) as f64 / 32.0))
+            .collect();
+        for chunk in points.chunks(8) {
+            store.allocate(chunk.to_vec());
+        }
+        PackedRTree::from_packed_pages(store, n)
+    }
+
+    #[test]
+    fn range_and_point_queries_are_exact() {
+        let tree = packed_tree(500);
+        let mut stats = ExecStats::default();
+        let query = Rect::from_coords(0.1, 0.1, 0.4, 0.3);
+        let got = tree.range_query(&query, &mut stats);
+        let expected = (0..500)
+            .map(|i| Point::new((i % 32) as f64 / 32.0, (i / 32) as f64 / 32.0))
+            .filter(|p| query.contains(p))
+            .count();
+        assert_eq!(got.len(), expected);
+        assert!(tree.point_query(&Point::new(0.0, 0.0), &mut stats));
+        assert!(!tree.point_query(&Point::new(0.99, 0.99), &mut stats));
+        assert!(stats.bbs_checked > 0);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn empty_tree_has_a_root_and_answers_queries() {
+        let tree = PackedRTree::from_packed_pages(PageStore::new(8), 0);
+        let mut stats = ExecStats::default();
+        assert!(tree.range_query(&Rect::UNIT, &mut stats).is_empty());
+        assert!(!tree.point_query(&Point::new(0.5, 0.5), &mut stats));
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn upper_levels_respect_fanout() {
+        let tree = packed_tree(2_000);
+        // 2000 points / 8 per page = 250 leaves; with fanout 16 the tree
+        // needs 3 levels (250 -> 16 -> 1).
+        assert_eq!(tree.height(), 3);
+        assert!(tree.size_bytes() > 0);
+    }
+
+    #[test]
+    fn inserts_keep_queries_correct_and_split_leaves() {
+        let mut tree = packed_tree(200);
+        let page_count_before = tree.store.page_count();
+        let mut rng_points = Vec::new();
+        for i in 0..200 {
+            let p = Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.73) % 1.0);
+            rng_points.push(p);
+            tree.insert(p);
+        }
+        assert_eq!(tree.len, 400);
+        assert!(tree.store.page_count() > page_count_before, "splits happened");
+        let mut stats = ExecStats::default();
+        let query = Rect::from_coords(0.2, 0.2, 0.6, 0.6);
+        let got = tree.range_query(&query, &mut stats);
+        let expected = (0..200)
+            .map(|i| Point::new((i % 32) as f64 / 32.0, (i / 32) as f64 / 32.0))
+            .chain(rng_points.iter().copied())
+            .filter(|p| query.contains(p))
+            .count();
+        assert_eq!(got.len(), expected);
+        for p in &rng_points {
+            assert!(tree.point_query(p, &mut stats));
+        }
+    }
+}

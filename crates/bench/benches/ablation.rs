@@ -1,0 +1,41 @@
+//! Criterion benchmark behind Figure 13: the four ablation variants of the
+//! Z-index (Base, Base+SK, WaZI−SK, WaZI) answering the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_storage::ExecStats;
+use wazi_workload::{generate_dataset, generate_queries, Region, ABLATION_SELECTIVITIES};
+
+fn bench_ablation(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 50_000);
+    for &selectivity in &ABLATION_SELECTIVITIES {
+        let train = generate_queries(Region::NewYork, 1_000, selectivity);
+        let eval = generate_queries(Region::NewYork, 256, selectivity);
+        let mut group = c.benchmark_group(format!(
+            "ablation/figure13/sel_{:.4}pct",
+            selectivity * 100.0
+        ));
+        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        for kind in IndexKind::ABLATION {
+            let built = build_index(kind, &points, &train, 256);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.name()),
+                &built,
+                |b, built| {
+                    let mut cursor = 0usize;
+                    b.iter(|| {
+                        let mut stats = ExecStats::default();
+                        let query = &eval[cursor % eval.len()];
+                        cursor += 1;
+                        std::hint::black_box(built.index.range_query(query, &mut stats))
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

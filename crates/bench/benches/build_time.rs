@@ -1,0 +1,33 @@
+//! Criterion benchmark behind Table 3: index construction time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_workload::{generate_dataset, generate_queries, Region, SELECTIVITIES};
+
+fn bench_build(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 20_000);
+    let train = generate_queries(Region::NewYork, 500, SELECTIVITIES[2]);
+
+    let mut group = c.benchmark_group("build/table3");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // QUASII is excluded from the timed loop: its cracking-based build is
+    // orders of magnitude slower (which is exactly what Table 3 reports) and
+    // would dominate the benchmark wall-clock; the reproduce harness still
+    // measures it.
+    for kind in [
+        IndexKind::Base,
+        IndexKind::Cur,
+        IndexKind::Flood,
+        IndexKind::Str,
+        IndexKind::Wazi,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| std::hint::black_box(build_index(kind, &points, &train, 256).build_ns));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark behind Figure 11: insert latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_workload::{generate_dataset, generate_queries, uniform_dataset, Region, SELECTIVITIES};
+
+fn bench_inserts(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 20_000);
+    let train = generate_queries(Region::NewYork, 500, SELECTIVITIES[2]);
+    let inserts = uniform_dataset(50_000, 3);
+
+    let mut group = c.benchmark_group("insert/figure11");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in IndexKind::INSERTABLE {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            // Rebuild periodically so the index does not grow unboundedly
+            // across iterations; the measured unit is a single insert.
+            let mut built = build_index(kind, &points, &train, 256);
+            let mut cursor = 0usize;
+            b.iter(|| {
+                if cursor == inserts.len() {
+                    built = build_index(kind, &points, &train, 256);
+                    cursor = 0;
+                }
+                let p = inserts[cursor];
+                cursor += 1;
+                std::hint::black_box(built.index.insert(p)).ok();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

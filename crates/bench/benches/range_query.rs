@@ -1,0 +1,33 @@
+//! Criterion benchmark behind Figures 4 and 6: range-query latency of every
+//! index on a skewed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_storage::ExecStats;
+use wazi_workload::{generate_dataset, generate_queries, Region, SELECTIVITIES};
+
+fn bench_range_queries(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 50_000);
+    let train = generate_queries(Region::NewYork, 1_000, SELECTIVITIES[2]);
+    let eval = generate_queries(Region::NewYork, 256, SELECTIVITIES[2]);
+
+    let mut group = c.benchmark_group("range_query/figure4_6");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in IndexKind::OVERVIEW {
+        let built = build_index(kind, &points, &train, 256);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
+            let mut cursor = 0usize;
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                let query = &eval[cursor % eval.len()];
+                cursor += 1;
+                std::hint::black_box(built.index.range_query(query, &mut stats))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Tables 3, 4 and 5: build time, cost redemption and index size.
+
+use super::{workload_setup, ExperimentContext};
+use crate::measure::{format_ns, measure_range_queries};
+use crate::report::Report;
+use crate::suite::{build_index, IndexKind};
+use wazi_workload::{Region, SELECTIVITIES};
+
+/// Table 3: build time of every primary index over the dataset-size sweep.
+pub fn table3(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new("table3", "Build time of all indexes (Table 3)")
+        .with_headers(&["Size", "Base", "CUR", "Flood", "QUASII", "STR", "WaZI"]);
+    let order = [
+        IndexKind::Base,
+        IndexKind::Cur,
+        IndexKind::Flood,
+        IndexKind::Quasii,
+        IndexKind::Str,
+        IndexKind::Wazi,
+    ];
+    for size in ctx.size_sweep() {
+        let (points, train, _) = workload_setup(ctx, Region::NewYork, SELECTIVITIES[2], size);
+        let mut row = vec![size.to_string()];
+        for kind in order {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            row.push(format_ns(built.build_ns as f64));
+        }
+        report.push_row(row);
+    }
+    report.push_note("expected shape: STR fastest, Flood and Base next, WaZI roughly 3-6x Base (density estimation + candidate evaluation), QUASII slowest by far");
+    vec![report]
+}
+
+/// Table 4: cost redemption — the number of queries after which an index's
+/// cumulative (build + query) time drops below Base's.
+pub fn table4(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "table4",
+        "Cost-redemption value of indexes against Base (Table 4); lower is better",
+    )
+    .with_headers(&["Dataset", "CUR", "Flood", "QUASII", "STR", "WaZI"]);
+    let kinds = [
+        IndexKind::Cur,
+        IndexKind::Flood,
+        IndexKind::Quasii,
+        IndexKind::Str,
+        IndexKind::Wazi,
+    ];
+    for region in Region::ALL {
+        let (points, train, eval) =
+            workload_setup(ctx, region, SELECTIVITIES[2], ctx.dataset_size);
+        let base = build_index(IndexKind::Base, &points, &train, ctx.leaf_capacity);
+        let base_query = measure_range_queries(base.index.as_ref(), &eval).mean_latency_ns;
+        let mut row = vec![region.name().to_string()];
+        for kind in kinds {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            let query = measure_range_queries(built.index.as_ref(), &eval).mean_latency_ns;
+            row.push(redemption_cell(
+                built.build_ns as f64,
+                base.build_ns as f64,
+                query,
+                base_query,
+            ));
+        }
+        report.push_row(row);
+    }
+    report.push_note("(+) slower to build but faster to query: redeems after the reported number of queries");
+    report.push_note("(-) faster to build but slower to query: falls behind after the reported number of queries");
+    report.push_note("(+)/(-) without a number: better/worse regardless of the number of queries");
+    vec![report]
+}
+
+/// Implements the paper's `red_X = (X.Build - Base.Build) / (Base.Query - X.Query)`
+/// with the same sign conventions as Table 4.
+fn redemption_cell(build: f64, base_build: f64, query: f64, base_query: f64) -> String {
+    let build_delta = build - base_build;
+    let query_gain = base_query - query;
+    if build_delta > 0.0 && query_gain > 0.0 {
+        format!("(+) {}", format_count(build_delta / query_gain))
+    } else if build_delta < 0.0 && query_gain < 0.0 {
+        format!("(-) {}", format_count(build_delta / query_gain))
+    } else if build_delta <= 0.0 && query_gain >= 0.0 {
+        "(+)".to_string()
+    } else {
+        "(-)".to_string()
+    }
+}
+
+fn format_count(value: f64) -> String {
+    if value >= 1e6 {
+        format!("{:.1}M", value / 1e6)
+    } else if value >= 1e3 {
+        format!("{:.0}k", value / 1e3)
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+/// Table 5: index structure sizes.
+pub fn table5(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new("table5", "Sizes of all indexes (Table 5)")
+        .with_headers(&["Size", "Base", "CUR", "Flood", "QUASII", "STR", "WaZI"]);
+    let order = [
+        IndexKind::Base,
+        IndexKind::Cur,
+        IndexKind::Flood,
+        IndexKind::Quasii,
+        IndexKind::Str,
+        IndexKind::Wazi,
+    ];
+    for size in ctx.size_sweep() {
+        let (points, train, _) = workload_setup(ctx, Region::NewYork, SELECTIVITIES[2], size);
+        let mut row = vec![size.to_string()];
+        for kind in order {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            row.push(format_bytes(built.index.size_bytes()));
+        }
+        report.push_row(row);
+    }
+    report.push_note("structure size only (tree nodes, leaf metadata, learned components); the clustered data pages are common to all indexes");
+    report.push_note("expected shape: WaZI is nearly identical to Base (workload-awareness costs no extra space); Flood and QUASII are smallest; sizes grow linearly with the dataset");
+    vec![report]
+}
+
+fn format_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_and_table5_cover_the_size_sweep() {
+        let mut ctx = ExperimentContext::smoke_test();
+        ctx.dataset_size = 2_000;
+        let t3 = table3(&ctx);
+        assert_eq!(t3[0].rows.len(), ctx.size_sweep().len());
+        let t5 = table5(&ctx);
+        assert_eq!(t5[0].rows.len(), ctx.size_sweep().len());
+        for row in &t5[0].rows {
+            assert!(row[1..].iter().all(|c| c.contains('B')), "sizes rendered");
+        }
+    }
+
+    #[test]
+    fn redemption_cells_follow_the_sign_convention() {
+        // Slower build, faster query: redeems after build_delta / gain queries.
+        assert_eq!(redemption_cell(2_000.0, 1_000.0, 5.0, 10.0), "(+) 200");
+        // Faster build, slower query.
+        assert!(redemption_cell(500.0, 1_000.0, 20.0, 10.0).starts_with("(-)"));
+        // Better on both axes.
+        assert_eq!(redemption_cell(500.0, 1_000.0, 5.0, 10.0), "(+)");
+        // Worse on both axes.
+        assert_eq!(redemption_cell(2_000.0, 1_000.0, 20.0, 10.0), "(-)");
+        assert_eq!(format_count(2_500_000.0), "2.5M");
+        assert_eq!(format_count(2_600.0), "3k");
+        assert_eq!(format_count(42.0), "42");
+    }
+
+    #[test]
+    fn table4_smoke_test() {
+        let mut ctx = ExperimentContext::smoke_test();
+        ctx.dataset_size = 2_000;
+        ctx.workload_size = 50;
+        ctx.training_size = 50;
+        let t4 = table4(&ctx);
+        assert_eq!(t4[0].rows.len(), Region::ALL.len());
+        for row in &t4[0].rows {
+            for cell in &row[1..] {
+                assert!(cell.starts_with("(+)") || cell.starts_with("(-)"), "{cell}");
+            }
+        }
+    }
+}

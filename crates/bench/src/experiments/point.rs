@@ -1,0 +1,54 @@
+//! Figure 10: point-query latency over dataset sizes.
+
+use super::{workload_setup, ExperimentContext};
+use crate::measure::{format_ns, measure_point_queries};
+use crate::report::Report;
+use crate::suite::{build_index, IndexKind};
+use wazi_workload::{sample_point_queries, Region, SELECTIVITIES};
+
+/// Figure 10: mean point-query latency of every primary index as the dataset
+/// grows. Point queries are sampled from the data distribution (Section 6.4).
+pub fn figure10(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "figure10",
+        "Point query time over dataset sizes (Figure 10)",
+    )
+    .with_headers(&["Size", "QUASII", "CUR", "STR", "Flood", "Base", "WaZI"]);
+    let region = Region::NewYork;
+    for size in ctx.size_sweep() {
+        let (points, train, _) = workload_setup(ctx, region, SELECTIVITIES[2], size);
+        let probes = sample_point_queries(&points, ctx.point_queries, ctx.seed ^ 0xF00D);
+        let mut row = vec![size.to_string()];
+        for kind in IndexKind::PRIMARY {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            let m = measure_point_queries(built.index.as_ref(), &probes);
+            debug_assert!(m.hit_rate > 0.99, "{kind}: sampled probes must be found");
+            row.push(format_ns(m.mean_latency_ns));
+        }
+        report.push_row(row);
+    }
+    report.push_note(format!(
+        "{} point queries sampled from the data distribution per size",
+        ctx.point_queries
+    ));
+    report.push_note("expected shape: WaZI and Base are fastest (cheap per-node computations); QUASII is slowest due to its fractured layout");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_smoke_test() {
+        let mut ctx = ExperimentContext::smoke_test();
+        ctx.dataset_size = 2_000;
+        ctx.point_queries = 50;
+        let reports = figure10(&ctx);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].rows.len(), ctx.size_sweep().len());
+        for row in &reports[0].rows {
+            assert_eq!(row.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Range-query experiments: Figures 4, 6, 7, 8 and 9.
+
+use super::{workload_setup, ExperimentContext};
+use crate::measure::{format_ns, measure_range_queries, RangeMeasurement};
+use crate::report::Report;
+use crate::suite::{build_index, IndexKind};
+use wazi_workload::{Region, SELECTIVITIES};
+
+/// Default region and selectivity used when a figure needs a single
+/// representative workload (the paper's defaults are the 32M dataset at
+/// 0.0256% selectivity).
+const DEFAULT_REGION: Region = Region::NewYork;
+const DEFAULT_SELECTIVITY: f64 = SELECTIVITIES[2];
+
+/// Builds the requested indexes for one workload and measures the evaluation
+/// queries on each.
+fn measure_kinds(
+    ctx: &ExperimentContext,
+    kinds: &[IndexKind],
+    region: Region,
+    selectivity: f64,
+    dataset_size: usize,
+) -> Vec<(IndexKind, RangeMeasurement)> {
+    let (points, train, eval) = workload_setup(ctx, region, selectivity, dataset_size);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            (kind, measure_range_queries(built.index.as_ref(), &eval))
+        })
+        .collect()
+}
+
+/// Figure 4: average range-query latency of every index, including the
+/// rank-space Z-order representative that the detailed experiments discard.
+pub fn figure4(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "figure4",
+        "Average range query performance of all indexes (Figure 4)",
+    )
+    .with_headers(&["Index", "Range latency", "Points scanned", "BBs checked"]);
+    let results = measure_kinds(
+        ctx,
+        &IndexKind::OVERVIEW,
+        DEFAULT_REGION,
+        DEFAULT_SELECTIVITY,
+        ctx.dataset_size,
+    );
+    for (kind, m) in &results {
+        report.push_row(vec![
+            kind.name().to_string(),
+            format_ns(m.mean_latency_ns),
+            format!("{:.0}", m.mean_points_scanned),
+            format!("{:.0}", m.mean_bbs_checked),
+        ]);
+    }
+    report.push_note(format!(
+        "region {DEFAULT_REGION}, selectivity {:.4}%, {} points, {} queries",
+        DEFAULT_SELECTIVITY * 100.0,
+        ctx.dataset_size,
+        ctx.workload_size
+    ));
+    report.push_note("expected shape: the rank-space Z-order baseline (Zpgm) trails the primary indexes; WaZI leads or ties");
+    vec![report]
+}
+
+/// Figure 6: range-query latency for every dataset at every selectivity.
+pub fn figure6(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for &selectivity in &SELECTIVITIES {
+        let mut report = Report::new(
+            format!("figure6-{:.4}", selectivity * 100.0),
+            format!(
+                "Range query latency at {:.4}% selectivity (Figure 6)",
+                selectivity * 100.0
+            ),
+        )
+        .with_headers(&["Dataset", "QUASII", "CUR", "STR", "Flood", "Base", "WaZI"]);
+        for region in Region::ALL {
+            let results = measure_kinds(ctx, &IndexKind::PRIMARY, region, selectivity, ctx.dataset_size);
+            let mut row = vec![region.name().to_string()];
+            row.extend(
+                results
+                    .iter()
+                    .map(|(_, m)| format_ns(m.mean_latency_ns)),
+            );
+            report.push_row(row);
+        }
+        report.push_note("expected shape: WaZI has the lowest (or tied-lowest) latency in every cell");
+        reports.push(report);
+    }
+    reports
+}
+
+/// Figure 7: percentage improvement over Base, aggregated by dataset and by
+/// selectivity.
+pub fn figure7(ctx: &ExperimentContext) -> Vec<Report> {
+    let kinds = [
+        IndexKind::Quasii,
+        IndexKind::Cur,
+        IndexKind::Str,
+        IndexKind::Flood,
+        IndexKind::Wazi,
+    ];
+
+    // Collect latencies for every (region, selectivity) pair once.
+    let mut by_region: Vec<(Region, Vec<Vec<f64>>)> = Vec::new();
+    let mut base_by_region: Vec<Vec<f64>> = Vec::new();
+    for region in Region::ALL {
+        let mut improvements_per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+        let mut base_latencies = Vec::new();
+        for &selectivity in &SELECTIVITIES {
+            let all = measure_kinds(ctx, &IndexKind::PRIMARY, region, selectivity, ctx.dataset_size);
+            let base = all
+                .iter()
+                .find(|(k, _)| *k == IndexKind::Base)
+                .map(|(_, m)| m.mean_latency_ns)
+                .unwrap_or(1.0);
+            base_latencies.push(base);
+            for (slot, kind) in kinds.iter().enumerate() {
+                let latency = all
+                    .iter()
+                    .find(|(k, _)| k == kind)
+                    .map(|(_, m)| m.mean_latency_ns)
+                    .unwrap_or(base);
+                improvements_per_kind[slot].push(100.0 * (base - latency) / base);
+            }
+        }
+        by_region.push((region, improvements_per_kind));
+        base_by_region.push(base_latencies);
+    }
+
+    let mut by_dataset = Report::new(
+        "figure7-datasets",
+        "Percentage improvement over Base per data distribution (Figure 7, top)",
+    )
+    .with_headers(&["Dataset", "QUASII", "CUR", "STR", "Flood", "WaZI"]);
+    for (region, improvements) in &by_region {
+        let mut row = vec![region.name().to_string()];
+        row.extend(improvements.iter().map(|values| {
+            format!("{:+.1}%", values.iter().sum::<f64>() / values.len() as f64)
+        }));
+        by_dataset.push_row(row);
+    }
+    by_dataset.push_note("positive numbers are improvements; WaZI should be the only index that is positive everywhere");
+
+    let mut by_selectivity = Report::new(
+        "figure7-selectivities",
+        "Percentage improvement over Base per selectivity (Figure 7, bottom)",
+    )
+    .with_headers(&["Selectivity (%)", "QUASII", "CUR", "STR", "Flood", "WaZI"]);
+    for (sel_index, &selectivity) in SELECTIVITIES.iter().enumerate() {
+        let mut row = vec![format!("{:.4}", selectivity * 100.0)];
+        for (slot, _) in kinds.iter().enumerate() {
+            let mean: f64 = by_region
+                .iter()
+                .map(|(_, improvements)| improvements[slot][sel_index])
+                .sum::<f64>()
+                / by_region.len() as f64;
+            row.push(format!("{mean:+.1}%"));
+        }
+        by_selectivity.push_row(row);
+    }
+    by_selectivity
+        .push_note("expected shape: WaZI's improvement shrinks as selectivity grows (fewer false positives relative to result size)");
+    let _ = base_by_region;
+    vec![by_dataset, by_selectivity]
+}
+
+/// Figure 8: range-query latency as the dataset grows, at mid selectivity.
+pub fn figure8(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "figure8",
+        "Range query time over dataset sizes at 0.0256% selectivity (Figure 8)",
+    )
+    .with_headers(&["Size", "QUASII", "CUR", "STR", "Flood", "Base", "WaZI"]);
+    for size in ctx.size_sweep() {
+        let results = measure_kinds(ctx, &IndexKind::PRIMARY, DEFAULT_REGION, SELECTIVITIES[2], size);
+        let mut row = vec![size.to_string()];
+        row.extend(results.iter().map(|(_, m)| format_ns(m.mean_latency_ns)));
+        report.push_row(row);
+    }
+    report.push_note("expected shape: near-linear growth for every index, with WaZI lowest at every size");
+    vec![report]
+}
+
+/// Figure 9: the projection/scan split of range-query time.
+pub fn figure9(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "figure9",
+        "Range query latency split into Projection and Scan (Figure 9)",
+    )
+    .with_headers(&["Index", "Projection", "Scan", "Scan share"]);
+    let results = measure_kinds(
+        ctx,
+        &IndexKind::PRIMARY,
+        DEFAULT_REGION,
+        DEFAULT_SELECTIVITY,
+        ctx.dataset_size,
+    );
+    for (kind, m) in &results {
+        let total = (m.mean_projection_ns + m.mean_scan_ns).max(1.0);
+        report.push_row(vec![
+            kind.name().to_string(),
+            format_ns(m.mean_projection_ns),
+            format_ns(m.mean_scan_ns),
+            format!("{:.0}%", 100.0 * m.mean_scan_ns / total),
+        ]);
+    }
+    report.push_note("expected shape: Flood has the fastest projection (no tree traversal); WaZI projects much faster than Base thanks to skipping; the scan phase dominates everywhere");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_and_figure9_smoke_test() {
+        let ctx = ExperimentContext::smoke_test();
+        let fig4 = figure4(&ctx);
+        assert_eq!(fig4.len(), 1);
+        assert_eq!(fig4[0].rows.len(), IndexKind::OVERVIEW.len());
+
+        let fig9 = figure9(&ctx);
+        assert_eq!(fig9[0].rows.len(), IndexKind::PRIMARY.len());
+        // Every row must carry a projection and a scan figure.
+        for row in &fig9[0].rows {
+            assert_eq!(row.len(), 4);
+        }
+    }
+
+    #[test]
+    fn figure6_covers_all_regions_and_selectivities() {
+        let mut ctx = ExperimentContext::smoke_test();
+        ctx.workload_size = 40;
+        ctx.training_size = 40;
+        let reports = figure6(&ctx);
+        assert_eq!(reports.len(), SELECTIVITIES.len());
+        for report in &reports {
+            assert_eq!(report.rows.len(), Region::ALL.len());
+            assert_eq!(report.headers.len(), 7);
+        }
+    }
+}

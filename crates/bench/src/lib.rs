@@ -1,0 +1,25 @@
+//! # wazi-bench
+//!
+//! The experiment harness reproducing every table and figure of the WaZI
+//! paper's evaluation (Section 6). The crate provides:
+//!
+//! * [`suite`] — uniform construction of every compared index;
+//! * [`measure`] — latency/work measurement helpers;
+//! * [`experiments`] — one runner per table/figure, returning printable
+//!   [`report::Report`]s;
+//! * the `reproduce` binary — `cargo run --release -p wazi-bench --bin
+//!   reproduce -- all` regenerates every table and figure at laptop scale
+//!   (use `--size` to scale up towards the paper's setting);
+//! * Criterion micro-benchmarks under `benches/`, one per experiment family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+pub mod suite;
+
+pub use experiments::{registry, select, ExperimentContext, ExperimentSpec};
+pub use report::Report;
+pub use suite::{build_index, BuiltIndex, IndexKind};

@@ -1,0 +1,195 @@
+//! Measurement helpers shared by every experiment.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wazi_core::SpatialIndex;
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+
+/// Aggregate measurement of a range-query workload on one index.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RangeMeasurement {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Mean end-to-end latency per query in nanoseconds (wall clock).
+    pub mean_latency_ns: f64,
+    /// Mean projection-phase time per query in nanoseconds (as reported by
+    /// the index's own instrumentation).
+    pub mean_projection_ns: f64,
+    /// Mean scan-phase time per query in nanoseconds.
+    pub mean_scan_ns: f64,
+    /// Mean result-set size per query.
+    pub mean_results: f64,
+    /// Mean points compared per query.
+    pub mean_points_scanned: f64,
+    /// Mean excess (non-result) points compared per query.
+    pub mean_excess_points: f64,
+    /// Mean bounding boxes checked per query.
+    pub mean_bbs_checked: f64,
+    /// Mean pages scanned per query.
+    pub mean_pages_scanned: f64,
+}
+
+/// Runs every query once and averages latency and work counters.
+pub fn measure_range_queries(index: &dyn SpatialIndex, queries: &[Rect]) -> RangeMeasurement {
+    if queries.is_empty() {
+        return RangeMeasurement::default();
+    }
+    let mut stats = ExecStats::default();
+    let mut total_latency = 0u64;
+    for query in queries {
+        let start = Instant::now();
+        let result = index.range_query(query, &mut stats);
+        total_latency += start.elapsed().as_nanos() as u64;
+        std::hint::black_box(result);
+    }
+    let n = queries.len() as f64;
+    RangeMeasurement {
+        queries: queries.len(),
+        mean_latency_ns: total_latency as f64 / n,
+        mean_projection_ns: stats.projection_ns as f64 / n,
+        mean_scan_ns: stats.scan_ns as f64 / n,
+        mean_results: stats.results as f64 / n,
+        mean_points_scanned: stats.points_scanned as f64 / n,
+        mean_excess_points: stats.excess_points() as f64 / n,
+        mean_bbs_checked: stats.bbs_checked as f64 / n,
+        mean_pages_scanned: stats.pages_scanned as f64 / n,
+    }
+}
+
+/// Aggregate measurement of a point-query workload on one index.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PointMeasurement {
+    /// Number of point queries executed.
+    pub queries: usize,
+    /// Mean latency per point query in nanoseconds.
+    pub mean_latency_ns: f64,
+    /// Fraction of probes that found their point.
+    pub hit_rate: f64,
+}
+
+/// Runs every point query once and averages latency.
+pub fn measure_point_queries(index: &dyn SpatialIndex, probes: &[Point]) -> PointMeasurement {
+    if probes.is_empty() {
+        return PointMeasurement::default();
+    }
+    let mut stats = ExecStats::default();
+    let mut total_latency = 0u64;
+    let mut hits = 0usize;
+    for probe in probes {
+        let start = Instant::now();
+        let found = index.point_query(probe, &mut stats);
+        total_latency += start.elapsed().as_nanos() as u64;
+        hits += usize::from(found);
+    }
+    PointMeasurement {
+        queries: probes.len(),
+        mean_latency_ns: total_latency as f64 / probes.len() as f64,
+        hit_rate: hits as f64 / probes.len() as f64,
+    }
+}
+
+/// Aggregate measurement of an insert batch on one index.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct InsertMeasurement {
+    /// Number of points inserted.
+    pub inserts: usize,
+    /// Mean latency per insert in nanoseconds.
+    pub mean_latency_ns: f64,
+}
+
+/// Inserts every point once and averages latency. Points rejected by the
+/// index (unsupported operation) are counted as zero-latency failures and
+/// reflected in `inserts`.
+pub fn measure_inserts(index: &mut dyn SpatialIndex, points: &[Point]) -> InsertMeasurement {
+    if points.is_empty() {
+        return InsertMeasurement::default();
+    }
+    let mut total_latency = 0u64;
+    let mut inserted = 0usize;
+    for p in points {
+        let start = Instant::now();
+        if index.insert(*p).is_ok() {
+            total_latency += start.elapsed().as_nanos() as u64;
+            inserted += 1;
+        }
+    }
+    InsertMeasurement {
+        inserts: inserted,
+        mean_latency_ns: if inserted == 0 {
+            0.0
+        } else {
+            total_latency as f64 / inserted as f64
+        },
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit for table output.
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{build_index, IndexKind};
+    use wazi_workload::{generate_dataset, generate_queries, sample_point_queries, Region};
+
+    #[test]
+    fn range_measurement_reports_sane_numbers() {
+        let points = generate_dataset(Region::Iberia, 3_000);
+        let queries = generate_queries(Region::Iberia, 50, 0.001);
+        let built = build_index(IndexKind::Wazi, &points, &queries, 64);
+        let m = measure_range_queries(built.index.as_ref(), &queries);
+        assert_eq!(m.queries, 50);
+        assert!(m.mean_latency_ns > 0.0);
+        assert!(m.mean_results > 0.0);
+        assert!(m.mean_points_scanned >= m.mean_results);
+        assert!(m.mean_excess_points >= 0.0);
+        let empty = measure_range_queries(built.index.as_ref(), &[]);
+        assert_eq!(empty.queries, 0);
+    }
+
+    #[test]
+    fn point_measurement_hits_indexed_points() {
+        let points = generate_dataset(Region::Japan, 2_000);
+        let built = build_index(IndexKind::Base, &points, &[], 64);
+        let probes = sample_point_queries(&points, 200, 1);
+        let m = measure_point_queries(built.index.as_ref(), &probes);
+        assert_eq!(m.queries, 200);
+        assert_eq!(m.hit_rate, 1.0);
+        assert!(m.mean_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn insert_measurement_counts_supported_inserts_only() {
+        let points = generate_dataset(Region::CaliNev, 1_000);
+        let queries = generate_queries(Region::CaliNev, 20, 0.001);
+        let mut flood = build_index(IndexKind::Flood, &points, &queries, 64);
+        let extra = generate_dataset(Region::CaliNev, 200);
+        let m = measure_inserts(flood.index.as_mut(), &extra);
+        assert_eq!(m.inserts, 200);
+        assert!(m.mean_latency_ns > 0.0);
+
+        // QUASII rejects inserts: the measurement reports zero successes.
+        let mut quasii = build_index(IndexKind::Quasii, &points, &queries, 64);
+        let m = measure_inserts(quasii.index.as_mut(), &extra);
+        assert_eq!(m.inserts, 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 us");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(1.5e9), "1.50 s");
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text and JSON reporting of experiment results.
+
+use serde::Serialize;
+
+/// A rendered experiment result: one table with a title, headers and rows,
+/// mirroring a table or figure of the paper.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment identifier, e.g. `"figure6"`.
+    pub id: String,
+    /// Human-readable title including the paper reference.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (workload parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with the given identifier and title.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn with_headers(mut self, headers: &[&str]) -> Self {
+        self.headers = headers.iter().map(|h| h.to_string()).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert!(
+            self.headers.is_empty() || row.len() == self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Serialises the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ({}) ==", self.title, self.id)?;
+        let columns = self.headers.len().max(1);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < columns {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        if !self.headers.is_empty() {
+            let header_line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "{}", header_line.join("  "))?;
+            writeln!(
+                f,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            )?;
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{cell:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned_table_and_json() {
+        let mut report = Report::new("figX", "Demo").with_headers(&["Index", "Latency"]);
+        report.push_row(vec!["WaZI".into(), "1.2 us".into()]);
+        report.push_row(vec!["Base".into(), "2.4 us".into()]);
+        report.push_note("synthetic data");
+        let text = report.to_string();
+        assert!(text.contains("== Demo (figX) =="));
+        assert!(text.contains("WaZI"));
+        assert!(text.contains("note: synthetic data"));
+        let json = report.to_json();
+        assert!(json.contains("\"figX\""));
+        assert!(json.contains("Latency"));
+    }
+}

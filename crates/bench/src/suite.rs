@@ -1,0 +1,205 @@
+//! Uniform construction of every index compared in the evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wazi_baselines::{CurTree, FloodIndex, Quasii, StrRTree, ZOrderSorted};
+use wazi_core::{SpatialIndex, ZIndexBuilder, ZIndexConfig};
+use wazi_geom::{Point, Rect};
+
+/// The indexes of the evaluation. The first six are the primary competitors
+/// of Figures 6–13 and Tables 3–5; `Zpgm` is the rank-space representative
+/// that only appears in Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// The paper's contribution (adaptive layout + skipping).
+    Wazi,
+    /// WaZI without look-ahead pointers (ablation).
+    WaziNoSkip,
+    /// Base Z-index with look-ahead pointers (ablation).
+    BaseSkip,
+    /// Base Z-index (median splits, `abcd`, no skipping).
+    Base,
+    /// Sort-Tile-Recursive R-tree.
+    Str,
+    /// Cost-based unbalanced R-tree.
+    Cur,
+    /// Simplified 2-D Flood grid.
+    Flood,
+    /// Converged query-aware cracking index.
+    Quasii,
+    /// Rank-space Z-order sorted array (Figure 4 only).
+    Zpgm,
+}
+
+impl IndexKind {
+    /// The six indexes compared in the detailed experiments (Figure 6
+    /// onwards), in the order the paper's plots list them.
+    pub const PRIMARY: [IndexKind; 6] = [
+        IndexKind::Quasii,
+        IndexKind::Cur,
+        IndexKind::Str,
+        IndexKind::Flood,
+        IndexKind::Base,
+        IndexKind::Wazi,
+    ];
+
+    /// Indexes shown in the Figure 4 overview (primary plus the rank-space
+    /// representative).
+    pub const OVERVIEW: [IndexKind; 7] = [
+        IndexKind::Quasii,
+        IndexKind::Cur,
+        IndexKind::Str,
+        IndexKind::Flood,
+        IndexKind::Base,
+        IndexKind::Wazi,
+        IndexKind::Zpgm,
+    ];
+
+    /// The four variants of the ablation study (Figure 13).
+    pub const ABLATION: [IndexKind; 4] = [
+        IndexKind::Base,
+        IndexKind::BaseSkip,
+        IndexKind::WaziNoSkip,
+        IndexKind::Wazi,
+    ];
+
+    /// The indexes of the insert experiment (Figure 11).
+    pub const INSERTABLE: [IndexKind; 3] = [IndexKind::Wazi, IndexKind::Cur, IndexKind::Flood];
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Wazi => "WaZI",
+            IndexKind::WaziNoSkip => "WaZI-SK",
+            IndexKind::BaseSkip => "Base+SK",
+            IndexKind::Base => "Base",
+            IndexKind::Str => "STR",
+            IndexKind::Cur => "CUR",
+            IndexKind::Flood => "Flood",
+            IndexKind::Quasii => "QUASII",
+            IndexKind::Zpgm => "Zpgm",
+        }
+    }
+
+    /// Table 1 properties: whether the index construction uses a space
+    /// filling curve, whether it is query-aware and whether it uses learned
+    /// components.
+    pub fn properties(&self) -> (bool, bool, bool) {
+        match self {
+            IndexKind::Wazi | IndexKind::WaziNoSkip => (true, true, true),
+            IndexKind::Base | IndexKind::BaseSkip => (true, false, false),
+            IndexKind::Str => (false, false, false),
+            IndexKind::Cur => (false, true, true),
+            IndexKind::Flood => (false, true, true),
+            IndexKind::Quasii => (false, true, false),
+            IndexKind::Zpgm => (true, false, true),
+        }
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built index together with its construction time.
+pub struct BuiltIndex {
+    /// The constructed index behind the shared trait.
+    pub index: Box<dyn SpatialIndex>,
+    /// Which kind it is.
+    pub kind: IndexKind,
+    /// Wall-clock construction time in nanoseconds.
+    pub build_ns: u64,
+}
+
+/// Builds one index for a dataset and training workload using the shared
+/// leaf capacity `L`, measuring wall-clock construction time.
+pub fn build_index(
+    kind: IndexKind,
+    points: &[Point],
+    queries: &[Rect],
+    leaf_capacity: usize,
+) -> BuiltIndex {
+    let start = Instant::now();
+    let index: Box<dyn SpatialIndex> = match kind {
+        IndexKind::Wazi => Box::new(
+            ZIndexBuilder::wazi()
+                .with_config(ZIndexConfig::wazi().with_leaf_capacity(leaf_capacity))
+                .build(points.to_vec(), queries),
+        ),
+        IndexKind::WaziNoSkip => Box::new(
+            ZIndexBuilder::new(
+                ZIndexConfig::wazi_without_skipping().with_leaf_capacity(leaf_capacity),
+                wazi_core::BuildStrategy::Adaptive,
+            )
+            .build(points.to_vec(), queries),
+        ),
+        IndexKind::BaseSkip => Box::new(
+            ZIndexBuilder::new(
+                ZIndexConfig::base_with_skipping().with_leaf_capacity(leaf_capacity),
+                wazi_core::BuildStrategy::Base,
+            )
+            .build(points.to_vec(), &[]),
+        ),
+        IndexKind::Base => Box::new(
+            ZIndexBuilder::base()
+                .with_config(ZIndexConfig::base().with_leaf_capacity(leaf_capacity))
+                .build(points.to_vec(), &[]),
+        ),
+        IndexKind::Str => Box::new(StrRTree::build(points.to_vec(), leaf_capacity)),
+        IndexKind::Cur => Box::new(CurTree::build(points.to_vec(), queries, leaf_capacity)),
+        IndexKind::Flood => Box::new(FloodIndex::build(points.to_vec(), queries, leaf_capacity)),
+        IndexKind::Quasii => Box::new(Quasii::build(points.to_vec(), queries, leaf_capacity)),
+        IndexKind::Zpgm => Box::new(ZOrderSorted::with_default_bits(points.to_vec())),
+    };
+    BuiltIndex {
+        index,
+        kind,
+        build_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazi_storage::ExecStats;
+    use wazi_workload::{generate_dataset, generate_queries, Region, SELECTIVITIES};
+
+    #[test]
+    fn every_index_kind_builds_and_answers_queries_identically() {
+        let points = generate_dataset(Region::NewYork, 4_000);
+        let queries = generate_queries(Region::NewYork, 100, SELECTIVITIES[2]);
+        let mut reference: Option<Vec<usize>> = None;
+        for kind in IndexKind::OVERVIEW
+            .into_iter()
+            .chain([IndexKind::WaziNoSkip, IndexKind::BaseSkip])
+        {
+            let built = build_index(kind, &points, &queries, 64);
+            assert_eq!(built.index.len(), points.len(), "{kind}");
+            assert!(built.build_ns > 0);
+            let mut stats = ExecStats::default();
+            let counts: Vec<usize> = queries
+                .iter()
+                .take(25)
+                .map(|q| built.index.range_query(q, &mut stats).len())
+                .collect();
+            match &reference {
+                Some(expected) => assert_eq!(&counts, expected, "{kind} disagrees"),
+                None => reference = Some(counts),
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_properties_are_consistent_with_table_1() {
+        assert_eq!(IndexKind::Wazi.name(), "WaZI");
+        assert_eq!(IndexKind::PRIMARY.len(), 6);
+        // Table 1: STR is neither SFC-based, query-aware nor learned; WaZI is
+        // all three; Base is SFC-based only.
+        assert_eq!(IndexKind::Str.properties(), (false, false, false));
+        assert_eq!(IndexKind::Wazi.properties(), (true, true, true));
+        assert_eq!(IndexKind::Base.properties(), (true, false, false));
+        assert_eq!(IndexKind::Quasii.properties(), (false, true, false));
+    }
+}

@@ -1,0 +1,193 @@
+//! Configuration of Z-index construction.
+
+use serde::{Deserialize, Serialize};
+use wazi_density::RfdeConfig;
+
+/// How the greedy builder estimates the number of data points inside a
+/// candidate quadrant when evaluating the retrieval cost (Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DensityMode {
+    /// Count the points of the cell exactly (no learned component). This is
+    /// the "non-learned" ablation of the construction procedure.
+    Exact,
+    /// Estimate counts with a Random Forest Density Estimation model fitted
+    /// on the full dataset, as described in Section 4.3 of the paper.
+    Rfde(RfdeConfig),
+}
+
+impl Default for DensityMode {
+    fn default() -> Self {
+        DensityMode::Rfde(RfdeConfig::default())
+    }
+}
+
+/// Construction parameters shared by the base Z-index and WaZI.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ZIndexConfig {
+    /// Leaf capacity `L`: a cell stops splitting once it holds fewer than
+    /// `leaf_capacity` points. The paper's default is 256.
+    pub leaf_capacity: usize,
+    /// Number of candidate split points `κ` sampled uniformly from each cell
+    /// by the greedy builder (Line 2 of Algorithm 3).
+    pub kappa: usize,
+    /// Skip-cost constant `α` of the retrieval-cost function. The paper uses
+    /// a value `< 1` for the plain cost model and `1e-5` when the index is
+    /// built together with the look-ahead skipping mechanism (Section 5.2).
+    pub alpha: f64,
+    /// Whether look-ahead pointers are constructed and used at query time.
+    pub skipping: bool,
+    /// How quadrant cardinalities are estimated during construction.
+    pub density: DensityMode,
+    /// Maximum tree depth, a guard against adversarial or degenerate data.
+    pub max_depth: usize,
+    /// Seed for the deterministic pseudo-random sampling of candidate splits.
+    pub seed: u64,
+}
+
+impl Default for ZIndexConfig {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 256,
+            kappa: 16,
+            alpha: 1e-5,
+            skipping: true,
+            density: DensityMode::default(),
+            max_depth: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ZIndexConfig {
+    /// Configuration of the paper's WaZI index: adaptive partitioning and
+    /// ordering, RFDE cardinality estimation, look-ahead skipping and
+    /// `α = 1e-5`.
+    pub fn wazi() -> Self {
+        Self::default()
+    }
+
+    /// WaZI without the skipping mechanism (`WaZI−SK` in the ablation study,
+    /// Section 6.9). The skip-cost constant reverts to a moderate `α < 1`
+    /// because skipped leaves then cost a bounding-box comparison each.
+    pub fn wazi_without_skipping() -> Self {
+        Self {
+            skipping: false,
+            alpha: 0.1,
+            ..Self::default()
+        }
+    }
+
+    /// The base Z-index (median splits, fixed `abcd` ordering, no skipping).
+    pub fn base() -> Self {
+        Self {
+            skipping: false,
+            alpha: 0.1,
+            ..Self::default()
+        }
+    }
+
+    /// The base Z-index augmented with look-ahead pointers (`Base+SK` in the
+    /// ablation study).
+    pub fn base_with_skipping() -> Self {
+        Self {
+            skipping: true,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the leaf capacity.
+    pub fn with_leaf_capacity(mut self, leaf_capacity: usize) -> Self {
+        self.leaf_capacity = leaf_capacity;
+        self
+    }
+
+    /// Overrides the number of sampled candidate splits.
+    pub fn with_kappa(mut self, kappa: usize) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Overrides the skip-cost constant `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the density-estimation mode.
+    pub fn with_density(mut self, density: DensityMode) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Overrides the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration, returning a human-readable error for
+    /// nonsensical settings.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.leaf_capacity == 0 {
+            return Err("leaf_capacity must be positive".into());
+        }
+        if self.kappa == 0 {
+            return Err("kappa must be positive".into());
+        }
+        if !(self.alpha >= 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha must lie in [0, 1], got {}", self.alpha));
+        }
+        if self.max_depth == 0 {
+            return Err("max_depth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        for cfg in [
+            ZIndexConfig::wazi(),
+            ZIndexConfig::wazi_without_skipping(),
+            ZIndexConfig::base(),
+            ZIndexConfig::base_with_skipping(),
+        ] {
+            cfg.validate().expect("preset must validate");
+        }
+        assert!(ZIndexConfig::wazi().skipping);
+        assert!(!ZIndexConfig::wazi_without_skipping().skipping);
+        assert!(ZIndexConfig::base_with_skipping().skipping);
+        assert!(ZIndexConfig::wazi().alpha < ZIndexConfig::wazi_without_skipping().alpha);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let cfg = ZIndexConfig::wazi()
+            .with_leaf_capacity(64)
+            .with_kappa(4)
+            .with_alpha(0.5)
+            .with_seed(42)
+            .with_density(DensityMode::Exact);
+        assert_eq!(cfg.leaf_capacity, 64);
+        assert_eq!(cfg.kappa, 4);
+        assert_eq!(cfg.alpha, 0.5);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.density, DensityMode::Exact);
+        cfg.validate().expect("must stay valid");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ZIndexConfig::wazi().with_leaf_capacity(0).validate().is_err());
+        assert!(ZIndexConfig::wazi().with_kappa(0).validate().is_err());
+        assert!(ZIndexConfig::wazi().with_alpha(2.0).validate().is_err());
+        assert!(ZIndexConfig::wazi().with_alpha(-0.1).validate().is_err());
+        let mut cfg = ZIndexConfig::wazi();
+        cfg.max_depth = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The retrieval-cost model of Section 4 (Eqs. 1, 2 and 5).
+//!
+//! The retrieval cost of a range query on a single-level Z-index is the
+//! number of points compared against the query box during the scanning
+//! phase: every point of a quadrant overlapped by the query is compared,
+//! while quadrants that lie between the query's end quadrants in curve order
+//! but do not overlap the query only contribute a fraction `α` of their
+//! points (they are skipped after a bounding-box comparison, or nearly for
+//! free when look-ahead pointers are enabled).
+//!
+//! The greedy construction (Algorithm 3) evaluates this cost for `κ`
+//! candidate split points and both cell orderings, with quadrant
+//! cardinalities either counted exactly or estimated by an RFDE model.
+
+use wazi_density::Rfde;
+use wazi_geom::{CellOrdering, Point, Quadrant, QueryCase, Rect};
+
+/// Per-quadrant point cardinalities `n_A, n_B, n_C, n_D` for a candidate
+/// split, indexed by [`Quadrant::label_index`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadrantCounts {
+    counts: [f64; 4],
+}
+
+impl QuadrantCounts {
+    /// Builds counts from explicit per-quadrant values (label order
+    /// `A, B, C, D`).
+    pub fn from_counts(counts: [f64; 4]) -> Self {
+        Self { counts }
+    }
+
+    /// Counts the cell's points exactly against the candidate split.
+    pub fn exact(points: &[Point], split: &Point) -> Self {
+        let mut counts = [0.0f64; 4];
+        for p in points {
+            counts[Quadrant::of(p, split).label_index()] += 1.0;
+        }
+        Self { counts }
+    }
+
+    /// Estimates the counts with an RFDE model fitted on the full dataset.
+    /// `cell` is the region of the cell being split; quadrant regions are
+    /// clipped to it so the estimates refer to the cell's own points.
+    pub fn estimated(rfde: &Rfde, cell: &Rect, split: &Point) -> Self {
+        let mut counts = [0.0f64; 4];
+        for q in Quadrant::ALL {
+            let region = q.region(cell, split);
+            counts[q.label_index()] = rfde.estimate_count(&region).max(0.0);
+        }
+        Self { counts }
+    }
+
+    /// Cardinality of one quadrant.
+    #[inline]
+    pub fn get(&self, q: Quadrant) -> f64 {
+        self.counts[q.label_index()]
+    }
+
+    /// Total cardinality across quadrants.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Retrieval cost of a single query under a candidate `(split, ordering)`
+/// (one `cost_X(R | x, y; o)` term of Eqs. 1 and 2, with the lower levels
+/// approximated by `n_X` as in Eq. 5).
+pub fn query_cost(
+    query: &Rect,
+    split: &Point,
+    ordering: CellOrdering,
+    counts: &QuadrantCounts,
+    alpha: f64,
+) -> f64 {
+    let case = QueryCase::classify(query, split);
+    if case.is_contained() {
+        // δ_{R ∈ XX} n_X: the greedy upper bound for the recursion into the
+        // child that wholly contains the query.
+        return counts.get(case.bl);
+    }
+    let curve = ordering.curve();
+    let start = ordering.position(case.bl);
+    let end = ordering.position(case.tr);
+    debug_assert!(start <= end, "monotone orderings visit BL before TR");
+    let overlapped = case.overlapped();
+    let mut cost = 0.0;
+    for &quadrant in &curve[start..=end] {
+        let n = counts.get(quadrant);
+        if overlapped.contains(&quadrant) {
+            cost += n;
+        } else {
+            // A quadrant scanned over but not overlapping the query: its
+            // leaves are skipped after bounding-box comparisons, modelled by
+            // the skip-cost constant α (Section 4.2 / Section 5.2).
+            cost += alpha * n;
+        }
+    }
+    cost
+}
+
+/// Total retrieval cost `C_X(Q | x, y; o)` of a workload under a candidate
+/// split and ordering (Eq. 5).
+pub fn workload_cost(
+    queries: &[Rect],
+    split: &Point,
+    ordering: CellOrdering,
+    counts: &QuadrantCounts,
+    alpha: f64,
+) -> f64 {
+    queries
+        .iter()
+        .map(|q| query_cost(q, split, ordering, counts, alpha))
+        .sum()
+}
+
+/// Evaluates both orderings for a candidate split and returns the cheaper
+/// one together with its cost (the inner minimisation of Line 3 of
+/// Algorithm 3).
+pub fn best_ordering(
+    queries: &[Rect],
+    split: &Point,
+    counts: &QuadrantCounts,
+    alpha: f64,
+) -> (CellOrdering, f64) {
+    let mut best = (CellOrdering::Abcd, f64::INFINITY);
+    for ordering in CellOrdering::ALL {
+        let cost = workload_cost(queries, split, ordering, counts, alpha);
+        if cost < best.1 {
+            best = (ordering, cost);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPLIT: Point = Point::new(0.5, 0.5);
+
+    fn counts() -> QuadrantCounts {
+        // n_A = 10, n_B = 20, n_C = 30, n_D = 40
+        QuadrantCounts::from_counts([10.0, 20.0, 30.0, 40.0])
+    }
+
+    #[test]
+    fn exact_counts_match_partition() {
+        let points = vec![
+            Point::new(0.1, 0.1), // A
+            Point::new(0.9, 0.1), // B
+            Point::new(0.9, 0.2), // B
+            Point::new(0.1, 0.9), // C
+            Point::new(0.9, 0.9), // D
+            Point::new(0.5, 0.5), // boundary -> A
+        ];
+        let c = QuadrantCounts::exact(&points, &SPLIT);
+        assert_eq!(c.get(Quadrant::A), 2.0);
+        assert_eq!(c.get(Quadrant::B), 2.0);
+        assert_eq!(c.get(Quadrant::C), 1.0);
+        assert_eq!(c.get(Quadrant::D), 1.0);
+        assert_eq!(c.total(), 6.0);
+    }
+
+    #[test]
+    fn contained_query_costs_its_quadrant() {
+        // Query wholly inside D.
+        let q = Rect::from_coords(0.6, 0.6, 0.9, 0.9);
+        let cost = query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), 0.1);
+        assert_eq!(cost, 40.0);
+        // Same under the alternative ordering: containment cost is
+        // ordering-independent.
+        let cost = query_cost(&q, &SPLIT, CellOrdering::Acbd, &counts(), 0.1);
+        assert_eq!(cost, 40.0);
+    }
+
+    #[test]
+    fn full_span_costs_everything_under_both_orderings() {
+        // The δ_{R ∈ AD} case of Eqs. 1 and 2.
+        let q = Rect::from_coords(0.1, 0.1, 0.9, 0.9);
+        for ordering in CellOrdering::ALL {
+            let cost = query_cost(&q, &SPLIT, ordering, &counts(), 0.1);
+            assert_eq!(cost, 100.0);
+        }
+    }
+
+    #[test]
+    fn left_half_span_matches_equation_one_and_two() {
+        // Query spanning A and C (the Figure 1b situation).
+        let q = Rect::from_coords(0.1, 0.1, 0.4, 0.9);
+        let alpha = 0.1;
+        // abcd (Eq. 1): n_A + α n_B + n_C = 10 + 2 + 30 = 42.
+        let abcd = query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), alpha);
+        assert!((abcd - 42.0).abs() < 1e-12);
+        // acbd (Eq. 2): A and C adjacent, no skipped quadrant: 10 + 30 = 40.
+        let acbd = query_cost(&q, &SPLIT, CellOrdering::Acbd, &counts(), alpha);
+        assert!((acbd - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottom_half_span_swaps_between_orderings() {
+        // Query spanning A and B.
+        let q = Rect::from_coords(0.1, 0.1, 0.9, 0.4);
+        let alpha = 0.5;
+        // abcd: adjacent, 10 + 20 = 30.
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), alpha),
+            30.0
+        );
+        // acbd: C sits between A and B in curve order: 10 + 0.5*30 + 20 = 45.
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Acbd, &counts(), alpha),
+            45.0
+        );
+    }
+
+    #[test]
+    fn right_half_and_top_half_spans() {
+        let alpha = 0.0;
+        // B to D (right half): abcd skips C, acbd is adjacent.
+        let q = Rect::from_coords(0.6, 0.1, 0.9, 0.9);
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), alpha),
+            60.0
+        );
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Acbd, &counts(), alpha),
+            60.0
+        );
+        // C to D (top half): adjacent under abcd, skips B under acbd.
+        let q = Rect::from_coords(0.1, 0.6, 0.9, 0.9);
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), alpha),
+            70.0
+        );
+        assert_eq!(
+            query_cost(&q, &SPLIT, CellOrdering::Acbd, &counts(), alpha),
+            70.0
+        );
+    }
+
+    #[test]
+    fn alpha_scales_skipped_quadrants_only() {
+        let q = Rect::from_coords(0.1, 0.1, 0.4, 0.9); // spans A, C under abcd
+        let cheap = query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), 1e-5);
+        let expensive = query_cost(&q, &SPLIT, CellOrdering::Abcd, &counts(), 1.0);
+        assert!(cheap < expensive);
+        assert!((expensive - 60.0).abs() < 1e-12); // α=1: as if B were scanned fully
+        assert!((cheap - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_cost_sums_and_best_ordering_picks_minimum() {
+        // A workload dominated by left-half spans prefers acbd.
+        let queries = vec![
+            Rect::from_coords(0.1, 0.1, 0.4, 0.9),
+            Rect::from_coords(0.05, 0.2, 0.45, 0.8),
+            Rect::from_coords(0.2, 0.1, 0.3, 0.7),
+        ];
+        let alpha = 0.5;
+        let total_abcd = workload_cost(&queries, &SPLIT, CellOrdering::Abcd, &counts(), alpha);
+        let total_acbd = workload_cost(&queries, &SPLIT, CellOrdering::Acbd, &counts(), alpha);
+        assert!(total_acbd < total_abcd);
+        let (ordering, cost) = best_ordering(&queries, &SPLIT, &counts(), alpha);
+        assert_eq!(ordering, CellOrdering::Acbd);
+        assert_eq!(cost, total_acbd);
+
+        // A workload of bottom-half spans prefers abcd.
+        let queries = vec![Rect::from_coords(0.1, 0.1, 0.9, 0.4)];
+        let (ordering, _) = best_ordering(&queries, &SPLIT, &counts(), alpha);
+        assert_eq!(ordering, CellOrdering::Abcd);
+    }
+
+    #[test]
+    fn estimated_counts_are_close_to_exact_on_a_grid() {
+        let mut points = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                points.push(Point::new(
+                    (i as f64 + 0.5) / 40.0,
+                    (j as f64 + 0.5) / 40.0,
+                ));
+            }
+        }
+        let rfde = Rfde::fit(&points, wazi_density::RfdeConfig::default());
+        let split = Point::new(0.25, 0.75);
+        let exact = QuadrantCounts::exact(&points, &split);
+        let estimated = QuadrantCounts::estimated(&rfde, &Rect::UNIT, &split);
+        for q in Quadrant::ALL {
+            let e = exact.get(q);
+            let s = estimated.get(q);
+            assert!(
+                (e - s).abs() <= 0.1 * points.len() as f64,
+                "estimate {s} too far from exact {e} for {q:?}"
+            );
+        }
+    }
+}

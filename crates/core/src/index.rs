@@ -1,0 +1,227 @@
+//! The `SpatialIndex` trait implemented by every index in the evaluation.
+
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+
+/// Errors returned by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The index does not support the requested operation (e.g. inserts into
+    /// a statically packed index such as STR).
+    Unsupported(&'static str),
+    /// The operation's input was invalid (e.g. a non-finite point).
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            IndexError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Common interface of the spatial indexes compared in the paper's
+/// evaluation (WaZI, Base, STR, CUR, Flood, QUASII, rank-space Z-order).
+///
+/// All query methods receive an [`ExecStats`] sink so the benchmark harness
+/// can report the counters of Figures 9 and 13 uniformly, independent of
+/// wall-clock measurement.
+pub trait SpatialIndex {
+    /// Short display name used in experiment tables ("WaZI", "Base", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of points currently indexed.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns every indexed point that falls inside `query`.
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point>;
+
+    /// Returns `true` when a point equal to `p` is indexed.
+    fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool;
+
+    /// Inserts a point. Indexes that only support bulk loading return
+    /// [`IndexError::Unsupported`].
+    fn insert(&mut self, _p: Point) -> Result<(), IndexError> {
+        Err(IndexError::Unsupported("insert"))
+    }
+
+    /// Deletes a point (the first indexed point equal to `p`). Returns
+    /// `Ok(true)` when a point was removed. Indexes that only support bulk
+    /// loading return [`IndexError::Unsupported`].
+    fn delete(&mut self, _p: &Point) -> Result<bool, IndexError> {
+        Err(IndexError::Unsupported("delete"))
+    }
+
+    /// Post-batch maintenance hook: indexes that defer bookkeeping during
+    /// updates (e.g. WaZI's look-ahead pointers) restore their optimal state
+    /// here. The default does nothing.
+    fn maintain(&mut self) {}
+
+    /// Approximate in-memory size of the index structure in bytes,
+    /// including learned components but excluding nothing: this is the
+    /// quantity reported in Table 5.
+    fn size_bytes(&self) -> usize;
+
+    /// The `k` nearest neighbours of `q`, ordered by increasing distance.
+    ///
+    /// The default implementation decomposes kNN into a sequence of growing
+    /// range queries, the strategy the paper describes for indexes without a
+    /// specialised kNN algorithm (Section 6.3, "Remark on kNN and
+    /// Spatial-Join Queries").
+    fn knn(&self, q: &Point, k: usize, stats: &mut ExecStats) -> Vec<Point> {
+        knn_by_range_queries(self, q, k, stats)
+    }
+}
+
+/// kNN by repeated range queries with a doubling search radius.
+///
+/// A candidate set found within radius `r` is only final once the k-th
+/// nearest candidate lies within `r`, which guarantees no closer point can
+/// hide outside the searched box.
+pub(crate) fn knn_by_range_queries<I: SpatialIndex + ?Sized>(
+    index: &I,
+    q: &Point,
+    k: usize,
+    stats: &mut ExecStats,
+) -> Vec<Point> {
+    if k == 0 || index.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(index.len());
+    // Initial radius guess: assume a roughly uniform unit-square density so
+    // that the first box is expected to contain about k points; the loop
+    // doubles it until the answer is provably complete.
+    let mut radius = (k as f64 / index.len().max(1) as f64).sqrt().max(1e-6);
+    loop {
+        let query = Rect::from_coords(q.x - radius, q.y - radius, q.x + radius, q.y + radius);
+        let mut candidates = index.range_query(&query, stats);
+        if candidates.len() >= k {
+            candidates.sort_by(|a, b| a.distance_squared(q).total_cmp(&b.distance_squared(q)));
+            candidates.truncate(k);
+            let kth = candidates[k - 1].distance(q);
+            if kth <= radius {
+                return candidates;
+            }
+        }
+        radius *= 2.0;
+        // The data space of the evaluation is bounded; a radius this large
+        // covers any realistic bounding box and ends the search.
+        if radius > 1e9 {
+            let mut all = index.range_query(
+                &Rect::from_coords(-f64::MAX / 4.0, -f64::MAX / 4.0, f64::MAX / 4.0, f64::MAX / 4.0),
+                stats,
+            );
+            all.sort_by(|a, b| a.distance_squared(q).total_cmp(&b.distance_squared(q)));
+            all.truncate(k);
+            return all;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially correct index used to exercise the trait's default
+    /// methods.
+    struct ScanIndex {
+        points: Vec<Point>,
+    }
+
+    impl SpatialIndex for ScanIndex {
+        fn name(&self) -> &'static str {
+            "Scan"
+        }
+        fn len(&self) -> usize {
+            self.points.len()
+        }
+        fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+            stats.points_scanned += self.points.len() as u64;
+            let out: Vec<Point> = self
+                .points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
+            stats.results += out.len() as u64;
+            out
+        }
+        fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+            stats.points_scanned += self.points.len() as u64;
+            self.points.contains(p)
+        }
+        fn size_bytes(&self) -> usize {
+            self.points.len() * std::mem::size_of::<Point>()
+        }
+    }
+
+    fn grid_index() -> ScanIndex {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                points.push(Point::new(i as f64 / 10.0, j as f64 / 10.0));
+            }
+        }
+        ScanIndex { points }
+    }
+
+    #[test]
+    fn default_insert_and_delete_are_unsupported() {
+        let mut idx = grid_index();
+        assert_eq!(
+            idx.insert(Point::new(0.5, 0.5)),
+            Err(IndexError::Unsupported("insert"))
+        );
+        assert_eq!(
+            idx.delete(&Point::new(0.5, 0.5)),
+            Err(IndexError::Unsupported("delete"))
+        );
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn knn_returns_k_closest_points_in_order() {
+        let idx = grid_index();
+        let mut stats = ExecStats::default();
+        let q = Point::new(0.42, 0.42);
+        let result = idx.knn(&q, 4, &mut stats);
+        assert_eq!(result.len(), 4);
+        // Closest grid point is (0.4, 0.4).
+        assert_eq!(result[0], Point::new(0.4, 0.4));
+        // Distances must be non-decreasing.
+        for w in result.windows(2) {
+            assert!(w[0].distance(&q) <= w[1].distance(&q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_handles_edge_cases() {
+        let idx = grid_index();
+        let mut stats = ExecStats::default();
+        assert!(idx.knn(&Point::new(0.5, 0.5), 0, &mut stats).is_empty());
+        let all = idx.knn(&Point::new(0.5, 0.5), 1_000, &mut stats);
+        assert_eq!(all.len(), 100, "k larger than the index clamps to len");
+        let empty = ScanIndex { points: vec![] };
+        assert!(empty.knn(&Point::new(0.5, 0.5), 3, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn index_error_display() {
+        assert_eq!(
+            IndexError::Unsupported("insert").to_string(),
+            "operation not supported: insert"
+        );
+        assert!(IndexError::InvalidInput("nan".into())
+            .to_string()
+            .contains("nan"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # wazi-core
+//!
+//! A from-scratch Rust implementation of **WaZI**, the learned and
+//! workload-aware Z-index of Pai, Mathioudakis and Wang (EDBT 2024), together
+//! with the base Z-index it generalizes.
+//!
+//! ## What the index does
+//!
+//! A Z-index partitions the data space hierarchically into quaternary cells
+//! and orders the cells along a space-filling curve, which induces a
+//! clustered layout of leaf pages. Range queries locate the leaves containing
+//! the query's bottom-left and top-right corners and scan the leaf interval
+//! between them (Algorithms 1 and 2 of the paper).
+//!
+//! WaZI generalizes the base index in two ways (Section 4):
+//!
+//! * the split point of every cell may be placed anywhere (not just at the
+//!   data medians), and
+//! * the child ordering of every cell may be `abcd` or `acbd`, both of which
+//!   preserve dominance monotonicity.
+//!
+//! Both choices are made per cell by greedily minimising a retrieval-cost
+//! function (Eq. 5) evaluated on an anticipated range-query workload, with
+//! point cardinalities estimated by a Random Forest Density Estimation model.
+//! A look-ahead pointer mechanism (Section 5) lets range queries skip runs of
+//! irrelevant leaf pages.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wazi_core::{SpatialIndex, ZIndex};
+//! use wazi_geom::{Point, Rect};
+//! use wazi_storage::ExecStats;
+//!
+//! // A small clustered dataset and an anticipated query workload.
+//! let points: Vec<Point> = (0..5_000)
+//!     .map(|i| Point::new((i % 100) as f64 / 100.0, (i / 100) as f64 / 50.0))
+//!     .collect();
+//! let workload: Vec<Rect> = (0..50)
+//!     .map(|i| Rect::query_box(&Rect::UNIT, Point::new(0.2, 0.3 + i as f64 / 500.0), 0.001, 1.0))
+//!     .collect();
+//!
+//! let index = ZIndex::build_wazi(points, &workload);
+//! let mut stats = ExecStats::default();
+//! let result = index.range_query(&workload[0], &mut stats);
+//! assert_eq!(result.len() as u64, stats.results);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod config;
+pub mod cost;
+mod index;
+mod lookahead;
+mod node;
+mod zindex;
+
+pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
+pub use config::{DensityMode, ZIndexConfig};
+pub use index::{IndexError, SpatialIndex};
+pub use node::{Leaf, Lookahead, SkipCriterion};
+pub use zindex::ZIndex;
+
+// Re-export the geometry the public API speaks in, so downstream crates can
+// depend on `wazi-core` alone for simple uses.
+pub use wazi_geom::{CellOrdering, Point, Quadrant, Rect};
+pub use wazi_storage::{ExecStats, StatsSummary};

@@ -1,0 +1,186 @@
+//! Construction of the look-ahead pointers (Algorithm 4, Section 5.2).
+
+use crate::node::{Leaf, Lookahead, SkipCriterion, LOOKAHEAD_END};
+
+/// Returns `true` when `candidate` improves on `base` for the given
+/// criterion, i.e. a query disqualifying `base` under that criterion is *not*
+/// guaranteed to also disqualify `candidate`.
+///
+/// For `Below` this means the candidate's top edge is strictly higher than
+/// the base's; the other criteria are symmetric.
+#[inline]
+fn improves(criterion: SkipCriterion, candidate: &Leaf, base: &Leaf) -> bool {
+    let c = candidate.skip_rect();
+    let b = base.skip_rect();
+    match criterion {
+        SkipCriterion::Below => c.hi.y > b.hi.y,
+        SkipCriterion::Above => c.lo.y < b.lo.y,
+        SkipCriterion::Left => c.hi.x > b.hi.x,
+        SkipCriterion::Right => c.lo.x < b.lo.x,
+    }
+}
+
+/// Builds the four look-ahead pointers of every leaf.
+///
+/// Leaves are processed in reverse leaf-list order; each pointer starts at
+/// the plain `next` pointer and hops along the already-built pointers of the
+/// suffix until a leaf that improves the criterion is found (Lines 2–6 of
+/// Algorithm 4). The pointer of the last leaf — and any pointer that runs off
+/// the end of the list — is the [`LOOKAHEAD_END`] sentinel ("dummy page").
+pub(crate) fn build_lookahead(leaves: &mut [Leaf]) {
+    let n = leaves.len();
+    for i in (0..n).rev() {
+        let mut lookahead = Lookahead::default();
+        for criterion in SkipCriterion::ALL {
+            let mut ptr = (i + 1) as u32;
+            while (ptr as usize) < n && !improves(criterion, &leaves[ptr as usize], &leaves[i]) {
+                ptr = leaves[ptr as usize]
+                    .lookahead
+                    .expect("look-ahead of the suffix is built first")
+                    .get(criterion);
+            }
+            lookahead.set(
+                criterion,
+                if (ptr as usize) < n { ptr } else { LOOKAHEAD_END },
+            );
+        }
+        leaves[i].lookahead = Some(lookahead);
+    }
+}
+
+/// Validates the safety invariant of the look-ahead pointers: for every leaf
+/// `i` and criterion `c`, every leaf strictly between `i` and its pointer
+/// target does *not* improve the criterion (and would therefore be irrelevant
+/// to any query that disqualified leaf `i` under `c`).
+///
+/// Used by tests and exposed to integration tests through
+/// [`crate::ZIndex::verify_lookahead_invariant`].
+pub(crate) fn verify_invariant(leaves: &[Leaf]) -> Result<(), String> {
+    let n = leaves.len();
+    for (i, leaf) in leaves.iter().enumerate() {
+        let Some(lookahead) = leaf.lookahead else {
+            return Err(format!("leaf {i} has no look-ahead pointers"));
+        };
+        for criterion in SkipCriterion::ALL {
+            let target = lookahead.get(criterion);
+            let end = if target == LOOKAHEAD_END {
+                n
+            } else {
+                target as usize
+            };
+            if end <= i {
+                return Err(format!(
+                    "leaf {i}: {criterion:?} pointer {end} does not move forward"
+                ));
+            }
+            for (j, skipped) in leaves.iter().enumerate().take(end).skip(i + 1) {
+                if improves(criterion, skipped, leaf) {
+                    return Err(format!(
+                        "leaf {i}: {criterion:?} pointer skips over leaf {j} which improves the criterion"
+                    ));
+                }
+            }
+            // Note: stopping *early* (at a leaf that does not improve the
+            // criterion) is allowed — update paths deliberately degrade the
+            // pointers of freshly split leaves to their plain successor,
+            // which is always safe. Only skipping over an improving leaf
+            // (checked above) would be a correctness bug.
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazi_geom::Rect;
+    use wazi_storage::PageId;
+
+    /// Builds a leaf whose skip rectangle is the given box.
+    fn leaf(x0: f64, y0: f64, x1: f64, y1: f64) -> Leaf {
+        let rect = Rect::from_coords(x0, y0, x1, y1);
+        Leaf::new(rect, rect, PageId(0), 1)
+    }
+
+    #[test]
+    fn staircase_points_skip_to_the_next_higher_leaf() {
+        // Three leaves of increasing height followed by a low one.
+        let mut leaves = vec![
+            leaf(0.0, 0.0, 0.1, 0.1),
+            leaf(0.1, 0.0, 0.2, 0.1), // same height: skipped by Below chains
+            leaf(0.2, 0.0, 0.3, 0.5), // higher: improves Below
+            leaf(0.3, 0.0, 0.4, 0.1),
+        ];
+        build_lookahead(&mut leaves);
+        verify_invariant(&leaves).expect("invariant");
+        // Leaf 0 disqualified by Below can jump straight to leaf 2.
+        assert_eq!(leaves[0].lookahead.unwrap().get(SkipCriterion::Below), 2);
+        // Leaf 2's Below pointer runs off the end (no later leaf is higher).
+        assert_eq!(
+            leaves[2].lookahead.unwrap().get(SkipCriterion::Below),
+            LOOKAHEAD_END
+        );
+    }
+
+    #[test]
+    fn last_leaf_points_to_the_dummy_end() {
+        let mut leaves = vec![leaf(0.0, 0.0, 1.0, 1.0)];
+        build_lookahead(&mut leaves);
+        let la = leaves[0].lookahead.unwrap();
+        for c in SkipCriterion::ALL {
+            assert_eq!(la.get(c), LOOKAHEAD_END);
+        }
+    }
+
+    #[test]
+    fn left_and_right_criteria_follow_x_extents() {
+        let mut leaves = vec![
+            leaf(0.0, 0.0, 0.1, 1.0),
+            leaf(0.0, 0.0, 0.05, 1.0), // narrower: does not improve Left
+            leaf(0.3, 0.0, 0.5, 1.0),  // wider: improves Left
+            leaf(0.1, 0.0, 0.6, 1.0),  // starts further left: improves Right for leaf 2
+        ];
+        build_lookahead(&mut leaves);
+        verify_invariant(&leaves).expect("invariant");
+        assert_eq!(leaves[0].lookahead.unwrap().get(SkipCriterion::Left), 2);
+        // Right criterion improves when a later leaf starts further left;
+        // leaf 1 starts at the same x as leaf 0, so it does not improve and
+        // leaf 0 must not stop there... but leaf 1 has lo.x == 0.0 which is
+        // not strictly smaller, so the first improving leaf does not exist.
+        assert_eq!(
+            leaves[0].lookahead.unwrap().get(SkipCriterion::Right),
+            LOOKAHEAD_END
+        );
+        assert_eq!(leaves[2].lookahead.unwrap().get(SkipCriterion::Right), 3);
+    }
+
+    #[test]
+    fn empty_leaves_use_degenerate_skip_rects() {
+        let mut leaves = vec![
+            leaf(0.0, 0.0, 0.1, 0.1),
+            Leaf::new(Rect::from_coords(0.1, 0.0, 0.2, 0.1), Rect::EMPTY, PageId(1), 0),
+            leaf(0.2, 0.0, 0.3, 0.9),
+        ];
+        build_lookahead(&mut leaves);
+        verify_invariant(&leaves).expect("invariant");
+        // The empty leaf's degenerate rectangle never improves Below, so the
+        // first leaf can skip straight past it.
+        assert_eq!(leaves[0].lookahead.unwrap().get(SkipCriterion::Below), 2);
+    }
+
+    #[test]
+    fn invariant_detects_corrupted_pointers() {
+        let mut leaves = vec![
+            leaf(0.0, 0.0, 0.1, 0.1),
+            leaf(0.1, 0.0, 0.2, 0.8),
+            leaf(0.2, 0.0, 0.3, 0.9),
+        ];
+        build_lookahead(&mut leaves);
+        verify_invariant(&leaves).expect("fresh pointers are valid");
+        // Corrupt: make leaf 0 skip over leaf 1, which improves Below.
+        let mut la = leaves[0].lookahead.unwrap();
+        la.set(SkipCriterion::Below, 2);
+        leaves[0].lookahead = Some(la);
+        assert!(verify_invariant(&leaves).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! In-memory representation of the quaternary Z-index tree.
+//!
+//! The tree is stored in two arenas: internal nodes and leaves. Leaves are
+//! kept in curve order, so the leaf at position `i` is the `i`-th entry of
+//! the `LeafList` and its `next` pointer is simply `i + 1`. This mirrors the
+//! clustered layout the paper assumes (consecutive leaves map to consecutive
+//! pages).
+
+use serde::{Deserialize, Serialize};
+use wazi_geom::{CellOrdering, Point, Rect};
+use wazi_storage::PageId;
+
+/// Reference to a child node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// An internal node, indexed into the internal-node arena.
+    Internal(u32),
+    /// A leaf node, indexed into the leaf arena (curve order position).
+    Leaf(u32),
+}
+
+impl NodeRef {
+    /// Returns the leaf index if this reference points to a leaf.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn as_leaf(self) -> Option<u32> {
+        match self {
+            NodeRef::Leaf(i) => Some(i),
+            NodeRef::Internal(_) => None,
+        }
+    }
+}
+
+/// An internal node: a split point, a child ordering and four children in
+/// curve order (position 0 is visited first by the curve).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternalNode {
+    /// The region of the data space covered by this node's cell.
+    pub region: Rect,
+    /// Split point `h = (x, y)` partitioning the cell into four quadrants.
+    pub split: Point,
+    /// Ordering `o` of the four child cells.
+    pub ordering: CellOrdering,
+    /// Children in curve order.
+    pub children: [NodeRef; 4],
+    /// Number of points stored below this node (maintained by updates).
+    pub count: usize,
+}
+
+impl InternalNode {
+    /// The child the point-query traversal descends into (Lines 4–9 of
+    /// Algorithm 1).
+    #[inline]
+    pub fn child_for(&self, p: &Point) -> NodeRef {
+        self.children[self.ordering.child_of(p, &self.split)]
+    }
+}
+
+/// The four irrelevancy criteria of the skipping mechanism (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum SkipCriterion {
+    /// The leaf lies entirely below the query (`TR(P).y < BL(R).y`).
+    Below = 0,
+    /// The leaf lies entirely above the query (`BL(P).y > TR(R).y`).
+    Above = 1,
+    /// The leaf lies entirely to the left of the query (`TR(P).x < BL(R).x`).
+    Left = 2,
+    /// The leaf lies entirely to the right of the query (`BL(P).x > TR(R).x`).
+    Right = 3,
+}
+
+impl SkipCriterion {
+    /// All four criteria in storage order.
+    pub const ALL: [SkipCriterion; 4] = [
+        SkipCriterion::Below,
+        SkipCriterion::Above,
+        SkipCriterion::Left,
+        SkipCriterion::Right,
+    ];
+}
+
+/// Per-leaf look-ahead pointers, one per irrelevancy criterion. The value is
+/// a leaf index; `u32::MAX` is the "dummy page" sentinel marking the end of
+/// the leaf list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lookahead {
+    pointers: [u32; 4],
+}
+
+/// Sentinel marking the end of the leaf list for look-ahead pointers.
+pub const LOOKAHEAD_END: u32 = u32::MAX;
+
+impl Default for Lookahead {
+    fn default() -> Self {
+        Self {
+            pointers: [LOOKAHEAD_END; 4],
+        }
+    }
+}
+
+impl Lookahead {
+    /// Pointer for one criterion.
+    #[inline]
+    pub fn get(&self, criterion: SkipCriterion) -> u32 {
+        self.pointers[criterion as usize]
+    }
+
+    /// Sets the pointer for one criterion.
+    #[inline]
+    pub fn set(&mut self, criterion: SkipCriterion, target: u32) {
+        self.pointers[criterion as usize] = target;
+    }
+}
+
+/// A leaf node of the Z-index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Leaf {
+    /// The cell region assigned to this leaf by the hierarchical
+    /// partitioning (used to route point queries and updates).
+    pub region: Rect,
+    /// Tight bounding box of the points stored in the leaf's page; this is
+    /// the `bbs` compared against range queries in the scanning phase.
+    pub bbox: Rect,
+    /// Identifier of the clustered page storing the leaf's points.
+    pub page: PageId,
+    /// Number of points stored in the page.
+    pub count: usize,
+    /// Look-ahead pointers (Section 5); `None` until built.
+    pub lookahead: Option<Lookahead>,
+}
+
+impl Leaf {
+    /// Creates a leaf over a page.
+    pub fn new(region: Rect, bbox: Rect, page: PageId, count: usize) -> Self {
+        Self {
+            region,
+            bbox,
+            page,
+            count,
+            lookahead: None,
+        }
+    }
+
+    /// The rectangle used by the skipping machinery for this leaf: the cell
+    /// region, i.e. the "bounding rectangle for the area spanned by the
+    /// leaf" of Section 3.
+    ///
+    /// Using the (immutable) cell region rather than the tight point
+    /// bounding box keeps the look-ahead pointers valid under inserts: a
+    /// point inserted inside the data space always falls inside its leaf's
+    /// region, so the geometry the pointers were built against never grows.
+    #[inline]
+    pub fn skip_rect(&self) -> Rect {
+        self.region
+    }
+
+    /// Returns the skip criteria under which this leaf is irrelevant to
+    /// `query`, i.e. the criteria whose look-ahead pointer may be followed.
+    pub fn irrelevancy_criteria(&self, query: &Rect) -> impl Iterator<Item = SkipCriterion> {
+        let rect = self.skip_rect();
+        let below = rect.hi.y < query.lo.y;
+        let above = rect.lo.y > query.hi.y;
+        let left = rect.hi.x < query.lo.x;
+        let right = rect.lo.x > query.hi.x;
+        [
+            (SkipCriterion::Below, below),
+            (SkipCriterion::Above, above),
+            (SkipCriterion::Left, left),
+            (SkipCriterion::Right, right),
+        ]
+        .into_iter()
+        .filter_map(|(c, active)| active.then_some(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_node_routes_by_ordering() {
+        let node = InternalNode {
+            region: Rect::UNIT,
+            split: Point::new(0.5, 0.5),
+            ordering: CellOrdering::Acbd,
+            children: [
+                NodeRef::Leaf(0),
+                NodeRef::Leaf(1),
+                NodeRef::Leaf(2),
+                NodeRef::Leaf(3),
+            ],
+            count: 0,
+        };
+        // acbd: curve position 1 is the top-left quadrant.
+        assert_eq!(node.child_for(&Point::new(0.2, 0.8)), NodeRef::Leaf(1));
+        assert_eq!(node.child_for(&Point::new(0.8, 0.2)), NodeRef::Leaf(2));
+        assert_eq!(node.child_for(&Point::new(0.2, 0.2)), NodeRef::Leaf(0));
+        assert_eq!(node.child_for(&Point::new(0.8, 0.8)), NodeRef::Leaf(3));
+    }
+
+    #[test]
+    fn lookahead_defaults_to_end_sentinel() {
+        let mut la = Lookahead::default();
+        for c in SkipCriterion::ALL {
+            assert_eq!(la.get(c), LOOKAHEAD_END);
+        }
+        la.set(SkipCriterion::Left, 7);
+        assert_eq!(la.get(SkipCriterion::Left), 7);
+        assert_eq!(la.get(SkipCriterion::Right), LOOKAHEAD_END);
+    }
+
+    #[test]
+    fn leaf_skip_rect_is_the_cell_region() {
+        let empty = Leaf::new(
+            Rect::from_coords(0.2, 0.2, 0.4, 0.4),
+            Rect::EMPTY,
+            PageId(0),
+            0,
+        );
+        assert_eq!(empty.skip_rect(), Rect::from_coords(0.2, 0.2, 0.4, 0.4));
+
+        let full = Leaf::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            Rect::from_coords(0.3, 0.3, 0.6, 0.6),
+            PageId(1),
+            5,
+        );
+        assert_eq!(full.skip_rect(), Rect::UNIT);
+    }
+
+    #[test]
+    fn irrelevancy_criteria_match_relative_position() {
+        let leaf = Leaf::new(
+            Rect::from_coords(0.0, 0.0, 0.2, 0.2),
+            Rect::from_coords(0.05, 0.05, 0.15, 0.15),
+            PageId(0),
+            3,
+        );
+        // Query far to the upper-right: leaf is both below and to the left.
+        let query = Rect::from_coords(0.5, 0.5, 0.9, 0.9);
+        let criteria: Vec<_> = leaf.irrelevancy_criteria(&query).collect();
+        assert!(criteria.contains(&SkipCriterion::Below));
+        assert!(criteria.contains(&SkipCriterion::Left));
+        assert!(!criteria.contains(&SkipCriterion::Above));
+        assert!(!criteria.contains(&SkipCriterion::Right));
+
+        // Overlapping query: no criterion applies.
+        let query = Rect::from_coords(0.1, 0.1, 0.9, 0.9);
+        assert_eq!(leaf.irrelevancy_criteria(&query).count(), 0);
+    }
+
+    #[test]
+    fn node_ref_leaf_extraction() {
+        assert_eq!(NodeRef::Leaf(3).as_leaf(), Some(3));
+        assert_eq!(NodeRef::Internal(3).as_leaf(), None);
+    }
+}

@@ -1,0 +1,871 @@
+//! The generalized Z-index: tree structure, query processing and updates.
+
+use crate::build::BuildReport;
+use crate::config::ZIndexConfig;
+use crate::index::{IndexError, SpatialIndex};
+use crate::lookahead::{self, build_lookahead};
+use crate::node::{InternalNode, Leaf, Lookahead, NodeRef, LOOKAHEAD_END};
+use std::time::Instant;
+use wazi_geom::{CellOrdering, Point, Quadrant, Rect};
+use wazi_storage::{ExecStats, PageStore};
+
+/// A generalized Z-index instance: either the base variant (median splits,
+/// `abcd` ordering) or WaZI (cost-optimised splits and orderings, optional
+/// look-ahead skipping), depending on how it was built.
+///
+/// Construct instances through [`crate::ZIndexBuilder`] or the convenience
+/// constructors [`ZIndex::build_wazi`] / [`ZIndex::build_base`].
+#[derive(Debug, Clone)]
+pub struct ZIndex {
+    variant: &'static str,
+    config: ZIndexConfig,
+    nodes: Vec<InternalNode>,
+    leaves: Vec<Leaf>,
+    root: NodeRef,
+    store: PageStore,
+    len: usize,
+    data_space: Rect,
+    build_report: BuildReport,
+    /// Set when an update made the look-ahead pointers potentially unsafe
+    /// (a point was inserted outside its leaf's cell region, which can only
+    /// happen for points outside the original data space). Skipping is
+    /// disabled until [`ZIndex::rebuild_lookahead`] is called.
+    lookahead_stale: bool,
+}
+
+impl ZIndex {
+    /// Builds the paper's WaZI index (adaptive partitioning + ordering,
+    /// RFDE cardinality estimation, look-ahead skipping) for a dataset and an
+    /// anticipated range-query workload.
+    pub fn build_wazi(points: Vec<Point>, queries: &[Rect]) -> Self {
+        crate::ZIndexBuilder::wazi().build(points, queries)
+    }
+
+    /// Builds the base Z-index (median splits, `abcd` ordering, no
+    /// skipping).
+    pub fn build_base(points: Vec<Point>) -> Self {
+        crate::ZIndexBuilder::base().build(points, &[])
+    }
+
+    /// Assembles an index from parts produced by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        variant: &'static str,
+        config: ZIndexConfig,
+        nodes: Vec<InternalNode>,
+        leaves: Vec<Leaf>,
+        root: NodeRef,
+        store: PageStore,
+        len: usize,
+        data_space: Rect,
+        build_report: BuildReport,
+    ) -> Self {
+        Self {
+            variant,
+            config,
+            nodes,
+            leaves,
+            root,
+            store,
+            len,
+            data_space,
+            build_report,
+            lookahead_stale: false,
+        }
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &ZIndexConfig {
+        &self.config
+    }
+
+    /// Construction statistics (build time, candidates evaluated, chosen
+    /// orderings).
+    pub fn build_report(&self) -> &BuildReport {
+        &self.build_report
+    }
+
+    /// Number of leaf nodes (the length of the `LeafList`).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of internal nodes.
+    pub fn internal_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree (a single leaf has height 1).
+    pub fn height(&self) -> usize {
+        fn depth_of(index: &ZIndex, node: NodeRef) -> usize {
+            match node {
+                NodeRef::Leaf(_) => 1,
+                NodeRef::Internal(i) => {
+                    1 + index.nodes[i as usize]
+                        .children
+                        .iter()
+                        .map(|c| depth_of(index, *c))
+                        .max()
+                        .unwrap_or(0)
+                }
+            }
+        }
+        depth_of(self, self.root)
+    }
+
+    /// Bounding box of the data the index was built over.
+    pub fn data_space(&self) -> Rect {
+        self.data_space
+    }
+
+    /// Whether look-ahead skipping is enabled and currently active for this
+    /// instance (skipping is temporarily suspended when an update outside
+    /// the original data space made the pointers potentially unsafe; see
+    /// [`ZIndex::rebuild_lookahead`]).
+    pub fn skipping_enabled(&self) -> bool {
+        self.config.skipping && !self.lookahead_stale
+    }
+
+    /// Fraction of internal cells using the alternative `acbd` ordering.
+    pub fn acbd_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .filter(|n| n.ordering == CellOrdering::Acbd)
+            .count() as f64
+            / self.nodes.len() as f64
+    }
+
+    /// Verifies the safety invariant of the look-ahead pointers (used by
+    /// integration and property tests). Returns an error when skipping is
+    /// enabled and a pointer could skip a potentially relevant leaf.
+    pub fn verify_lookahead_invariant(&self) -> Result<(), String> {
+        if !self.skipping_enabled() {
+            return Ok(());
+        }
+        lookahead::verify_invariant(&self.leaves)
+    }
+
+    /// Verifies the structural invariants of the index: leaf/page counts
+    /// agree, every point is stored in the leaf whose cell contains it, and
+    /// the leaf list is dominance-monotone. Intended for tests.
+    pub fn verify_structure(&self) -> Result<(), String> {
+        let mut total = 0usize;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            let page = self.store.page(leaf.page);
+            if page.len() != leaf.count {
+                return Err(format!(
+                    "leaf {i}: count {} disagrees with page length {}",
+                    leaf.count,
+                    page.len()
+                ));
+            }
+            for p in page.points() {
+                if !leaf.bbox.contains(p) {
+                    return Err(format!("leaf {i}: point {p} outside its bounding box"));
+                }
+            }
+            total += page.len();
+        }
+        if total != self.len {
+            return Err(format!(
+                "stored points {total} disagree with index length {}",
+                self.len
+            ));
+        }
+        // Dominance monotonicity across leaves (Section 3): a point stored in
+        // a later leaf must never be dominated by a point stored in an
+        // earlier leaf.
+        for i in 0..self.leaves.len() {
+            let earlier = self.store.page(self.leaves[i].page);
+            for (j, later_leaf) in self.leaves.iter().enumerate().skip(i + 1) {
+                let later = self.store.page(later_leaf.page);
+                for a in earlier.points() {
+                    for b in later.points() {
+                        if b.dominated_by(a) {
+                            return Err(format!(
+                                "monotonicity violated: point {b} in leaf {j} is dominated by point {a} in earlier leaf {i}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retrieval cost of a workload on this index measured in points
+    /// compared (the quantity the cost model of Section 4 predicts).
+    pub fn measured_workload_cost(&self, queries: &[Rect]) -> u64 {
+        let mut stats = ExecStats::default();
+        for q in queries {
+            self.range_query(q, &mut stats);
+        }
+        stats.points_scanned
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Algorithm 1: descends from the root to the leaf whose cell contains
+    /// `p`, returning its index in the leaf list.
+    fn locate_leaf(&self, p: &Point, stats: &mut ExecStats) -> u32 {
+        let mut node = self.root;
+        loop {
+            match node {
+                NodeRef::Leaf(i) => return i,
+                NodeRef::Internal(i) => {
+                    stats.nodes_visited += 1;
+                    node = self.nodes[i as usize].child_for(p);
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::locate_leaf`] but records the internal path so update
+    /// operations can maintain subtree counts and rewire split leaves.
+    fn locate_leaf_with_path(&self, p: &Point) -> (u32, Vec<(u32, usize)>) {
+        let mut node = self.root;
+        let mut path = Vec::new();
+        loop {
+            match node {
+                NodeRef::Leaf(i) => return (i, path),
+                NodeRef::Internal(i) => {
+                    let internal = &self.nodes[i as usize];
+                    let slot = internal.ordering.child_of(p, &internal.split);
+                    path.push((i, slot));
+                    node = internal.children[slot];
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Range queries (Algorithm 2 + Section 5 skipping)
+    // ------------------------------------------------------------------
+
+    /// Projection phase: returns the indices of the leaves in
+    /// `[low : high]` whose bounding boxes overlap the query, following
+    /// look-ahead pointers over irrelevant runs when skipping is enabled.
+    fn project(&self, query: &Rect, stats: &mut ExecStats) -> Vec<u32> {
+        if self.leaves.is_empty() {
+            return Vec::new();
+        }
+        let low = self.locate_leaf(&query.bl(), stats);
+        let high = self.locate_leaf(&query.tr(), stats);
+        debug_assert!(low <= high, "monotone orderings visit BL before TR");
+        let mut relevant = Vec::new();
+        let mut i = low;
+        while i <= high {
+            let leaf = &self.leaves[i as usize];
+            stats.bbs_checked += 1;
+            if !leaf.bbox.is_empty() && leaf.bbox.overlaps(query) {
+                relevant.push(i);
+                i += 1;
+                continue;
+            }
+            let mut next = i + 1;
+            if self.skipping_enabled() {
+                if let Some(lookahead) = leaf.lookahead {
+                    for criterion in leaf.irrelevancy_criteria(query) {
+                        let target = lookahead.get(criterion);
+                        let target = if target == LOOKAHEAD_END {
+                            high + 1
+                        } else {
+                            target
+                        };
+                        next = next.max(target);
+                    }
+                }
+            }
+            stats.leaves_skipped += u64::from(next - (i + 1));
+            i = next;
+        }
+        relevant
+    }
+
+    /// Scan phase: filters the pages of the projected leaves.
+    fn scan(&self, relevant: &[u32], query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        let mut result = Vec::new();
+        for &i in relevant {
+            let leaf = &self.leaves[i as usize];
+            self.store.filter_page(leaf.page, query, &mut result, stats);
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (Section 6.7)
+    // ------------------------------------------------------------------
+
+    /// Splits an overflowing leaf along its data medians into four children
+    /// ("We split any overflowing pages of WaZI along the data medians"),
+    /// replacing the leaf with a new internal node.
+    ///
+    /// New leaves inherit conservative look-ahead pointers (pointing to their
+    /// successor), which preserves the skipping safety invariant; call
+    /// [`Self::rebuild_lookahead`] to restore maximally skipping pointers
+    /// after a batch of inserts.
+    fn split_leaf(&mut self, leaf_index: u32, parent: Option<(u32, usize)>) {
+        let leaf_pos = leaf_index as usize;
+        let region = self.leaves[leaf_pos].region;
+        let page_id = self.leaves[leaf_pos].page;
+        let points = self.store.page(page_id).points().to_vec();
+        let split = crate::build::median_split(&points);
+        let ordering = CellOrdering::Abcd;
+
+        // A split that cannot separate the points (all duplicates) is skipped:
+        // the leaf simply stays oversized.
+        let first_quadrant = Quadrant::of(&points[0], &split);
+        if points.iter().all(|p| Quadrant::of(p, &split) == first_quadrant) {
+            return;
+        }
+
+        let page_ids =
+            self.store
+                .split_page(page_id, 4, |p| ordering.child_of(p, &split));
+
+        // Build the four replacement leaves in curve order.
+        let mut new_leaves = Vec::with_capacity(4);
+        for (position, quadrant) in ordering.curve().into_iter().enumerate() {
+            let child_region = quadrant.region(&region, &split);
+            let page = page_ids[position];
+            let stored = self.store.page(page);
+            let bbox = Rect::bounding(stored.points());
+            new_leaves.push(Leaf::new(child_region, bbox, page, stored.len()));
+        }
+
+        // Splice the new leaves into the leaf list: the first replaces the
+        // original position, the other three follow it.
+        let total_count: usize = new_leaves.iter().map(|l| l.count).sum();
+        self.leaves[leaf_pos] = new_leaves[0].clone();
+        self.leaves
+            .splice(leaf_pos + 1..leaf_pos + 1, new_leaves[1..].iter().cloned());
+
+        // Leaf indices after the split position shifted by three: fix child
+        // references of internal nodes and existing look-ahead pointers.
+        for node in &mut self.nodes {
+            for child in &mut node.children {
+                if let NodeRef::Leaf(i) = child {
+                    if *i > leaf_index {
+                        *i += 3;
+                    }
+                }
+            }
+        }
+        for leaf in &mut self.leaves {
+            if let Some(lookahead) = &mut leaf.lookahead {
+                for criterion in crate::node::SkipCriterion::ALL {
+                    let target = lookahead.get(criterion);
+                    if target != LOOKAHEAD_END && target > leaf_index {
+                        lookahead.set(criterion, target + 3);
+                    }
+                }
+            }
+        }
+        // Conservative pointers for the four new leaves: their plain
+        // successor (always safe).
+        if self.config.skipping {
+            for offset in 0..4u32 {
+                let idx = leaf_index + offset;
+                let next = idx + 1;
+                let next = if (next as usize) < self.leaves.len() {
+                    next
+                } else {
+                    LOOKAHEAD_END
+                };
+                let mut lookahead = Lookahead::default();
+                for criterion in crate::node::SkipCriterion::ALL {
+                    lookahead.set(criterion, next);
+                }
+                self.leaves[idx as usize].lookahead = Some(lookahead);
+            }
+        }
+
+        // Replace the leaf with a new internal node in the tree.
+        let node_index = self.nodes.len() as u32;
+        self.nodes.push(InternalNode {
+            region,
+            split,
+            ordering,
+            children: [
+                NodeRef::Leaf(leaf_index),
+                NodeRef::Leaf(leaf_index + 1),
+                NodeRef::Leaf(leaf_index + 2),
+                NodeRef::Leaf(leaf_index + 3),
+            ],
+            count: total_count,
+        });
+        match parent {
+            Some((parent_index, slot)) => {
+                self.nodes[parent_index as usize].children[slot] = NodeRef::Internal(node_index);
+            }
+            None => {
+                self.root = NodeRef::Internal(node_index);
+            }
+        }
+    }
+
+    /// Rebuilds the look-ahead pointers from scratch (Algorithm 4), restoring
+    /// maximal skipping after updates degraded the pointers of split leaves.
+    pub fn rebuild_lookahead(&mut self) {
+        if self.config.skipping {
+            build_lookahead(&mut self.leaves);
+            self.lookahead_stale = false;
+        }
+    }
+}
+
+impl SpatialIndex for ZIndex {
+    fn name(&self) -> &'static str {
+        self.variant
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        let projection_start = Instant::now();
+        let relevant = self.project(query, stats);
+        stats.add_projection(projection_start.elapsed());
+
+        let scan_start = Instant::now();
+        let result = self.scan(&relevant, query, stats);
+        stats.add_scan(scan_start.elapsed());
+        stats.results += result.len() as u64;
+        result
+    }
+
+    fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+        let projection_start = Instant::now();
+        let leaf = self.locate_leaf(p, stats);
+        stats.add_projection(projection_start.elapsed());
+
+        let scan_start = Instant::now();
+        let leaf = &self.leaves[leaf as usize];
+        let found = if leaf.count == 0 || !leaf.bbox.contains(p) {
+            false
+        } else {
+            self.store.probe_page(leaf.page, p, stats)
+        };
+        stats.add_scan(scan_start.elapsed());
+        if found {
+            stats.results += 1;
+        }
+        found
+    }
+
+    fn insert(&mut self, p: Point) -> Result<(), IndexError> {
+        if !p.is_finite() {
+            return Err(IndexError::InvalidInput(format!(
+                "cannot index non-finite point {p}"
+            )));
+        }
+        if self.leaves.is_empty() {
+            // An index built over an empty dataset starts with no leaves;
+            // bootstrap a single all-covering leaf.
+            let page = self.store.allocate(Vec::new());
+            self.leaves.push(Leaf::new(Rect::UNIT, Rect::EMPTY, page, 0));
+            self.root = NodeRef::Leaf(0);
+            if self.config.skipping {
+                self.rebuild_lookahead();
+            }
+        }
+        let (leaf_index, path) = self.locate_leaf_with_path(&p);
+        for (node, _) in &path {
+            self.nodes[*node as usize].count += 1;
+        }
+        let leaf = &mut self.leaves[leaf_index as usize];
+        if !leaf.region.contains(&p) {
+            // The point falls outside the leaf's cell region (it lies outside
+            // the original data space), so the region-based skip geometry no
+            // longer bounds the leaf's contents.
+            self.lookahead_stale = true;
+        }
+        self.store.append(leaf.page, p);
+        leaf.count += 1;
+        leaf.bbox.expand(&p);
+        self.len += 1;
+        self.data_space.expand(&p);
+
+        if self.store.is_overflowing(self.leaves[leaf_index as usize].page) {
+            let parent = path.last().copied();
+            self.split_leaf(leaf_index, parent);
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, p: &Point) -> Result<bool, IndexError> {
+        if self.leaves.is_empty() {
+            return Ok(false);
+        }
+        let (leaf_index, path) = self.locate_leaf_with_path(p);
+        let page_id = self.leaves[leaf_index as usize].page;
+        let removed = self.store.page_mut(page_id).remove(p);
+        if removed {
+            let bbox = self.store.page(page_id).bbox();
+            let leaf = &mut self.leaves[leaf_index as usize];
+            leaf.count -= 1;
+            leaf.bbox = bbox;
+            for (node, _) in &path {
+                self.nodes[*node as usize].count -= 1;
+            }
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    fn maintain(&mut self) {
+        self.rebuild_lookahead();
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Table 5 reports the size of the index structure (tree nodes, leaf
+        // metadata, look-ahead pointers); the clustered data pages themselves
+        // are common to every index and are not counted.
+        std::mem::size_of::<Self>()
+            + self.nodes.len() * std::mem::size_of::<InternalNode>()
+            + self.leaves.len() * std::mem::size_of::<Leaf>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DensityMode;
+    use crate::ZIndexBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn skewed_queries(n: usize, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx = 0.2 + rng.gen::<f64>() * 0.2;
+                let cy = 0.6 + rng.gen::<f64>() * 0.2;
+                Rect::query_box(&Rect::UNIT, Point::new(cx, cy), 0.001, 1.0)
+            })
+            .collect()
+    }
+
+    fn brute_force(points: &[Point], query: &Rect) -> Vec<Point> {
+        let mut r: Vec<Point> = points.iter().copied().filter(|p| query.contains(p)).collect();
+        r.sort_by(|a, b| a.lex_cmp(b));
+        r
+    }
+
+    fn small_config() -> ZIndexConfig {
+        ZIndexConfig::wazi().with_leaf_capacity(32).with_kappa(8)
+    }
+
+    #[test]
+    fn base_index_answers_range_queries_exactly() {
+        let points = uniform_points(3_000, 1);
+        let index = ZIndexBuilder::base()
+            .with_config(ZIndexConfig::base().with_leaf_capacity(64))
+            .build(points.clone(), &[]);
+        assert_eq!(index.len(), points.len());
+        let mut stats = ExecStats::default();
+        for query in [
+            Rect::from_coords(0.1, 0.1, 0.3, 0.3),
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            Rect::from_coords(0.45, 0.45, 0.55, 0.55),
+            Rect::from_coords(0.9, 0.0, 1.0, 0.1),
+        ] {
+            let mut got = index.range_query(&query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&points, &query));
+        }
+    }
+
+    #[test]
+    fn wazi_index_answers_range_queries_exactly() {
+        let points = uniform_points(3_000, 2);
+        let queries = skewed_queries(200, 3);
+        let index = ZIndexBuilder::wazi()
+            .with_config(small_config())
+            .build(points.clone(), &queries);
+        index.verify_lookahead_invariant().expect("skip pointers");
+        let mut stats = ExecStats::default();
+        for query in queries.iter().take(50) {
+            let mut got = index.range_query(query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&points, query));
+        }
+        // Also exact on queries far away from the training workload.
+        for query in [
+            Rect::from_coords(0.8, 0.05, 0.95, 0.2),
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+        ] {
+            let mut got = index.range_query(&query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&points, &query));
+        }
+    }
+
+    #[test]
+    fn point_queries_find_every_indexed_point() {
+        let points = uniform_points(2_000, 4);
+        let queries = skewed_queries(100, 5);
+        let index = ZIndexBuilder::wazi()
+            .with_config(small_config())
+            .build(points.clone(), &queries);
+        let mut stats = ExecStats::default();
+        for p in points.iter().step_by(13) {
+            assert!(index.point_query(p, &mut stats), "missing point {p}");
+        }
+        assert!(!index.point_query(&Point::new(2.0, 2.0), &mut stats));
+        assert!(!index.point_query(&Point::new(0.123456, 0.654321), &mut stats));
+    }
+
+    #[test]
+    fn exact_density_mode_builds_equivalent_results() {
+        let points = uniform_points(1_500, 6);
+        let queries = skewed_queries(100, 7);
+        let index = ZIndexBuilder::wazi()
+            .with_config(small_config().with_density(DensityMode::Exact))
+            .build(points.clone(), &queries);
+        let mut stats = ExecStats::default();
+        for query in queries.iter().take(20) {
+            let mut got = index.range_query(query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&points, query));
+        }
+    }
+
+    #[test]
+    fn skipping_reduces_bounding_box_checks() {
+        let points = uniform_points(8_000, 8);
+        let queries = skewed_queries(200, 9);
+        let config = small_config();
+        let with_skip = ZIndexBuilder::wazi().with_config(config).build(points.clone(), &queries);
+        let without_skip = ZIndexBuilder::wazi()
+            .with_config(ZIndexConfig::wazi_without_skipping().with_leaf_capacity(32).with_kappa(8))
+            .build(points.clone(), &queries);
+        let mut skip_stats = ExecStats::default();
+        let mut plain_stats = ExecStats::default();
+        for q in &queries {
+            with_skip.range_query(q, &mut skip_stats);
+            without_skip.range_query(q, &mut plain_stats);
+        }
+        assert_eq!(skip_stats.results, plain_stats.results);
+        assert!(
+            skip_stats.bbs_checked < plain_stats.bbs_checked,
+            "skipping should check fewer bounding boxes ({} vs {})",
+            skip_stats.bbs_checked,
+            plain_stats.bbs_checked
+        );
+    }
+
+    #[test]
+    fn wazi_does_less_total_work_than_base_on_a_skewed_workload() {
+        let points = uniform_points(10_000, 10);
+        let queries = skewed_queries(300, 11);
+        let base = ZIndexBuilder::base()
+            .with_config(ZIndexConfig::base().with_leaf_capacity(32))
+            .build(points.clone(), &[]);
+        let wazi = ZIndexBuilder::wazi()
+            .with_config(small_config())
+            .build(points.clone(), &queries);
+        let mut base_stats = ExecStats::default();
+        let mut wazi_stats = ExecStats::default();
+        for q in &queries {
+            base.range_query(q, &mut base_stats);
+            wazi.range_query(q, &mut wazi_stats);
+        }
+        assert_eq!(base_stats.results, wazi_stats.results);
+        // Total scanning-phase work: points compared plus bounding boxes
+        // checked. The skipping mechanism removes the bulk of the bounding
+        // box comparisons, which dominates on this workload.
+        let base_work = base_stats.points_scanned + base_stats.bbs_checked;
+        let wazi_work = wazi_stats.points_scanned + wazi_stats.bbs_checked;
+        assert!(
+            wazi_work < base_work,
+            "WaZI total work ({wazi_work}) should be below Base ({base_work})"
+        );
+        assert!(
+            wazi_stats.bbs_checked * 2 < base_stats.bbs_checked,
+            "skipping should cut bounding-box checks at least in half ({} vs {})",
+            wazi_stats.bbs_checked,
+            base_stats.bbs_checked
+        );
+    }
+
+    /// Mirrors the paper's evaluation regime: clustered (OSM-like) data with
+    /// a query workload concentrated on a sub-region (Gowalla-like
+    /// check-ins). Adaptive partitioning should reduce the points scanned
+    /// relative to the base median layout in this setting.
+    #[test]
+    fn wazi_scans_fewer_points_on_clustered_data() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut points = Vec::new();
+        // Three dense clusters plus a sparse uniform background.
+        let clusters = [(0.25, 0.7, 0.04), (0.7, 0.3, 0.06), (0.55, 0.75, 0.03)];
+        for &(cx, cy, spread) in &clusters {
+            for _ in 0..2_500 {
+                let x = (cx + (rng.gen::<f64>() - 0.5) * spread * 4.0).clamp(0.0, 1.0);
+                let y = (cy + (rng.gen::<f64>() - 0.5) * spread * 4.0).clamp(0.0, 1.0);
+                points.push(Point::new(x, y));
+            }
+        }
+        for _ in 0..2_500 {
+            points.push(Point::new(rng.gen::<f64>(), rng.gen::<f64>()));
+        }
+        // Queries concentrate on the first cluster but are offset from its
+        // centre, so the query distribution differs from the data
+        // distribution (the paper's central experimental premise).
+        let queries: Vec<Rect> = (0..300)
+            .map(|_| {
+                let cx = 0.28 + (rng.gen::<f64>() - 0.5) * 0.1;
+                let cy = 0.65 + (rng.gen::<f64>() - 0.5) * 0.1;
+                Rect::query_box(&Rect::UNIT, Point::new(cx, cy), 0.0005, 1.0)
+            })
+            .collect();
+
+        let base = ZIndexBuilder::base()
+            .with_config(ZIndexConfig::base().with_leaf_capacity(32))
+            .build(points.clone(), &[]);
+        let wazi = ZIndexBuilder::wazi()
+            .with_config(small_config().with_kappa(16))
+            .build(points.clone(), &queries);
+        let mut base_stats = ExecStats::default();
+        let mut wazi_stats = ExecStats::default();
+        for q in &queries {
+            base.range_query(q, &mut base_stats);
+            wazi.range_query(q, &mut wazi_stats);
+        }
+        assert_eq!(base_stats.results, wazi_stats.results);
+        let base_work = base_stats.points_scanned + base_stats.bbs_checked;
+        let wazi_work = wazi_stats.points_scanned + wazi_stats.bbs_checked;
+        assert!(
+            wazi_work < base_work,
+            "WaZI total work ({wazi_work}) should be below Base ({base_work}) on clustered data"
+        );
+    }
+
+    #[test]
+    fn inserts_preserve_query_correctness_and_structure() {
+        let points = uniform_points(1_000, 12);
+        let queries = skewed_queries(50, 13);
+        let mut index = ZIndexBuilder::wazi()
+            .with_config(small_config())
+            .build(points.clone(), &queries);
+        let inserts = uniform_points(600, 14);
+        for p in &inserts {
+            index.insert(*p).expect("insert");
+        }
+        assert_eq!(index.len(), points.len() + inserts.len());
+        index.verify_structure().expect("structure after inserts");
+        index.verify_lookahead_invariant().expect("pointers stay safe");
+
+        let mut all = points.clone();
+        all.extend_from_slice(&inserts);
+        let mut stats = ExecStats::default();
+        for query in queries.iter().take(20) {
+            let mut got = index.range_query(query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&all, query));
+        }
+
+        // Rebuilding the pointers restores maximal skipping and stays safe.
+        index.rebuild_lookahead();
+        index.verify_lookahead_invariant().expect("rebuilt pointers");
+        for query in queries.iter().take(20) {
+            let mut got = index.range_query(query, &mut stats);
+            got.sort_by(|a, b| a.lex_cmp(b));
+            assert_eq!(got, brute_force(&all, query));
+        }
+    }
+
+    #[test]
+    fn deletes_remove_points_and_keep_queries_exact() {
+        let points = uniform_points(1_200, 15);
+        let mut index = ZIndexBuilder::base()
+            .with_config(ZIndexConfig::base().with_leaf_capacity(32))
+            .build(points.clone(), &[]);
+        let mut remaining = points.clone();
+        for p in points.iter().step_by(3) {
+            assert_eq!(index.delete(p), Ok(true));
+            let pos = remaining.iter().position(|q| q == p).unwrap();
+            remaining.swap_remove(pos);
+        }
+        assert_eq!(index.delete(&Point::new(5.0, 5.0)), Ok(false));
+        assert_eq!(index.len(), remaining.len());
+        index.verify_structure().expect("structure after deletes");
+        let mut stats = ExecStats::default();
+        let query = Rect::from_coords(0.2, 0.2, 0.8, 0.8);
+        let mut got = index.range_query(&query, &mut stats);
+        got.sort_by(|a, b| a.lex_cmp(b));
+        assert_eq!(got, brute_force(&remaining, &query));
+    }
+
+    #[test]
+    fn insert_into_empty_index_bootstraps_a_leaf() {
+        let mut index = ZIndexBuilder::wazi().build(Vec::new(), &[]);
+        assert!(index.is_empty());
+        index.insert(Point::new(0.5, 0.5)).expect("insert");
+        index.insert(Point::new(0.25, 0.75)).expect("insert");
+        assert_eq!(index.len(), 2);
+        let mut stats = ExecStats::default();
+        assert!(index.point_query(&Point::new(0.5, 0.5), &mut stats));
+        assert_eq!(
+            index.range_query(&Rect::UNIT, &mut stats).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn non_finite_inserts_are_rejected() {
+        let mut index = ZIndexBuilder::base().build(uniform_points(100, 16), &[]);
+        assert!(matches!(
+            index.insert(Point::new(f64::NAN, 0.5)),
+            Err(IndexError::InvalidInput(_))
+        ));
+        assert_eq!(index.len(), 100);
+    }
+
+    #[test]
+    fn metadata_accessors_are_consistent() {
+        let points = uniform_points(2_000, 17);
+        let queries = skewed_queries(100, 18);
+        let index = ZIndexBuilder::wazi()
+            .with_config(small_config())
+            .build(points, &queries);
+        assert_eq!(index.name(), "WaZI");
+        assert!(index.leaf_count() > 1);
+        assert!(index.internal_count() >= 1);
+        assert!(index.height() >= 2);
+        assert!(index.size_bytes() > 0);
+        assert!(index.build_report().build_ns > 0);
+        assert!(index.build_report().candidates_evaluated > 0);
+        assert!((0.0..=1.0).contains(&index.acbd_fraction()));
+        assert!(Rect::UNIT.contains_rect(&index.data_space()));
+        assert!(index.skipping_enabled());
+    }
+
+    #[test]
+    fn knn_on_zindex_matches_brute_force() {
+        let points = uniform_points(2_000, 19);
+        let index = ZIndexBuilder::base()
+            .with_config(ZIndexConfig::base().with_leaf_capacity(64))
+            .build(points.clone(), &[]);
+        let mut stats = ExecStats::default();
+        let q = Point::new(0.33, 0.71);
+        let got = index.knn(&q, 10, &mut stats);
+        let mut expected = points.clone();
+        expected.sort_by(|a, b| a.distance_squared(&q).total_cmp(&b.distance_squared(&q)));
+        expected.truncate(10);
+        assert_eq!(got, expected);
+    }
+}

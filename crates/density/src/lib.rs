@@ -1,0 +1,25 @@
+//! # wazi-density
+//!
+//! Random Forest Density Estimation (RFDE, Wen & Hang 2022) as used by the
+//! WaZI index construction (Section 4.3 of the paper): a forest of k-d trees
+//! with randomized split dimensions whose nodes store the cardinality of the
+//! points in their region. Estimating the number of points inside a query
+//! rectangle is a tree traversal collecting cardinalities from overlapping
+//! nodes.
+//!
+//! Two flavours are provided through one type:
+//!
+//! * [`Rfde::fit`] — the plain estimator over data points, used by WaZI to
+//!   evaluate the `n_X` terms of the retrieval-cost function;
+//! * [`Rfde::fit_weighted`] — the weighted estimator used by the CUR
+//!   baseline, where each point is weighted by the number of distinct
+//!   queries fetching it (Section 6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rfde;
+mod tree;
+
+pub use rfde::{Rfde, RfdeConfig};
+pub use tree::CountKdTree;

@@ -1,0 +1,267 @@
+//! Random Forest Density Estimation (RFDE) over two-dimensional points.
+
+use crate::tree::{CountKdTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wazi_geom::{Point, Rect};
+
+/// Configuration of an RFDE forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RfdeConfig {
+    /// Number of randomized trees in the forest.
+    pub trees: usize,
+    /// Target (weighted) number of points per leaf.
+    pub leaf_weight: f64,
+    /// Maximum tree depth (a safety bound for adversarial data).
+    pub max_depth: usize,
+    /// Fraction of the data sampled (without replacement) for each tree.
+    /// `1.0` trains every tree on the full dataset.
+    pub sample_fraction: f64,
+    /// Seed for the deterministic pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for RfdeConfig {
+    fn default() -> Self {
+        Self {
+            trees: 4,
+            leaf_weight: 64.0,
+            max_depth: 40,
+            sample_fraction: 1.0,
+            seed: 0x5EED_DA7A,
+        }
+    }
+}
+
+impl RfdeConfig {
+    /// A smaller, faster configuration used where estimation accuracy is less
+    /// critical (e.g. the weighted estimator inside CUR construction).
+    pub fn fast() -> Self {
+        Self {
+            trees: 2,
+            leaf_weight: 256.0,
+            sample_fraction: 0.5,
+            ..Self::default()
+        }
+    }
+}
+
+/// A Random Forest Density Estimation model: a forest of randomized count
+/// k-d trees whose per-region cardinalities are averaged to estimate how many
+/// (weighted) points fall inside an arbitrary query rectangle.
+///
+/// WaZI uses two such models during construction (Section 4.3): one over the
+/// data points to estimate the `n_X` terms of the cost function, and the CUR
+/// baseline uses a weighted variant where each point is weighted by the
+/// number of distinct queries fetching it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rfde {
+    trees: Vec<CountKdTree>,
+    total_weight: f64,
+    scale: f64,
+    config: RfdeConfig,
+}
+
+impl Rfde {
+    /// Fits the forest on unweighted points (every point has weight one).
+    pub fn fit(points: &[Point], config: RfdeConfig) -> Self {
+        let weighted: Vec<(Point, f64)> = points.iter().map(|p| (*p, 1.0)).collect();
+        Self::fit_weighted(&weighted, config)
+    }
+
+    /// Fits the forest on weighted points.
+    pub fn fit_weighted(points: &[(Point, f64)], config: RfdeConfig) -> Self {
+        assert!(config.trees > 0, "RFDE needs at least one tree");
+        assert!(
+            config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+        let total_weight: f64 = points.iter().map(|(_, w)| w).sum();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let params = TreeParams {
+            leaf_weight: config.leaf_weight,
+            max_depth: config.max_depth,
+        };
+
+        let sample_len = if config.sample_fraction >= 1.0 {
+            points.len()
+        } else {
+            ((points.len() as f64) * config.sample_fraction).ceil() as usize
+        }
+        .max(1.min(points.len()));
+
+        let mut trees = Vec::with_capacity(config.trees);
+        let mut scratch: Vec<(Point, f64)> = points.to_vec();
+        for _ in 0..config.trees {
+            if sample_len < points.len() {
+                scratch.copy_from_slice(points);
+                scratch.partial_shuffle(&mut rng, sample_len);
+                let mut sample: Vec<(Point, f64)> = scratch[..sample_len].to_vec();
+                trees.push(CountKdTree::fit(&mut sample, params, &mut rng));
+            } else {
+                trees.push(CountKdTree::fit(&mut scratch, params, &mut rng));
+            }
+        }
+
+        // Per-tree estimates cover only the sampled weight; rescale so that a
+        // full-space query returns the total weight of the original data.
+        let sampled_weight: f64 =
+            trees.iter().map(|t| t.total_weight()).sum::<f64>() / trees.len() as f64;
+        let scale = if sampled_weight > 0.0 {
+            total_weight / sampled_weight
+        } else {
+            1.0
+        };
+
+        Self {
+            trees,
+            total_weight,
+            scale,
+            config,
+        }
+    }
+
+    /// Estimated (weighted) number of points inside `query`.
+    pub fn estimate_count(&self, query: &Rect) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let mean: f64 =
+            self.trees.iter().map(|t| t.estimate(query)).sum::<f64>() / self.trees.len() as f64;
+        mean * self.scale
+    }
+
+    /// Estimated fraction of the total weight inside `query` (in `[0, 1]`).
+    pub fn estimate_fraction(&self, query: &Rect) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        (self.estimate_count(query) / self.total_weight).clamp(0.0, 1.0)
+    }
+
+    /// Total weight of the fitted data.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The configuration used to fit this forest.
+    pub fn config(&self) -> &RfdeConfig {
+        &self.config
+    }
+
+    /// Number of trees in the forest.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.trees.iter().map(|t| t.size_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn full_space_estimate_matches_total() {
+        let points = uniform_points(5_000, 1);
+        let rfde = Rfde::fit(&points, RfdeConfig::default());
+        let est = rfde.estimate_count(&Rect::UNIT);
+        assert!((est - 5_000.0).abs() < 1.0, "estimate {est}");
+        assert!((rfde.estimate_fraction(&Rect::UNIT) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_data_estimates_track_area() {
+        let points = uniform_points(20_000, 2);
+        let rfde = Rfde::fit(&points, RfdeConfig::default());
+        for (rect, frac) in [
+            (Rect::from_coords(0.0, 0.0, 0.5, 0.5), 0.25),
+            (Rect::from_coords(0.25, 0.25, 0.75, 0.75), 0.25),
+            (Rect::from_coords(0.0, 0.0, 0.1, 1.0), 0.1),
+        ] {
+            let est = rfde.estimate_fraction(&rect);
+            assert!(
+                (est - frac).abs() < 0.03,
+                "estimate {est} for area fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_data_is_not_smeared_uniformly() {
+        // 90% of the mass in a small corner cluster.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut points = Vec::new();
+        for _ in 0..9_000 {
+            points.push(Point::new(rng.gen::<f64>() * 0.1, rng.gen::<f64>() * 0.1));
+        }
+        for _ in 0..1_000 {
+            points.push(Point::new(rng.gen::<f64>(), rng.gen::<f64>()));
+        }
+        let rfde = Rfde::fit(&points, RfdeConfig::default());
+        let cluster = rfde.estimate_fraction(&Rect::from_coords(0.0, 0.0, 0.1, 0.1));
+        assert!(cluster > 0.75, "cluster fraction {cluster} should be close to 0.9");
+        let far = rfde.estimate_fraction(&Rect::from_coords(0.8, 0.8, 1.0, 1.0));
+        assert!(far < 0.05, "far fraction {far} should be small");
+    }
+
+    #[test]
+    fn weighted_estimates_respect_weights() {
+        let points = vec![
+            (Point::new(0.2, 0.2), 10.0),
+            (Point::new(0.8, 0.8), 90.0),
+        ];
+        let rfde = Rfde::fit_weighted(&points, RfdeConfig { trees: 3, leaf_weight: 1.0, ..Default::default() });
+        assert_eq!(rfde.total_weight(), 100.0);
+        let hot = rfde.estimate_count(&Rect::from_coords(0.7, 0.7, 0.9, 0.9));
+        assert!((hot - 90.0).abs() < 1e-6, "hot estimate {hot}");
+    }
+
+    #[test]
+    fn subsampled_forest_rescales_to_total() {
+        let points = uniform_points(10_000, 4);
+        let config = RfdeConfig {
+            sample_fraction: 0.25,
+            trees: 6,
+            ..Default::default()
+        };
+        let rfde = Rfde::fit(&points, config);
+        let est = rfde.estimate_count(&Rect::UNIT);
+        assert!(
+            (est - 10_000.0).abs() / 10_000.0 < 0.01,
+            "rescaled estimate {est}"
+        );
+        let half = rfde.estimate_count(&Rect::from_coords(0.0, 0.0, 1.0, 0.5));
+        assert!((half - 5_000.0).abs() / 5_000.0 < 0.1, "half estimate {half}");
+    }
+
+    #[test]
+    fn empty_dataset_estimates_zero() {
+        let rfde = Rfde::fit(&[], RfdeConfig::default());
+        assert_eq!(rfde.estimate_count(&Rect::UNIT), 0.0);
+        assert_eq!(rfde.estimate_fraction(&Rect::UNIT), 0.0);
+    }
+
+    #[test]
+    fn size_grows_with_tree_count() {
+        let points = uniform_points(2_000, 5);
+        let small = Rfde::fit(&points, RfdeConfig { trees: 1, ..Default::default() });
+        let large = Rfde::fit(&points, RfdeConfig { trees: 8, ..Default::default() });
+        assert!(large.size_bytes() > small.size_bytes());
+        assert_eq!(small.tree_count(), 1);
+        assert_eq!(large.tree_count(), 8);
+    }
+}

@@ -1,0 +1,365 @@
+//! A single randomized count k-d tree, the building block of the RFDE forest.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wazi_geom::{Point, Rect};
+
+/// Axis of a k-d split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Split on the x coordinate.
+    X,
+    /// Split on the y coordinate.
+    Y,
+}
+
+impl Axis {
+    #[inline]
+    fn coord(&self, p: &Point) -> f64 {
+        match self {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        }
+    }
+
+    #[inline]
+    fn other(&self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+/// A node of the count k-d tree stored in an index-based arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Node {
+    /// Tight bounding box of the points below this node.
+    pub region: Rect,
+    /// Total weight (cardinality for unweighted data) of points below this
+    /// node.
+    pub weight: f64,
+    /// Split information; `None` for leaves.
+    pub split: Option<Split>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Split {
+    pub axis: Axis,
+    pub value: f64,
+    pub left: u32,
+    pub right: u32,
+}
+
+/// A k-d tree whose nodes store the (weighted) number of data points in their
+/// region. Density estimation is a tree traversal that sums node weights,
+/// pro-rating partially overlapped leaves by area (uniformity assumption
+/// within a leaf bounding box), exactly the "collect cardinality information
+/// from nodes overlapping the density estimation query" procedure the paper
+/// describes for its RFDE models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountKdTree {
+    nodes: Vec<Node>,
+    root: u32,
+    total_weight: f64,
+    leaf_count: usize,
+}
+
+/// Construction parameters for one tree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TreeParams {
+    pub leaf_weight: f64,
+    pub max_depth: usize,
+}
+
+impl CountKdTree {
+    /// Builds a tree over `(point, weight)` pairs.
+    ///
+    /// `rng` drives the randomized choice of split dimension at every node,
+    /// which is what makes a *forest* of such trees a variance-reducing
+    /// estimator (Wen & Hang, 2022).
+    pub(crate) fn fit(data: &mut [(Point, f64)], params: TreeParams, rng: &mut StdRng) -> Self {
+        let mut nodes = Vec::new();
+        let total_weight: f64 = data.iter().map(|(_, w)| w).sum();
+        let mut leaf_count = 0usize;
+        let root = if data.is_empty() {
+            nodes.push(Node {
+                region: Rect::EMPTY,
+                weight: 0.0,
+                split: None,
+            });
+            leaf_count = 1;
+            0
+        } else {
+            build_node(data, params, rng, 0, &mut nodes, &mut leaf_count)
+        };
+        Self {
+            nodes,
+            root,
+            total_weight,
+            leaf_count,
+        }
+    }
+
+    /// Total weight indexed by the tree.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Number of nodes (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Estimated weight of points falling inside `query`.
+    pub fn estimate(&self, query: &Rect) -> f64 {
+        if self.nodes.is_empty() || query.is_empty() {
+            return 0.0;
+        }
+        self.estimate_node(self.root, query)
+    }
+
+    fn estimate_node(&self, idx: u32, query: &Rect) -> f64 {
+        let node = &self.nodes[idx as usize];
+        if node.weight == 0.0 || !query.overlaps(&node.region) {
+            return 0.0;
+        }
+        if query.contains_rect(&node.region) {
+            return node.weight;
+        }
+        match &node.split {
+            Some(split) => {
+                self.estimate_node(split.left, query) + self.estimate_node(split.right, query)
+            }
+            None => {
+                // Partially overlapped leaf: assume uniform density within
+                // the leaf bounding box. The overlap fraction is computed per
+                // axis so that degenerate boxes (points on a segment or a
+                // single spot) are pro-rated along their non-degenerate axis
+                // instead of being counted fully.
+                let Some(overlap) = node.region.intersection(query) else {
+                    return 0.0;
+                };
+                let frac_x = axis_fraction(node.region.width(), overlap.width());
+                let frac_y = axis_fraction(node.region.height(), overlap.height());
+                node.weight * frac_x * frac_y
+            }
+        }
+    }
+
+    /// Approximate in-memory size in bytes (used for index-size accounting of
+    /// learned components).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nodes.len() * std::mem::size_of::<Node>()
+    }
+}
+
+/// Fraction of a leaf's extent along one axis covered by the query overlap.
+/// A zero extent means every point shares that coordinate, so the overlap
+/// (already known to be non-empty) covers all of them on that axis.
+#[inline]
+fn axis_fraction(extent: f64, overlap: f64) -> f64 {
+    if extent > 0.0 {
+        (overlap / extent).clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+fn build_node(
+    data: &mut [(Point, f64)],
+    params: TreeParams,
+    rng: &mut StdRng,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    leaf_count: &mut usize,
+) -> u32 {
+    let weight: f64 = data.iter().map(|(_, w)| w).sum();
+    let region = {
+        let mut acc = Rect::EMPTY;
+        for (p, _) in data.iter() {
+            acc.expand(p);
+        }
+        acc
+    };
+    let idx = nodes.len() as u32;
+    nodes.push(Node {
+        region,
+        weight,
+        split: None,
+    });
+
+    let should_split =
+        weight > params.leaf_weight && depth < params.max_depth && data.len() > 1;
+    if !should_split {
+        *leaf_count += 1;
+        return idx;
+    }
+
+    // Randomized split dimension; the split value is the midpoint between the
+    // two points adjacent to the median along that dimension, which keeps the
+    // two halves non-empty whenever the coordinate is not constant.
+    let axis = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
+    let split = choose_split(data, axis).or_else(|| choose_split(data, axis.other()));
+    let Some((axis, split_value)) = split else {
+        // All points identical on both axes: cannot split further.
+        *leaf_count += 1;
+        return idx;
+    };
+
+    let partition = partition_by(data, axis, split_value);
+    let (left_data, right_data) = data.split_at_mut(partition);
+    debug_assert!(!left_data.is_empty() && !right_data.is_empty());
+
+    let left = build_node(left_data, params, rng, depth + 1, nodes, leaf_count);
+    let right = build_node(right_data, params, rng, depth + 1, nodes, leaf_count);
+    nodes[idx as usize].split = Some(Split {
+        axis,
+        value: split_value,
+        left,
+        right,
+    });
+    idx
+}
+
+/// Chooses a median-based split value along `axis`, or `None` when every
+/// point shares the same coordinate on that axis.
+fn choose_split(data: &mut [(Point, f64)], axis: Axis) -> Option<(Axis, f64)> {
+    data.sort_unstable_by(|a, b| axis.coord(&a.0).total_cmp(&axis.coord(&b.0)));
+    let lo = axis.coord(&data[0].0);
+    let hi = axis.coord(&data[data.len() - 1].0);
+    if lo == hi {
+        return None;
+    }
+    let mid = data.len() / 2;
+    let mut value = 0.5 * (axis.coord(&data[mid - 1].0) + axis.coord(&data[mid].0));
+    if value <= lo || value >= hi {
+        // Heavily duplicated median coordinate; fall back to the midpoint of
+        // the coordinate range so both halves stay non-empty.
+        value = 0.5 * (lo + hi);
+    }
+    Some((axis, value))
+}
+
+/// Partitions `data` (already sorted along `axis`) so that points with
+/// coordinate `<= value` come first, returning the boundary index.
+fn partition_by(data: &mut [(Point, f64)], axis: Axis, value: f64) -> usize {
+    data.sort_unstable_by(|a, b| axis.coord(&a.0).total_cmp(&axis.coord(&b.0)));
+    data.iter()
+        .position(|(p, _)| axis.coord(p) > value)
+        .unwrap_or(data.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid_points(n: usize) -> Vec<(Point, f64)> {
+        // n x n grid of unit-weight points strictly inside the unit square.
+        let mut pts = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let x = (i as f64 + 0.5) / n as f64;
+                let y = (j as f64 + 0.5) / n as f64;
+                pts.push((Point::new(x, y), 1.0));
+            }
+        }
+        pts
+    }
+
+    fn fit(data: &mut [(Point, f64)], leaf_weight: f64) -> CountKdTree {
+        let mut rng = StdRng::seed_from_u64(7);
+        CountKdTree::fit(
+            data,
+            TreeParams {
+                leaf_weight,
+                max_depth: 32,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn full_space_query_returns_total_weight() {
+        let mut data = grid_points(20);
+        let tree = fit(&mut data, 8.0);
+        assert_eq!(tree.total_weight(), 400.0);
+        assert!((tree.estimate(&Rect::UNIT) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_space_query_is_roughly_half() {
+        let mut data = grid_points(32);
+        let tree = fit(&mut data, 16.0);
+        let half = Rect::from_coords(0.0, 0.0, 0.5, 1.0);
+        let estimate = tree.estimate(&half);
+        let exact = 512.0;
+        assert!(
+            (estimate - exact).abs() / exact < 0.10,
+            "estimate {estimate} too far from {exact}"
+        );
+    }
+
+    #[test]
+    fn empty_input_and_disjoint_queries_estimate_zero() {
+        let tree = fit(&mut [], 4.0);
+        assert_eq!(tree.estimate(&Rect::UNIT), 0.0);
+
+        let mut data = grid_points(8);
+        let tree = fit(&mut data, 4.0);
+        assert_eq!(tree.estimate(&Rect::EMPTY), 0.0);
+        assert_eq!(tree.estimate(&Rect::from_coords(2.0, 2.0, 3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn weighted_points_are_summed_exactly_for_separating_queries() {
+        let mut data = vec![
+            (Point::new(0.25, 0.25), 3.0),
+            (Point::new(0.75, 0.75), 7.0),
+        ];
+        let tree = fit(&mut data, 1.0);
+        assert_eq!(tree.total_weight(), 10.0);
+        let left = tree.estimate(&Rect::from_coords(0.0, 0.0, 0.5, 0.5));
+        let right = tree.estimate(&Rect::from_coords(0.5, 0.5, 1.0, 1.0));
+        assert!((left - 3.0).abs() < 1e-9, "left estimate {left}");
+        assert!((right - 7.0).abs() < 1e-9, "right estimate {right}");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_recurse_forever() {
+        let mut data = vec![(Point::new(0.5, 0.5), 1.0); 100];
+        let tree = fit(&mut data, 4.0);
+        assert_eq!(tree.total_weight(), 100.0);
+        assert!(tree.node_count() < 50, "degenerate data must stop splitting");
+        let q = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        assert_eq!(tree.estimate(&q), 100.0);
+    }
+
+    #[test]
+    fn skewed_duplicates_on_one_axis_still_split() {
+        // All x equal; only the y axis can separate the data.
+        let mut data: Vec<(Point, f64)> = (0..64)
+            .map(|i| (Point::new(0.5, i as f64 / 64.0), 1.0))
+            .collect();
+        let tree = fit(&mut data, 4.0);
+        assert!(tree.leaf_count() > 4);
+        let lower = tree.estimate(&Rect::from_coords(0.0, 0.0, 1.0, 0.25));
+        assert!((lower - 16.0).abs() <= 2.0, "lower estimate {lower}");
+    }
+
+    #[test]
+    fn leaf_count_and_size_are_consistent() {
+        let mut data = grid_points(16);
+        let tree = fit(&mut data, 8.0);
+        assert!(tree.leaf_count() > 1);
+        assert_eq!(tree.node_count(), 2 * tree.leaf_count() - 1);
+        assert!(tree.size_bytes() > tree.node_count());
+    }
+}

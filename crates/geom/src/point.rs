@@ -1,0 +1,181 @@
+//! Two-dimensional points and dominance relations.
+//!
+//! The WaZI paper operates on two-dimensional spatial data (points of
+//! interest extracted from OpenStreetMap). All indexes in this workspace
+//! share this point type. Coordinates are `f64` in the original data space —
+//! WaZI explicitly avoids the rank-space projection used by ZM/RSMI.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the two-dimensional data space.
+///
+/// Ordering helpers ([`Point::dominates`], [`Point::dominated_by`]) implement
+/// the dominance relation used by the paper to state the monotonicity
+/// property of Z-orderings: a point `a` is dominated by `b` when
+/// `a.x <= b.x && a.y <= b.y` and at least one inequality is strict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Coordinate along the first axis.
+    pub x: f64,
+    /// Coordinate along the second axis.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Returns `true` when `self` dominates `other`, i.e. `self` is at least
+    /// as large on both axes and strictly larger on at least one.
+    #[inline]
+    pub fn dominates(&self, other: &Point) -> bool {
+        other.dominated_by(self)
+    }
+
+    /// Returns `true` when `self` is dominated by `other`.
+    ///
+    /// This is the relation used in Section 3 of the paper: if a point `a`
+    /// in page `X` is dominated by point `b` in page `Y != X`, then `X`
+    /// appears earlier in the leaf list than `Y` for any monotone ordering.
+    #[inline]
+    pub fn dominated_by(&self, other: &Point) -> bool {
+        self.x <= other.x && self.y <= other.y && (self.x < other.x || self.y < other.y)
+    }
+
+    /// Returns `true` when both coordinates are less than or equal to
+    /// `other`'s (weak dominance, allows equality on both axes).
+    #[inline]
+    pub fn weakly_dominated_by(&self, other: &Point) -> bool {
+        self.x <= other.x && self.y <= other.y
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed, e.g. in kNN search).
+    #[inline]
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison `(x, then y)`, used as a deterministic
+    /// total order for tie-breaking in sorting-based builders (STR, medians).
+    #[inline]
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from(value: (f64, f64)) -> Self {
+        Point::new(value.0, value.1)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(value: Point) -> Self {
+        (value.x, value.y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(2.0, 1.0);
+        assert!(a.dominated_by(&b));
+        assert!(b.dominates(&a));
+        assert!(!a.dominated_by(&a), "a point never dominates itself");
+        assert!(a.weakly_dominated_by(&a));
+    }
+
+    #[test]
+    fn dominance_requires_both_axes() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 1.0);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 1.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 1.0));
+        assert_eq!(a.max(&b), Point::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: Point = (1.5, -2.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+        assert_eq!(format!("{p}"), "(1.5, -2.5)");
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        let a = Point::new(1.0, 9.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(1.0, 10.0);
+        assert_eq!(a.lex_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

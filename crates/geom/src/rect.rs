@@ -1,0 +1,372 @@
+//! Axis-aligned rectangles: range queries, cell regions and bounding boxes.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle defined by its bottom-left (`lo`) and top-right
+/// (`hi`) corners, both inclusive.
+///
+/// Rectangles are used for three purposes throughout the workspace:
+///
+/// * range queries `R`, defined by `BL(R)` and `TR(R)` as in Section 3 of the
+///   paper;
+/// * the region spanned by an index cell (a node of the quaternary tree);
+/// * bounding boxes (`bbs`) of leaf pages checked during the scanning phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Bottom-left corner (minimum on both axes).
+    pub lo: Point,
+    /// Top-right corner (maximum on both axes).
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bottom-left and top-right corners.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the corners are not ordered.
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        debug_assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "rectangle corners must be ordered: lo={lo:?} hi={hi:?}"
+        );
+        Self { lo, hi }
+    }
+
+    /// Creates a rectangle from raw corner coordinates.
+    #[inline]
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Self::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// Creates a rectangle from two arbitrary corner points, normalising the
+    /// corner order.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self::new(a.min(&b), a.max(&b))
+    }
+
+    /// The unit square `[0, 1] x [0, 1]`, the default data space used by the
+    /// workload generators.
+    pub const UNIT: Rect = Rect {
+        lo: Point::new(0.0, 0.0),
+        hi: Point::new(1.0, 1.0),
+    };
+
+    /// A degenerate rectangle suitable as the identity for
+    /// [`Rect::union`] accumulation.
+    pub const EMPTY: Rect = Rect {
+        lo: Point::new(f64::INFINITY, f64::INFINITY),
+        hi: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Bottom-left corner, `BL(R)` in the paper's notation.
+    #[inline]
+    pub fn bl(&self) -> Point {
+        self.lo
+    }
+
+    /// Top-right corner, `TR(R)` in the paper's notation.
+    #[inline]
+    pub fn tr(&self) -> Point {
+        self.hi
+    }
+
+    /// Returns `true` for the accumulation identity produced by
+    /// [`Rect::EMPTY`] (no point ever added).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Width along the x axis.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.hi.x - self.lo.x).max(0.0)
+    }
+
+    /// Height along the y axis.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.hi.y - self.lo.y).max(0.0)
+    }
+
+    /// Area of the rectangle. The paper expresses query selectivity as the
+    /// fraction of the *data space* area covered by the query rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Center of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.lo.x + self.hi.x) / 2.0,
+            (self.lo.y + self.hi.y) / 2.0,
+        )
+    }
+
+    /// Returns `true` when the point lies inside the rectangle (inclusive on
+    /// all edges). This is the filter predicate of the scanning phase.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// Returns `true` when the two rectangles overlap (closed-interval
+    /// semantics: touching edges count as overlap).
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Intersection of two rectangles, or `None` when they do not overlap.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect::new(self.lo.max(&other.lo), self.hi.min(&other.hi)))
+    }
+
+    /// Smallest rectangle containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// Grows the rectangle to include `p` (used to accumulate tight bounding
+    /// boxes of leaf pages).
+    #[inline]
+    pub fn expand(&mut self, p: &Point) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Bounding box of a point slice, or [`Rect::EMPTY`] for an empty slice.
+    pub fn bounding(points: &[Point]) -> Rect {
+        let mut acc = Rect::EMPTY;
+        for p in points {
+            acc.expand(p);
+        }
+        acc
+    }
+
+    /// Minimum distance from a point to the rectangle (zero when inside),
+    /// used by best-first kNN search over index cells.
+    pub fn min_distance(&self, p: &Point) -> f64 {
+        self.min_distance_squared(p).sqrt()
+    }
+
+    /// Squared minimum distance from a point to the rectangle.
+    pub fn min_distance_squared(&self, p: &Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = if p.x < self.lo.x {
+            self.lo.x - p.x
+        } else if p.x > self.hi.x {
+            p.x - self.hi.x
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.lo.y {
+            self.lo.y - p.y
+        } else if p.y > self.hi.y {
+            p.y - self.hi.y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// Clamps a point into the rectangle.
+    #[inline]
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.lo.x, self.hi.x),
+            p.y.clamp(self.lo.y, self.hi.y),
+        )
+    }
+
+    /// Builds a query rectangle centred at `center` covering `fraction` of
+    /// `space`'s area with the given aspect ratio (`width / height`), clipped
+    /// to the data space. This is the query-generation procedure described in
+    /// Section 6.2: centres are sampled from check-in locations and the box
+    /// grows in all four directions until it covers the requested portion of
+    /// the data space.
+    pub fn query_box(space: &Rect, center: Point, fraction: f64, aspect: f64) -> Rect {
+        assert!(fraction > 0.0, "selectivity fraction must be positive");
+        assert!(aspect > 0.0, "aspect ratio must be positive");
+        let target_area = space.area() * fraction;
+        // width * height = target_area and width / height = aspect
+        let height = (target_area / aspect).sqrt();
+        let width = target_area / height;
+        let half_w = width / 2.0;
+        let half_h = height / 2.0;
+        let candidate = Rect::from_corners(
+            Point::new(center.x - half_w, center.y - half_h),
+            Point::new(center.x + half_w, center.y + half_h),
+        );
+        // Clip to the data space; shift back inside when the clip would lose
+        // area (keeps the covered fraction close to the request even for
+        // centres near the boundary).
+        let mut lo = candidate.lo;
+        let mut hi = candidate.hi;
+        if lo.x < space.lo.x {
+            let shift = space.lo.x - lo.x;
+            lo.x += shift;
+            hi.x += shift;
+        }
+        if lo.y < space.lo.y {
+            let shift = space.lo.y - lo.y;
+            lo.y += shift;
+            hi.y += shift;
+        }
+        if hi.x > space.hi.x {
+            let shift = hi.x - space.hi.x;
+            lo.x -= shift;
+            hi.x -= shift;
+        }
+        if hi.y > space.hi.y {
+            let shift = hi.y - space.hi.y;
+            lo.y -= shift;
+            hi.y -= shift;
+        }
+        let clipped = Rect::from_corners(
+            space.clamp_point(&lo),
+            space.clamp_point(&hi),
+        );
+        clipped
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_dimensions() {
+        let r = Rect::from_coords(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(r.width(), 2.0);
+        assert_eq!(r.height(), 3.0);
+        assert_eq!(r.area(), 6.0);
+        assert_eq!(r.center(), Point::new(1.0, 1.5));
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert!(!Rect::EMPTY.overlaps(&Rect::UNIT));
+        assert!(!Rect::UNIT.overlaps(&Rect::EMPTY));
+        assert_eq!(Rect::EMPTY.union(&Rect::UNIT), Rect::UNIT);
+        assert_eq!(Rect::UNIT.union(&Rect::EMPTY), Rect::UNIT);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)), "edges are inclusive");
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(!r.contains(&Point::new(1.1, 0.5)));
+        assert!(r.contains_rect(&Rect::from_coords(0.2, 0.2, 0.8, 0.8)));
+        assert!(!r.contains_rect(&Rect::from_coords(0.2, 0.2, 1.2, 0.8)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::from_coords(0.5, 0.5, 2.0, 2.0);
+        let c = Rect::from_coords(1.5, 1.5, 2.0, 2.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(
+            a.intersection(&b),
+            Some(Rect::from_coords(0.5, 0.5, 1.0, 1.0))
+        );
+        assert_eq!(a.intersection(&c), None);
+        // touching edges overlap under closed-interval semantics
+        let d = Rect::from_coords(1.0, 0.0, 2.0, 1.0);
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn union_and_bounding() {
+        let a = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::from_coords(2.0, -1.0, 3.0, 0.5);
+        assert_eq!(a.union(&b), Rect::from_coords(0.0, -1.0, 3.0, 1.0));
+        let pts = [
+            Point::new(0.5, 0.5),
+            Point::new(-1.0, 2.0),
+            Point::new(3.0, 0.0),
+        ];
+        assert_eq!(Rect::bounding(&pts), Rect::from_coords(-1.0, 0.0, 3.0, 2.0));
+        assert!(Rect::bounding(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_distance() {
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(r.min_distance(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.min_distance(&Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(r.min_distance_squared(&Point::new(2.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn query_box_has_requested_area_and_stays_inside() {
+        let space = Rect::UNIT;
+        let q = Rect::query_box(&space, Point::new(0.5, 0.5), 0.01, 1.0);
+        assert!((q.area() - 0.01).abs() < 1e-12);
+        assert!(space.contains_rect(&q));
+
+        // Near a corner the box is shifted back inside the space.
+        let q = Rect::query_box(&space, Point::new(0.999, 0.001), 0.0064, 2.0);
+        assert!(space.contains_rect(&q));
+        assert!((q.area() - 0.0064).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_point_projects_into_rect() {
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(r.clamp_point(&Point::new(-1.0, 0.5)), Point::new(0.0, 0.5));
+        assert_eq!(r.clamp_point(&Point::new(2.0, 3.0)), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Classic Z-order (Morton) arithmetic in rank / grid space.
+//!
+//! WaZI itself operates in the original data space and never computes Morton
+//! codes, but two parts of the evaluation need them:
+//!
+//! * the rank-space Z-order baselines of Figure 4 (`ZM`/`Zpgm`-style sorted
+//!   array index in `wazi-baselines`), and
+//! * the BIGMIN-style successor computation used by that baseline to skip
+//!   empty Z-ranges.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Number of bits per dimension used when quantising coordinates.
+pub const BITS_PER_DIM: u32 = 31;
+
+/// Spreads the lower 31 bits of `v` so that bit `i` moves to bit `2 i`.
+#[inline]
+pub fn interleave_bits(v: u32) -> u64 {
+    let mut x = u64::from(v) & 0x7FFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`interleave_bits`]: collects every second bit starting at 0.
+#[inline]
+pub fn deinterleave_bits(z: u64) -> u32 {
+    let mut x = z & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Morton code of an (x, y) grid cell: x bits occupy the even positions and
+/// y bits the odd positions, so ordering by code yields the classic Z curve.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    interleave_bits(x) | (interleave_bits(y) << 1)
+}
+
+/// Inverse of [`morton_encode`].
+#[inline]
+pub fn morton_decode(z: u64) -> (u32, u32) {
+    (deinterleave_bits(z), deinterleave_bits(z >> 1))
+}
+
+/// Maps real-valued coordinates into the `[0, 2^bits)` integer grid relative
+/// to a bounding data space and produces their Morton code.
+#[derive(Debug, Clone, Copy)]
+pub struct ZOrderMapper {
+    space: Rect,
+    scale_x: f64,
+    scale_y: f64,
+    max_cell: u32,
+}
+
+impl ZOrderMapper {
+    /// Creates a mapper over the given data space using `bits` bits per
+    /// dimension (at most [`BITS_PER_DIM`]).
+    pub fn new(space: Rect, bits: u32) -> Self {
+        assert!(bits > 0 && bits <= BITS_PER_DIM, "bits must be in 1..=31");
+        assert!(!space.is_empty(), "data space must be non-empty");
+        let cells = (1u64 << bits) as f64;
+        let max_cell = (1u64 << bits) as u32 - 1;
+        let width = space.width();
+        let height = space.height();
+        Self {
+            space,
+            scale_x: if width > 0.0 { cells / width } else { 0.0 },
+            scale_y: if height > 0.0 { cells / height } else { 0.0 },
+            max_cell,
+        }
+    }
+
+    /// The data space this mapper quantises.
+    pub fn space(&self) -> Rect {
+        self.space
+    }
+
+    /// Grid cell of a point (clamped into the data space).
+    #[inline]
+    pub fn cell(&self, p: &Point) -> (u32, u32) {
+        let clamped = self.space.clamp_point(p);
+        let gx = ((clamped.x - self.space.lo.x) * self.scale_x) as u32;
+        let gy = ((clamped.y - self.space.lo.y) * self.scale_y) as u32;
+        (gx.min(self.max_cell), gy.min(self.max_cell))
+    }
+
+    /// Morton code of a point.
+    #[inline]
+    pub fn code(&self, p: &Point) -> u64 {
+        let (gx, gy) = self.cell(p);
+        morton_encode(gx, gy)
+    }
+
+    /// Morton codes of a query rectangle's corners: the classic range-query
+    /// interval `[code(BL), code(TR)]` scanned by rank-space Z-indexes.
+    #[inline]
+    pub fn query_interval(&self, query: &Rect) -> (u64, u64) {
+        (self.code(&query.bl()), self.code(&query.tr()))
+    }
+}
+
+/// BIGMIN (Tropf & Herzog 1981): the smallest Morton code greater than
+/// `current` whose decoded cell lies inside the grid-aligned query box
+/// `[min_code, max_code]`.
+///
+/// The rank-space sorted-array baseline uses this to jump over contiguous
+/// runs of Z-values that fall outside the query rectangle, mirroring the role
+/// the look-ahead pointers play for WaZI.
+pub fn bigmin(current: u64, min_code: u64, max_code: u64) -> Option<u64> {
+    debug_assert!(min_code <= max_code);
+    let mut bigmin: Option<u64> = None;
+    let mut min = min_code;
+    let mut max = max_code;
+    // Examine bits from the most significant downwards, maintaining the
+    // candidate interval [min, max] restricted by decisions so far.
+    for bit in (0..64u32).rev() {
+        let mask = 1u64 << bit;
+        let current_bit = current & mask != 0;
+        let min_bit = min & mask != 0;
+        let max_bit = max & mask != 0;
+        match (current_bit, min_bit, max_bit) {
+            (false, false, false) => {}
+            (false, false, true) => {
+                // Query straddles this bit: the upper half is a candidate
+                // restart point, continue searching the lower half.
+                bigmin = Some(load_min(min, bit));
+                max = load_max(max, bit);
+            }
+            (false, true, true) => {
+                // The whole remaining query lies above `current`.
+                return Some(min);
+            }
+            (true, false, false) => {
+                // The whole remaining query lies below `current`: the best
+                // restart found so far (if any) is the answer.
+                return bigmin;
+            }
+            (true, false, true) => {
+                min = load_min(min, bit);
+            }
+            (true, true, true) => {}
+            // min_bit set while max_bit clear would mean min > max in this
+            // prefix, which cannot happen for a valid interval.
+            (_, true, false) => unreachable!("invalid BIGMIN interval"),
+        }
+    }
+    bigmin
+}
+
+/// Sets bit `bit` of `value` and clears all lower bits *of the same
+/// dimension* (every second bit below it), producing the smallest code in the
+/// upper half of the split.
+fn load_min(value: u64, bit: u32) -> u64 {
+    let dim_mask = dimension_mask(bit);
+    let below = (1u64 << bit) - 1;
+    (value & !(dim_mask & below)) | (1u64 << bit)
+}
+
+/// Clears bit `bit` of `value` and sets all lower bits of the same dimension,
+/// producing the largest code in the lower half of the split.
+fn load_max(value: u64, bit: u32) -> u64 {
+    let dim_mask = dimension_mask(bit);
+    let below = (1u64 << bit) - 1;
+    (value & !(1u64 << bit)) | (dim_mask & below)
+}
+
+/// Mask selecting the bits belonging to the same dimension as `bit`
+/// (even positions for x, odd positions for y).
+#[inline]
+fn dimension_mask(bit: u32) -> u64 {
+    if bit % 2 == 0 {
+        0x5555_5555_5555_5555
+    } else {
+        0xAAAA_AAAA_AAAA_AAAA
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_round_trips() {
+        for v in [0u32, 1, 2, 3, 1000, 0x7FFF_FFFF] {
+            assert_eq!(deinterleave_bits(interleave_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn morton_round_trips_and_orders_quadrants() {
+        assert_eq!(morton_decode(morton_encode(123, 456)), (123, 456));
+        // Z-order visits (0,0), (1,0), (0,1), (1,1) for a 2x2 grid with x in
+        // the low bit — matching the abcd (A=BL, B=BR, C=TL, D=TR) order.
+        let codes = [
+            morton_encode(0, 0),
+            morton_encode(1, 0),
+            morton_encode(0, 1),
+            morton_encode(1, 1),
+        ];
+        assert_eq!(codes, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mapper_clamps_and_orders_dominated_points() {
+        let mapper = ZOrderMapper::new(Rect::UNIT, 16);
+        let inside = mapper.code(&Point::new(0.25, 0.25));
+        let dominating = mapper.code(&Point::new(0.75, 0.75));
+        assert!(inside < dominating, "dominated point must sort earlier");
+        // Out-of-space points clamp to the boundary instead of wrapping.
+        let clamped = mapper.cell(&Point::new(2.0, -1.0));
+        assert_eq!(clamped, (u16::MAX as u32, 0));
+    }
+
+    #[test]
+    fn query_interval_brackets_contained_points() {
+        let mapper = ZOrderMapper::new(Rect::UNIT, 16);
+        let query = Rect::from_coords(0.2, 0.3, 0.6, 0.7);
+        let (lo, hi) = mapper.query_interval(&query);
+        for p in [
+            Point::new(0.2, 0.3),
+            Point::new(0.6, 0.7),
+            Point::new(0.4, 0.5),
+        ] {
+            let code = mapper.code(&p);
+            assert!(code >= lo && code <= hi);
+        }
+    }
+
+    #[test]
+    fn bigmin_returns_next_code_inside_query() {
+        // 8x8 grid, query box x in [1,3], y in [2,5].
+        let min_code = morton_encode(1, 2);
+        let max_code = morton_encode(3, 5);
+        // Collect all codes inside the box.
+        let mut inside: Vec<u64> = (1..=3u32)
+            .flat_map(|x| (2..=5u32).map(move |y| morton_encode(x, y)))
+            .collect();
+        inside.sort_unstable();
+        // For every code in [min, max] that is *outside* the box, BIGMIN must
+        // return the next inside code (or None when none exists).
+        for code in min_code..=max_code {
+            let (x, y) = morton_decode(code);
+            let is_inside = (1..=3).contains(&x) && (2..=5).contains(&y);
+            if is_inside {
+                continue;
+            }
+            let expected = inside.iter().copied().find(|&c| c > code);
+            assert_eq!(
+                bigmin(code, min_code, max_code),
+                expected,
+                "BIGMIN mismatch at code {code} = ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn bigmin_when_everything_is_above_or_below() {
+        let min_code = morton_encode(4, 4);
+        let max_code = morton_encode(7, 7);
+        // current below the whole interval -> the minimum code.
+        assert_eq!(bigmin(0, min_code, max_code), Some(min_code));
+        // current above the whole interval -> no successor.
+        assert_eq!(bigmin(max_code + 1, min_code, max_code), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the geometric primitives.
+
+use proptest::prelude::*;
+use wazi_geom::zorder::{bigmin, morton_decode, morton_encode, ZOrderMapper};
+use wazi_geom::{CellOrdering, Point, Quadrant, QueryCase, Rect};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_antisymmetric(a in arb_point(), b in arb_point()) {
+        prop_assert!(!(a.dominated_by(&b) && b.dominated_by(&a)));
+    }
+
+    #[test]
+    fn rect_contains_its_corners_and_center(r in arb_rect()) {
+        prop_assert!(r.contains(&r.bl()));
+        prop_assert!(r.contains(&r.tr()));
+        prop_assert!(r.contains(&r.center()));
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i) || i.area() == 0.0);
+            prop_assert!(b.contains_rect(&i) || i.area() == 0.0);
+            prop_assert!(i.area() <= a.area() + 1e-12);
+            prop_assert!(i.area() <= b.area() + 1e-12);
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn quadrant_regions_partition_area(split in arb_point()) {
+        let cell = Rect::UNIT;
+        let total: f64 = Quadrant::ALL
+            .iter()
+            .map(|q| q.region(&cell, &split).area())
+            .sum();
+        prop_assert!((total - cell.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadrant_of_point_lies_in_its_region(p in arb_point(), split in arb_point()) {
+        let q = Quadrant::of(&p, &split);
+        let region = q.region(&Rect::UNIT, &split);
+        prop_assert!(region.contains(&p));
+    }
+
+    #[test]
+    fn orderings_are_permutations(p in arb_point(), split in arb_point()) {
+        for ordering in CellOrdering::ALL {
+            let child = ordering.child_of(&p, &split);
+            prop_assert!(child < 4);
+            let curve = ordering.curve();
+            prop_assert_eq!(curve[child], Quadrant::of(&p, &split));
+        }
+    }
+
+    #[test]
+    fn query_case_overlapped_matches_geometry(r in arb_rect(), split in arb_point()) {
+        let case = QueryCase::classify(&r, &split);
+        let overlapped = case.overlapped();
+        // Every quadrant reported as overlapped must geometrically overlap the
+        // query, and every quadrant with interior overlap must be reported.
+        for q in Quadrant::ALL {
+            let region = q.region(&Rect::UNIT, &split);
+            let reported = overlapped.contains(&q);
+            if reported {
+                prop_assert!(region.overlaps(&r) || region.area() == 0.0);
+            }
+            if let Some(i) = region.intersection(&r) {
+                if i.area() > 0.0 {
+                    prop_assert!(reported, "quadrant {:?} overlaps but was not reported", q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton_round_trip(x in 0u32..=0x7FFF_FFFF, y in 0u32..=0x7FFF_FFFF) {
+        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn morton_is_monotone_under_dominance(
+        x0 in 0u32..1000, y0 in 0u32..1000, dx in 0u32..1000, dy in 0u32..1000
+    ) {
+        // A dominated grid cell always receives a smaller or equal code.
+        let a = morton_encode(x0, y0);
+        let b = morton_encode(x0 + dx, y0 + dy);
+        prop_assert!(a <= b || (dx == 0 && dy == 0));
+    }
+
+    #[test]
+    fn bigmin_result_is_inside_box_and_after_current(
+        qx0 in 0u32..32, qy0 in 0u32..32, w in 0u32..32, h in 0u32..32, cx in 0u32..64, cy in 0u32..64
+    ) {
+        let (qx1, qy1) = (qx0 + w, qy0 + h);
+        let min_code = morton_encode(qx0, qy0);
+        let max_code = morton_encode(qx1, qy1);
+        let current = morton_encode(cx, cy);
+        if let Some(next) = bigmin(current, min_code, max_code) {
+            let (nx, ny) = morton_decode(next);
+            prop_assert!(next > current);
+            prop_assert!(nx >= qx0 && nx <= qx1, "x out of box");
+            prop_assert!(ny >= qy0 && ny <= qy1, "y out of box");
+        }
+    }
+
+    #[test]
+    fn query_box_area_matches_selectivity(center in arb_point(), frac in 0.0001f64..0.05, aspect in 0.25f64..4.0) {
+        let q = Rect::query_box(&Rect::UNIT, center, frac, aspect);
+        prop_assert!(Rect::UNIT.contains_rect(&q));
+        prop_assert!((q.area() - frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zorder_mapper_codes_are_monotone(a in arb_point(), b in arb_point()) {
+        let mapper = ZOrderMapper::new(Rect::UNIT, 20);
+        if a.weakly_dominated_by(&b) {
+            prop_assert!(mapper.code(&a) <= mapper.code(&b));
+        }
+    }
+}

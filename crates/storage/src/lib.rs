@@ -1,0 +1,21 @@
+//! # wazi-storage
+//!
+//! The storage substrate shared by every spatial index in the WaZI
+//! reproduction:
+//!
+//! * [`Page`] / [`PageStore`] — clustered data pages of capacity `L`
+//!   (the leaf pages the Z-index scanning phase iterates over);
+//! * [`ExecStats`], [`StatsSummary`], [`StatsCollector`] — the execution
+//!   counters (bounding boxes checked, pages scanned, excess points,
+//!   projection vs scan time) reported throughout the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod page;
+mod stats;
+mod store;
+
+pub use page::{Page, PageId};
+pub use stats::{ExecStats, StatsCollector, StatsSummary};
+pub use store::PageStore;

@@ -1,0 +1,248 @@
+//! Data pages: the unit of storage scanned during range-query filtering.
+
+use crate::stats::ExecStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use wazi_geom::{Point, Rect};
+
+/// Identifier of a page inside a [`crate::PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Index into the owning store's page vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// A clustered data page holding at most the leaf capacity `L` points
+/// (Section 3: "leaf nodes contain ... a pointer to a page with at most L
+/// elements"; points within a page are stored in arrival order, i.e. no
+/// intra-page ordering is assumed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Page {
+    id: PageId,
+    points: Vec<Point>,
+    bbox: Rect,
+}
+
+impl Page {
+    /// Creates a page from its identifier and points.
+    pub fn new(id: PageId, points: Vec<Point>) -> Self {
+        let bbox = Rect::bounding(&points);
+        Self { id, points, bbox }
+    }
+
+    /// The page identifier.
+    #[inline]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Number of points stored in the page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the page holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points stored in the page.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Tight bounding box of the stored points ([`Rect::EMPTY`] when empty).
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Appends a point, updating the bounding box. Returns the new length.
+    pub fn push(&mut self, p: Point) -> usize {
+        self.bbox.expand(&p);
+        self.points.push(p);
+        self.points.len()
+    }
+
+    /// Removes the first occurrence of a point equal to `p`. Returns whether
+    /// a point was removed. The bounding box is recomputed only on success.
+    pub fn remove(&mut self, p: &Point) -> bool {
+        if let Some(pos) = self.points.iter().position(|q| q == p) {
+            self.points.swap_remove(pos);
+            self.bbox = Rect::bounding(&self.points);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains all points out of the page (used when splitting leaves),
+    /// leaving it empty.
+    pub fn take_points(&mut self) -> Vec<Point> {
+        self.bbox = Rect::EMPTY;
+        std::mem::take(&mut self.points)
+    }
+
+    /// Scanning-phase filter: appends the points falling inside `query` to
+    /// `out` and records one page scan plus one point comparison per stored
+    /// point in `stats`.
+    pub fn filter_into(&self, query: &Rect, out: &mut Vec<Point>, stats: &mut ExecStats) {
+        stats.pages_scanned += 1;
+        stats.points_scanned += self.points.len() as u64;
+        for p in &self.points {
+            if query.contains(p) {
+                out.push(*p);
+            }
+        }
+    }
+
+    /// Point-query probe: returns `true` when a point equal to `p` is stored
+    /// in the page, recording the comparisons performed.
+    pub fn probe(&self, p: &Point, stats: &mut ExecStats) -> bool {
+        stats.pages_scanned += 1;
+        for (i, q) in self.points.iter().enumerate() {
+            if q == p {
+                stats.points_scanned += i as u64 + 1;
+                return true;
+            }
+        }
+        stats.points_scanned += self.points.len() as u64;
+        false
+    }
+
+    /// Approximate in-memory footprint of the page in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.points.capacity() * std::mem::size_of::<Point>()
+    }
+
+    /// Serialises the page to a compact binary representation
+    /// (`id, len, [x, y] * len`), the on-disk page format of the simulated
+    /// clustered storage.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 16 * self.points.len());
+        buf.put_u32_le(self.id.0);
+        buf.put_u32_le(self.points.len() as u32);
+        for p in &self.points {
+            buf.put_f64_le(p.x);
+            buf.put_f64_le(p.y);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a page previously produced by [`Page::to_bytes`].
+    ///
+    /// Returns `None` when the buffer is truncated or malformed.
+    pub fn from_bytes(mut bytes: Bytes) -> Option<Self> {
+        if bytes.remaining() < 8 {
+            return None;
+        }
+        let id = PageId(bytes.get_u32_le());
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() < len * 16 {
+            return None;
+        }
+        let mut points = Vec::with_capacity(len);
+        for _ in 0..len {
+            let x = bytes.get_f64_le();
+            let y = bytes.get_f64_le();
+            points.push(Point::new(x, y));
+        }
+        Some(Self::new(id, points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_page() -> Page {
+        Page::new(
+            PageId(3),
+            vec![
+                Point::new(0.1, 0.1),
+                Point::new(0.5, 0.6),
+                Point::new(0.9, 0.2),
+            ],
+        )
+    }
+
+    #[test]
+    fn bbox_tracks_contents() {
+        let mut page = sample_page();
+        assert_eq!(page.bbox(), Rect::from_coords(0.1, 0.1, 0.9, 0.6));
+        page.push(Point::new(0.0, 1.0));
+        assert_eq!(page.bbox(), Rect::from_coords(0.0, 0.1, 0.9, 1.0));
+        assert!(page.remove(&Point::new(0.0, 1.0)));
+        assert_eq!(page.bbox(), Rect::from_coords(0.1, 0.1, 0.9, 0.6));
+        assert!(!page.remove(&Point::new(7.0, 7.0)));
+    }
+
+    #[test]
+    fn filter_counts_all_points_and_returns_matches() {
+        let page = sample_page();
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        page.filter_into(&Rect::from_coords(0.0, 0.0, 0.6, 0.7), &mut out, &mut stats);
+        assert_eq!(out, vec![Point::new(0.1, 0.1), Point::new(0.5, 0.6)]);
+        assert_eq!(stats.pages_scanned, 1);
+        assert_eq!(stats.points_scanned, 3);
+    }
+
+    #[test]
+    fn probe_finds_existing_points_only() {
+        let page = sample_page();
+        let mut stats = ExecStats::default();
+        assert!(page.probe(&Point::new(0.5, 0.6), &mut stats));
+        assert!(!page.probe(&Point::new(0.5, 0.61), &mut stats));
+        assert_eq!(stats.pages_scanned, 2);
+        assert!(stats.points_scanned >= 3);
+    }
+
+    #[test]
+    fn take_points_empties_the_page() {
+        let mut page = sample_page();
+        let pts = page.take_points();
+        assert_eq!(pts.len(), 3);
+        assert!(page.is_empty());
+        assert!(page.bbox().is_empty());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let page = sample_page();
+        let bytes = page.to_bytes();
+        let decoded = Page::from_bytes(bytes).expect("decoding must succeed");
+        assert_eq!(decoded.id(), page.id());
+        assert_eq!(decoded.points(), page.points());
+        assert_eq!(decoded.bbox(), page.bbox());
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let page = sample_page();
+        let bytes = page.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(Page::from_bytes(truncated).is_none());
+        assert!(Page::from_bytes(Bytes::from_static(&[1, 2, 3])).is_none());
+    }
+
+    #[test]
+    fn size_accounts_for_points() {
+        let page = sample_page();
+        assert!(page.size_bytes() >= 3 * std::mem::size_of::<Point>());
+    }
+}

@@ -1,0 +1,226 @@
+//! Clustered page store shared by the indexes of the workspace.
+//!
+//! The paper assumes clustered indexes: "data points corresponding to
+//! consecutive leaf nodes are stored in consecutive pages". The store keeps
+//! pages in a vector in leaf order; each index records the identifier of the
+//! page backing each leaf. New pages created by leaf splits are appended at
+//! the end (simulating out-of-place page allocation after updates).
+
+use crate::page::{Page, PageId};
+use crate::stats::ExecStats;
+use serde::{Deserialize, Serialize};
+use wazi_geom::{Point, Rect};
+
+/// A collection of clustered data pages with a fixed leaf capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageStore {
+    pages: Vec<Page>,
+    leaf_capacity: usize,
+}
+
+impl PageStore {
+    /// Creates an empty store with the given leaf capacity `L`.
+    pub fn new(leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        Self {
+            pages: Vec::new(),
+            leaf_capacity,
+        }
+    }
+
+    /// The leaf capacity `L` (the paper's default is 256).
+    #[inline]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Number of pages allocated.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total number of points across pages.
+    pub fn total_points(&self) -> usize {
+        self.pages.iter().map(Page::len).sum()
+    }
+
+    /// Allocates a new page holding `points` and returns its identifier.
+    /// Pages allocated consecutively model consecutive placement on storage.
+    pub fn allocate(&mut self, points: Vec<Point>) -> PageId {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(Page::new(id, points));
+        id
+    }
+
+    /// Read-only access to a page.
+    #[inline]
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id.index()]
+    }
+
+    /// Mutable access to a page.
+    #[inline]
+    pub fn page_mut(&mut self, id: PageId) -> &mut Page {
+        &mut self.pages[id.index()]
+    }
+
+    /// Iterator over all pages in allocation (leaf) order.
+    pub fn pages(&self) -> impl Iterator<Item = &Page> {
+        self.pages.iter()
+    }
+
+    /// Appends a point to a page, returning the page's new length. Callers
+    /// are responsible for splitting when the length exceeds the capacity.
+    pub fn append(&mut self, id: PageId, p: Point) -> usize {
+        self.pages[id.index()].push(p)
+    }
+
+    /// Returns `true` when a page is over capacity and must be split.
+    pub fn is_overflowing(&self, id: PageId) -> bool {
+        self.pages[id.index()].len() > self.leaf_capacity
+    }
+
+    /// Scans a page against a range query, appending matches to `out`.
+    pub fn filter_page(
+        &self,
+        id: PageId,
+        query: &Rect,
+        out: &mut Vec<Point>,
+        stats: &mut ExecStats,
+    ) {
+        self.pages[id.index()].filter_into(query, out, stats);
+    }
+
+    /// Probes a page for an exact point match.
+    pub fn probe_page(&self, id: PageId, p: &Point, stats: &mut ExecStats) -> bool {
+        self.pages[id.index()].probe(p, stats)
+    }
+
+    /// Approximate in-memory footprint of the store in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.pages.iter().map(Page::size_bytes).sum::<usize>()
+    }
+
+    /// Splits the contents of `id` into `parts` new pages according to the
+    /// provided partition function: point `p` goes to part `partition(p)`.
+    /// The original page keeps part `0`; the remaining parts are appended as
+    /// new pages. Returns the identifiers of all parts in order (including
+    /// the reused original page). Empty parts still receive a page so the
+    /// caller can map child leaves one-to-one.
+    pub fn split_page(
+        &mut self,
+        id: PageId,
+        parts: usize,
+        mut partition: impl FnMut(&Point) -> usize,
+    ) -> Vec<PageId> {
+        assert!(parts >= 2, "splitting requires at least two parts");
+        let points = self.pages[id.index()].take_points();
+        let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); parts];
+        for p in points {
+            let part = partition(&p).min(parts - 1);
+            buckets[part].push(p);
+        }
+        let mut ids = Vec::with_capacity(parts);
+        let mut buckets = buckets.into_iter();
+        // Reuse the original page slot for the first bucket.
+        let first = buckets.next().expect("at least two parts requested");
+        let original = &mut self.pages[id.index()];
+        for p in first {
+            original.push(p);
+        }
+        ids.push(id);
+        for bucket in buckets {
+            ids.push(self.allocate(bucket));
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_grid() -> (PageStore, Vec<PageId>) {
+        let mut store = PageStore::new(4);
+        let mut ids = Vec::new();
+        for chunk in 0..3 {
+            let points: Vec<Point> = (0..4)
+                .map(|i| Point::new(chunk as f64 * 0.3 + 0.01 * i as f64, 0.5))
+                .collect();
+            ids.push(store.allocate(points));
+        }
+        (store, ids)
+    }
+
+    #[test]
+    fn allocation_is_sequential() {
+        let (store, ids) = store_with_grid();
+        assert_eq!(ids, vec![PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(store.page_count(), 3);
+        assert_eq!(store.total_points(), 12);
+        assert_eq!(store.leaf_capacity(), 4);
+    }
+
+    #[test]
+    fn append_and_overflow_detection() {
+        let (mut store, ids) = store_with_grid();
+        assert!(!store.is_overflowing(ids[0]));
+        store.append(ids[0], Point::new(0.02, 0.5));
+        assert!(store.is_overflowing(ids[0]));
+    }
+
+    #[test]
+    fn filter_and_probe_delegate_to_pages() {
+        let (store, ids) = store_with_grid();
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        store.filter_page(
+            ids[1],
+            &Rect::from_coords(0.3, 0.0, 0.32, 1.0),
+            &mut out,
+            &mut stats,
+        );
+        assert_eq!(out.len(), 3);
+        assert!(store.probe_page(ids[1], &Point::new(0.31, 0.5), &mut stats));
+        assert!(!store.probe_page(ids[0], &Point::new(0.31, 0.5), &mut stats));
+        assert_eq!(stats.pages_scanned, 3);
+    }
+
+    #[test]
+    fn split_distributes_points_and_reuses_original() {
+        let mut store = PageStore::new(4);
+        let id = store.allocate(
+            (0..8)
+                .map(|i| Point::new(i as f64 / 8.0, 0.5))
+                .collect::<Vec<_>>(),
+        );
+        let ids = store.split_page(id, 2, |p| usize::from(p.x >= 0.5));
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], id);
+        assert_eq!(store.page(ids[0]).len(), 4);
+        assert_eq!(store.page(ids[1]).len(), 4);
+        assert!(store.page(ids[0]).points().iter().all(|p| p.x < 0.5));
+        assert!(store.page(ids[1]).points().iter().all(|p| p.x >= 0.5));
+        assert_eq!(store.total_points(), 8);
+    }
+
+    #[test]
+    fn split_creates_pages_for_empty_parts() {
+        let mut store = PageStore::new(4);
+        let id = store.allocate(vec![Point::new(0.1, 0.1); 3]);
+        let ids = store.split_page(id, 4, |_| 0);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(store.page(ids[0]).len(), 3);
+        for &part in &ids[1..] {
+            assert!(store.page(part).is_empty());
+        }
+    }
+
+    #[test]
+    fn size_reflects_contents() {
+        let (store, _) = store_with_grid();
+        let empty = PageStore::new(4);
+        assert!(store.size_bytes() > empty.size_bytes());
+    }
+}

@@ -1,0 +1,37 @@
+//! # wazi-workload
+//!
+//! Dataset and range-query workload generators replicating the evaluation
+//! setup of the WaZI paper (Section 6.2):
+//!
+//! * [`Region`] — four regional profiles standing in for the OpenStreetMap
+//!   POI extracts (CaliNev, NewYork, Japan, Iberia);
+//! * [`generate_dataset`] — seeded multi-modal point distributions;
+//! * [`generate_queries`] — skewed range-query workloads whose centres
+//!   follow a Gowalla-check-in-like distribution that differs from the data
+//!   distribution, with selectivity expressed as a fraction of the data
+//!   space;
+//! * [`uniform_queries`] / [`drift_workload`] — the workload-change
+//!   machinery of Figure 12;
+//! * [`uniform_dataset`] / [`sample_point_queries`] — inputs for the insert
+//!   (Figure 11) and point-query (Figure 10) experiments.
+//!
+//! All generators are deterministic given their seeds, so every experiment
+//! in `wazi-bench` is reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod queries;
+mod region;
+
+pub use dataset::{
+    generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,
+    uniform_dataset, SkewSummary,
+};
+pub use queries::{
+    drift_workload, generate_from_spec, generate_queries, generate_queries_with_seed,
+    mean_center_distance_to, uniform_queries, WorkloadSpec, ABLATION_SELECTIVITIES, SELECTIVITIES,
+    WORKLOAD_SIZE,
+};
+pub use region::{Cluster, Region};

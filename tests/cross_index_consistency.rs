@@ -1,0 +1,107 @@
+//! Cross-crate integration test: every index of the evaluation suite must
+//! return exactly the same answers for the same workloads, since they all
+//! index the same data. This is the end-to-end guarantee the whole benchmark
+//! harness relies on — latency comparisons are only meaningful if the
+//! indexes agree on correctness.
+
+use proptest::prelude::*;
+use wazi_bench::{build_index, IndexKind};
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+use wazi_workload::{
+    generate_dataset, generate_queries, sample_point_queries, Region, SELECTIVITIES,
+};
+
+fn sorted(mut points: Vec<Point>) -> Vec<Point> {
+    points.sort_by(|a, b| a.lex_cmp(b));
+    points
+}
+
+#[test]
+fn all_indexes_agree_with_brute_force_on_every_region() {
+    for region in Region::ALL {
+        let points = generate_dataset(region, 6_000);
+        let train = generate_queries(region, 200, SELECTIVITIES[1]);
+        let eval = generate_queries(region, 60, SELECTIVITIES[2]);
+        for kind in IndexKind::OVERVIEW
+            .into_iter()
+            .chain([IndexKind::WaziNoSkip, IndexKind::BaseSkip])
+        {
+            let built = build_index(kind, &points, &train, 128);
+            let mut stats = ExecStats::default();
+            for query in &eval {
+                let got = sorted(built.index.range_query(query, &mut stats));
+                let expected = sorted(
+                    points
+                        .iter()
+                        .copied()
+                        .filter(|p| query.contains(p))
+                        .collect(),
+                );
+                assert_eq!(got, expected, "{kind} disagrees on {region}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_indexes_find_their_own_points_and_reject_missing_ones() {
+    let region = Region::Japan;
+    let points = generate_dataset(region, 4_000);
+    let train = generate_queries(region, 100, SELECTIVITIES[1]);
+    let probes = sample_point_queries(&points, 300, 5);
+    for kind in IndexKind::OVERVIEW {
+        let built = build_index(kind, &points, &train, 128);
+        let mut stats = ExecStats::default();
+        for probe in &probes {
+            assert!(
+                built.index.point_query(probe, &mut stats),
+                "{kind} lost an indexed point"
+            );
+        }
+        assert!(
+            !built.index.point_query(&Point::new(1.5, -0.5), &mut stats),
+            "{kind} claims to hold an out-of-space point"
+        );
+    }
+}
+
+#[test]
+fn knn_agrees_across_indexes() {
+    let region = Region::CaliNev;
+    let points = generate_dataset(region, 3_000);
+    let train = generate_queries(region, 100, SELECTIVITIES[1]);
+    let mut expected = points.clone();
+    let q = Point::new(0.31, 0.62);
+    expected.sort_by(|a, b| a.distance_squared(&q).total_cmp(&b.distance_squared(&q)));
+    expected.truncate(8);
+    for kind in [IndexKind::Wazi, IndexKind::Base, IndexKind::Str, IndexKind::Flood] {
+        let built = build_index(kind, &points, &train, 128);
+        let mut stats = ExecStats::default();
+        let got = built.index.knn(&q, 8, &mut stats);
+        assert_eq!(got, expected, "{kind} kNN disagrees");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random rectangles on a fixed dataset: WaZI, Base and STR agree with
+    /// brute force (and hence with each other).
+    #[test]
+    fn random_rectangles_are_answered_identically(
+        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0, w in 0.0f64..0.5, h in 0.0f64..0.5
+    ) {
+        let region = Region::NewYork;
+        let points = generate_dataset(region, 3_000);
+        let train = generate_queries(region, 100, SELECTIVITIES[1]);
+        let query = Rect::from_coords(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0));
+        let expected = sorted(points.iter().copied().filter(|p| query.contains(p)).collect());
+        for kind in [IndexKind::Wazi, IndexKind::Base, IndexKind::Str] {
+            let built = build_index(kind, &points, &train, 128);
+            let mut stats = ExecStats::default();
+            let got = sorted(built.index.range_query(&query, &mut stats));
+            prop_assert_eq!(&got, &expected, "{} disagrees", kind);
+        }
+    }
+}

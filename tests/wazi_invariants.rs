@@ -1,0 +1,143 @@
+//! Property-based tests of the WaZI index invariants across crates:
+//! structural consistency, dominance monotonicity of the leaf list, safety
+//! of the look-ahead pointers, and correctness under mixed updates.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wazi_core::{DensityMode, SpatialIndex, ZIndexBuilder, ZIndexConfig};
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+use wazi_workload::{generate_dataset_with_seed, generate_queries_with_seed, Region};
+
+fn build_wazi(points: Vec<Point>, queries: &[Rect], leaf: usize, kappa: usize) -> wazi_core::ZIndex {
+    ZIndexBuilder::wazi()
+        .with_config(ZIndexConfig::wazi().with_leaf_capacity(leaf).with_kappa(kappa))
+        .build(points, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Construction invariants hold for any seed, leaf capacity and region.
+    #[test]
+    fn construction_invariants(seed in 0u64..1_000, leaf in 16usize..128, region_idx in 0usize..4) {
+        let region = Region::ALL[region_idx];
+        let points = generate_dataset_with_seed(region, 3_000, seed);
+        let queries = generate_queries_with_seed(region, 150, 0.0005, seed ^ 1);
+        let index = build_wazi(points.clone(), &queries, leaf, 8);
+        prop_assert_eq!(index.len(), points.len());
+        let structure = index.verify_structure();
+        prop_assert!(structure.is_ok(), "structure: {:?}", structure);
+        let lookahead = index.verify_lookahead_invariant();
+        prop_assert!(lookahead.is_ok(), "lookahead: {:?}", lookahead);
+    }
+
+    /// The workload-aware index never returns wrong answers, no matter how
+    /// the evaluation workload relates to the training workload.
+    #[test]
+    fn queries_outside_the_training_distribution_are_exact(seed in 0u64..500) {
+        let points = generate_dataset_with_seed(Region::Iberia, 2_000, seed);
+        let train = generate_queries_with_seed(Region::Iberia, 100, 0.0005, seed);
+        let index = build_wazi(points.clone(), &train, 32, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut stats = ExecStats::default();
+        for _ in 0..20 {
+            let a = Point::new(rng.gen(), rng.gen());
+            let b = Point::new(rng.gen(), rng.gen());
+            let query = Rect::from_corners(a, b);
+            let mut got = index.range_query(&query, &mut stats);
+            got.sort_by(|p, q| p.lex_cmp(q));
+            let mut expected: Vec<Point> = points.iter().copied().filter(|p| query.contains(p)).collect();
+            expected.sort_by(|p, q| p.lex_cmp(q));
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Mixed insert/delete sequences preserve exact query answers and the
+    /// index invariants, with and without look-ahead maintenance.
+    #[test]
+    fn mixed_updates_preserve_correctness(seed in 0u64..200, maintain in proptest::bool::ANY) {
+        let points = generate_dataset_with_seed(Region::NewYork, 1_500, seed);
+        let train = generate_queries_with_seed(Region::NewYork, 80, 0.001, seed);
+        let mut index = build_wazi(points.clone(), &train, 32, 4);
+        let mut shadow = points;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+
+        for step in 0..300 {
+            if rng.gen_bool(0.7) || shadow.is_empty() {
+                let p = Point::new(rng.gen(), rng.gen());
+                index.insert(p).expect("insert");
+                shadow.push(p);
+            } else {
+                let victim = shadow.swap_remove(rng.gen_range(0..shadow.len()));
+                let removed = index.delete(&victim).expect("delete");
+                prop_assert!(removed, "existing point must be deletable");
+            }
+            if maintain && step % 100 == 99 {
+                index.maintain();
+            }
+        }
+        prop_assert_eq!(index.len(), shadow.len());
+        let structure = index.verify_structure();
+        prop_assert!(structure.is_ok(), "structure: {:?}", structure);
+        let lookahead = index.verify_lookahead_invariant();
+        prop_assert!(lookahead.is_ok(), "lookahead: {:?}", lookahead);
+
+        let mut stats = ExecStats::default();
+        for query in train.iter().take(10) {
+            let mut got = index.range_query(query, &mut stats);
+            got.sort_by(|p, q| p.lex_cmp(q));
+            let mut expected: Vec<Point> = shadow.iter().copied().filter(|p| query.contains(p)).collect();
+            expected.sort_by(|p, q| p.lex_cmp(q));
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The exact-counting and RFDE-estimating builders both produce valid
+    /// indexes whose retrieval cost on the training workload is within a
+    /// small factor of each other.
+    #[test]
+    fn density_modes_produce_comparable_layouts(seed in 0u64..100) {
+        let points = generate_dataset_with_seed(Region::Japan, 4_000, seed);
+        let train = generate_queries_with_seed(Region::Japan, 150, 0.0005, seed);
+        let rfde = build_wazi(points.clone(), &train, 64, 8);
+        let exact = ZIndexBuilder::wazi()
+            .with_config(
+                ZIndexConfig::wazi()
+                    .with_leaf_capacity(64)
+                    .with_kappa(8)
+                    .with_density(DensityMode::Exact),
+            )
+            .build(points, &train);
+        let rfde_cost = rfde.measured_workload_cost(&train) as f64;
+        let exact_cost = exact.measured_workload_cost(&train) as f64;
+        prop_assert!(rfde_cost <= exact_cost * 3.0 + 1_000.0);
+        prop_assert!(exact_cost <= rfde_cost * 3.0 + 1_000.0);
+    }
+}
+
+#[test]
+fn skipping_never_changes_results_only_work() {
+    let points = generate_dataset_with_seed(Region::CaliNev, 8_000, 3);
+    let train = generate_queries_with_seed(Region::CaliNev, 400, 0.0003, 4);
+    let eval = generate_queries_with_seed(Region::CaliNev, 400, 0.0003, 5);
+    let with_skip = build_wazi(points.clone(), &train, 64, 16);
+    let without_skip = ZIndexBuilder::new(
+        ZIndexConfig::wazi_without_skipping()
+            .with_leaf_capacity(64)
+            .with_kappa(16),
+        wazi_core::BuildStrategy::Adaptive,
+    )
+    .build(points, &train);
+
+    let mut skip_stats = ExecStats::default();
+    let mut plain_stats = ExecStats::default();
+    for q in &eval {
+        let a = with_skip.range_query(q, &mut skip_stats);
+        let b = without_skip.range_query(q, &mut plain_stats);
+        assert_eq!(a.len(), b.len());
+    }
+    assert_eq!(skip_stats.results, plain_stats.results);
+    assert!(skip_stats.leaves_skipped > 0);
+}

@@ -174,10 +174,24 @@ impl SpatialIndex for CurTree {
         self.tree.len
     }
 
+    fn data_bounds(&self) -> Rect {
+        self.tree.root_mbr()
+    }
+
     fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
         let result = self.tree.range_query(query, stats);
         stats.results += result.len() as u64;
         result
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let count = self.tree.range_count(query, stats);
+        stats.results += count;
+        count
+    }
+
+    fn range_for_each(&self, query: &Rect, stats: &mut ExecStats, visit: &mut dyn FnMut(&Point)) {
+        stats.results += self.tree.range_for_each(query, stats, visit);
     }
 
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
@@ -245,7 +259,10 @@ mod tests {
             .collect();
         let hot_mean: f64 = hot.iter().sum::<f64>() / hot.len() as f64;
         let cold_mean: f64 = cold.iter().sum::<f64>() / cold.len() as f64;
-        assert!(hot_mean > cold_mean * 2.0, "hot {hot_mean} vs cold {cold_mean}");
+        assert!(
+            hot_mean > cold_mean * 2.0,
+            "hot {hot_mean} vs cold {cold_mean}"
+        );
     }
 
     #[test]
@@ -287,8 +304,11 @@ mod tests {
         for query in queries.iter().take(30).chain([Rect::UNIT].iter()) {
             let mut got = index.range_query(query, &mut stats);
             got.sort_by(|a, b| a.lex_cmp(b));
-            let mut expected: Vec<Point> =
-                points.iter().copied().filter(|p| query.contains(p)).collect();
+            let mut expected: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
             expected.sort_by(|a, b| a.lex_cmp(b));
             assert_eq!(got, expected);
         }

@@ -51,7 +51,7 @@ impl FloodIndex {
             let columns = ((base_columns as f64 * factor).round() as usize).max(1);
             let candidate = Self::with_columns(points.clone(), columns, space);
             let cost = candidate.layout_cost(&sample);
-            if best.map_or(true, |(_, c)| cost < c) {
+            if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((columns, cost));
             }
         }
@@ -90,11 +90,12 @@ impl FloodIndex {
     }
 
     /// Total points scanned when answering the given queries; the objective
-    /// minimised by the layout search.
+    /// minimised by the layout search. Uses the non-materializing counting
+    /// path: the search compares work counters, not result vectors.
     fn layout_cost(&self, queries: &[Rect]) -> u64 {
         let mut stats = ExecStats::default();
         for q in queries {
-            self.range_query(q, &mut stats);
+            self.range_count(q, &mut stats);
         }
         stats.points_scanned + stats.bbs_checked
     }
@@ -104,6 +105,30 @@ impl FloodIndex {
         let first = column_of(&self.boundaries, x0);
         let last = column_of(&self.boundaries, x1);
         (first, last)
+    }
+
+    /// The range-scan kernel shared by every execution mode: for each column
+    /// overlapping the query's x extent, binary-search the y run (the
+    /// projection phase — "Flood performs the fastest projection") and hand
+    /// the run to `on_run` for x filtering. No run list is materialized.
+    fn scan_range(&self, query: &Rect, stats: &mut ExecStats, mut on_run: impl FnMut(&[Point])) {
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
+        let (first, last) = self.column_range(query.lo.x, query.hi.x);
+        for column in first..=last {
+            stats.bbs_checked += 1;
+            let points = &self.columns[column];
+            let start = points.partition_point(|p| p.y < query.lo.y);
+            let end = points.partition_point(|p| p.y <= query.hi.y);
+            if start < end {
+                let scan_start = std::time::Instant::now();
+                stats.pages_scanned += 1;
+                stats.points_scanned += (end - start) as u64;
+                on_run(&points[start..end]);
+                scan_ns += scan_start.elapsed().as_nanos() as u64;
+            }
+        }
+        stats.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
     }
 }
 
@@ -125,36 +150,45 @@ impl SpatialIndex for FloodIndex {
         self.len
     }
 
-    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
-        let projection_start = std::time::Instant::now();
-        let (first, last) = self.column_range(query.lo.x, query.hi.x);
-        // Locate the y range inside every overlapping column.
-        let mut ranges = Vec::with_capacity(last - first + 1);
-        for column in first..=last {
-            stats.bbs_checked += 1;
-            let points = &self.columns[column];
-            let start = points.partition_point(|p| p.y < query.lo.y);
-            let end = points.partition_point(|p| p.y <= query.hi.y);
-            if start < end {
-                ranges.push((column, start, end));
-            }
-        }
-        stats.add_projection(projection_start.elapsed());
+    fn data_bounds(&self) -> Rect {
+        self.space
+    }
 
-        let scan_start = std::time::Instant::now();
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
         let mut result = Vec::new();
-        for (column, start, end) in ranges {
-            stats.pages_scanned += 1;
-            stats.points_scanned += (end - start) as u64;
-            for p in &self.columns[column][start..end] {
+        self.scan_range(query, stats, |run| {
+            for p in run {
                 if p.x >= query.lo.x && p.x <= query.hi.x {
                     result.push(*p);
                 }
             }
-        }
-        stats.add_scan(scan_start.elapsed());
+        });
         stats.results += result.len() as u64;
         result
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let mut count = 0u64;
+        self.scan_range(query, stats, |run| {
+            for p in run {
+                count += u64::from(p.x >= query.lo.x && p.x <= query.hi.x);
+            }
+        });
+        stats.results += count;
+        count
+    }
+
+    fn range_for_each(&self, query: &Rect, stats: &mut ExecStats, visit: &mut dyn FnMut(&Point)) {
+        let mut matched = 0u64;
+        self.scan_range(query, stats, |run| {
+            for p in run {
+                if p.x >= query.lo.x && p.x <= query.hi.x {
+                    matched += 1;
+                    visit(p);
+                }
+            }
+        });
+        stats.results += matched;
     }
 
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
@@ -246,8 +280,11 @@ mod tests {
         for query in workload.iter().take(30).chain([Rect::UNIT].iter()) {
             let mut got = index.range_query(query, &mut stats);
             got.sort_by(|a, b| a.lex_cmp(b));
-            let mut expected: Vec<Point> =
-                points.iter().copied().filter(|p| query.contains(p)).collect();
+            let mut expected: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
             expected.sort_by(|a, b| a.lex_cmp(b));
             assert_eq!(got, expected);
         }

@@ -40,6 +40,8 @@ struct XSlice {
 pub struct Quasii {
     slices: Vec<XSlice>,
     len: usize,
+    /// Bounding box of the indexed data (the initial uncracked piece).
+    space: Rect,
     /// Pieces smaller than this are not cracked further (the piece-size
     /// threshold of the original algorithm).
     min_piece: usize,
@@ -50,29 +52,53 @@ impl Quasii {
     pub fn build(points: Vec<Point>, training: &[Rect], min_piece: usize) -> Self {
         let min_piece = min_piece.max(1);
         let len = points.len();
-        let (x_lo, x_hi, y_lo, y_hi) = if points.is_empty() {
-            (0.0, 1.0, 0.0, 1.0)
+        let space = if points.is_empty() {
+            Rect::UNIT
         } else {
-            let b = Rect::bounding(&points);
-            (b.lo.x, b.hi.x, b.lo.y, b.hi.y)
+            Rect::bounding(&points)
         };
+        let (x_lo, x_hi, y_lo, y_hi) = (space.lo.x, space.hi.x, space.lo.y, space.hi.y);
         let mut index = Self {
             slices: vec![XSlice {
                 x_lo,
                 x_hi,
-                pieces: vec![YPiece {
-                    points,
-                    y_lo,
-                    y_hi,
-                }],
+                pieces: vec![YPiece { points, y_lo, y_hi }],
             }],
             len,
+            space,
             min_piece,
         };
         for query in training {
             index.crack(query);
         }
         index
+    }
+
+    /// The range-scan kernel shared by every execution mode: walks the
+    /// x-slices and their y-pieces, pruning by the cracked intervals (the
+    /// projection phase), and hands each relevant piece's points to
+    /// `on_piece` — no piece list is materialized.
+    fn scan_range(&self, query: &Rect, stats: &mut ExecStats, mut on_piece: impl FnMut(&[Point])) {
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
+        for slice in &self.slices {
+            stats.nodes_visited += 1;
+            if slice.x_hi < query.lo.x || slice.x_lo > query.hi.x {
+                continue;
+            }
+            for piece in &slice.pieces {
+                stats.bbs_checked += 1;
+                if piece.y_hi < query.lo.y || piece.y_lo > query.hi.y {
+                    continue;
+                }
+                let scan_start = std::time::Instant::now();
+                stats.pages_scanned += 1;
+                stats.points_scanned += piece.points.len() as u64;
+                on_piece(&piece.points);
+                scan_ns += scan_start.elapsed().as_nanos() as u64;
+            }
+        }
+        stats.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
     }
 
     /// Number of x-slices after convergence.
@@ -102,11 +128,7 @@ impl Quasii {
     /// Splits the x-slice containing `x` at `x` (when the slice is large
     /// enough to crack).
     fn crack_x(&mut self, x: f64) {
-        let Some(position) = self
-            .slices
-            .iter()
-            .position(|s| x > s.x_lo && x < s.x_hi)
-        else {
+        let Some(position) = self.slices.iter().position(|s| x > s.x_lo && x < s.x_hi) else {
             return;
         };
         let slice_size: usize = self.slices[position]
@@ -210,38 +232,45 @@ impl SpatialIndex for Quasii {
         self.len
     }
 
-    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
-        let projection_start = std::time::Instant::now();
-        let mut relevant: Vec<&YPiece> = Vec::new();
-        for slice in &self.slices {
-            stats.nodes_visited += 1;
-            if slice.x_hi < query.lo.x || slice.x_lo > query.hi.x {
-                continue;
-            }
-            for piece in &slice.pieces {
-                stats.bbs_checked += 1;
-                if piece.y_hi < query.lo.y || piece.y_lo > query.hi.y {
-                    continue;
-                }
-                relevant.push(piece);
-            }
-        }
-        stats.add_projection(projection_start.elapsed());
+    fn data_bounds(&self) -> Rect {
+        self.space
+    }
 
-        let scan_start = std::time::Instant::now();
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
         let mut result = Vec::new();
-        for piece in relevant {
-            stats.pages_scanned += 1;
-            stats.points_scanned += piece.points.len() as u64;
-            for p in &piece.points {
+        self.scan_range(query, stats, |points| {
+            for p in points {
                 if query.contains(p) {
                     result.push(*p);
                 }
             }
-        }
-        stats.add_scan(scan_start.elapsed());
+        });
         stats.results += result.len() as u64;
         result
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let mut count = 0u64;
+        self.scan_range(query, stats, |points| {
+            for p in points {
+                count += u64::from(query.contains(p));
+            }
+        });
+        stats.results += count;
+        count
+    }
+
+    fn range_for_each(&self, query: &Rect, stats: &mut ExecStats, visit: &mut dyn FnMut(&Point)) {
+        let mut matched = 0u64;
+        self.scan_range(query, stats, |points| {
+            for p in points {
+                if query.contains(p) {
+                    matched += 1;
+                    visit(p);
+                }
+            }
+        });
+        stats.results += matched;
     }
 
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
@@ -301,10 +330,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let c = Point::new(
-                    0.3 + rng.gen::<f64>() * 0.4,
-                    0.3 + rng.gen::<f64>() * 0.4,
-                );
+                let c = Point::new(0.3 + rng.gen::<f64>() * 0.4, 0.3 + rng.gen::<f64>() * 0.4);
                 Rect::query_box(&Rect::UNIT, c, 0.001, 1.0)
             })
             .collect()
@@ -321,8 +347,11 @@ mod tests {
         for query in training.iter().take(30).chain(unseen.iter()) {
             let mut got = index.range_query(query, &mut stats);
             got.sort_by(|a, b| a.lex_cmp(b));
-            let mut expected: Vec<Point> =
-                points.iter().copied().filter(|p| query.contains(p)).collect();
+            let mut expected: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
             expected.sort_by(|a, b| a.lex_cmp(b));
             assert_eq!(got, expected);
         }
@@ -333,7 +362,11 @@ mod tests {
         let points = dataset(5_000, 4);
         let training = workload(200, 5);
         let index = Quasii::build(points.clone(), &training, 64);
-        assert!(index.slice_count() > 10, "x cracks: {}", index.slice_count());
+        assert!(
+            index.slice_count() > 10,
+            "x cracks: {}",
+            index.slice_count()
+        );
         assert!(index.piece_count() > index.slice_count());
 
         // Cracking must not lose or duplicate points.

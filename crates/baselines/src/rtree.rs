@@ -93,12 +93,25 @@ impl PackedRTree {
         }
     }
 
-    /// Range query in the two phases the paper's Figure 9 distinguishes:
-    /// a projection phase traversing the tree to collect the pages of
-    /// overlapping leaves, then a scan phase filtering those pages.
-    pub(crate) fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
-        let projection_start = std::time::Instant::now();
-        let mut relevant_pages = Vec::new();
+    /// The bounding rectangle of everything stored in the tree.
+    pub(crate) fn root_mbr(&self) -> Rect {
+        self.nodes[self.root as usize].mbr()
+    }
+
+    /// The range-scan kernel shared by every execution mode: traverses the
+    /// tree, pruning by bounding box, and hands each overlapping leaf's page
+    /// id to `on_page` as it is discovered — no page list is materialized.
+    ///
+    /// Timing: page visits are accumulated as scan-phase time, the tree
+    /// traversal as projection-phase time (the split of Figure 9).
+    fn scan_range(
+        &self,
+        query: &Rect,
+        stats: &mut ExecStats,
+        mut on_page: impl FnMut(&PageStore, PageId, &mut ExecStats),
+    ) {
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
         let mut stack = vec![self.root];
         while let Some(index) = stack.pop() {
             match &self.nodes[index as usize] {
@@ -111,18 +124,49 @@ impl PackedRTree {
                         }
                     }
                 }
-                RNode::Leaf { page, .. } => relevant_pages.push(*page),
+                RNode::Leaf { page, .. } => {
+                    let scan_start = std::time::Instant::now();
+                    on_page(&self.store, *page, stats);
+                    scan_ns += scan_start.elapsed().as_nanos() as u64;
+                }
             }
         }
-        stats.add_projection(projection_start.elapsed());
+        stats.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+    }
 
-        let scan_start = std::time::Instant::now();
+    /// Materializing range query.
+    pub(crate) fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
         let mut result = Vec::new();
-        for page in relevant_pages {
-            self.store.filter_page(page, query, &mut result, stats);
-        }
-        stats.add_scan(scan_start.elapsed());
+        self.scan_range(query, stats, |store, page, stats| {
+            store.filter_page(page, query, &mut result, stats);
+        });
         result
+    }
+
+    /// Counting range query: result-set size without materialization.
+    pub(crate) fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let mut count = 0u64;
+        self.scan_range(query, stats, |store, page, stats| {
+            count += store.count_in(page, query, stats);
+        });
+        count
+    }
+
+    /// Streaming range query: `visit` is invoked for every matching point.
+    pub(crate) fn range_for_each(
+        &self,
+        query: &Rect,
+        stats: &mut ExecStats,
+        visit: &mut dyn FnMut(&Point),
+    ) -> u64 {
+        let mut matched = 0u64;
+        self.scan_range(query, stats, |store, page, stats| {
+            store.for_each_in(page, query, stats, |p| {
+                matched += 1;
+                visit(p);
+            });
+        });
+        matched
     }
 
     /// Point query: descend into every child whose bounding box contains the
@@ -156,23 +200,17 @@ impl PackedRTree {
         // Descend, remembering the path for MBR updates.
         let mut path = Vec::new();
         let mut current = self.root;
-        loop {
-            match &self.nodes[current as usize] {
-                RNode::Internal { children, .. } => {
-                    path.push(current);
-                    let chosen = children
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            let ea = enlargement(&self.nodes[a as usize].mbr(), &p);
-                            let eb = enlargement(&self.nodes[b as usize].mbr(), &p);
-                            ea.total_cmp(&eb)
-                        })
-                        .expect("internal nodes always have children");
-                    current = chosen;
-                }
-                RNode::Leaf { .. } => break,
-            }
+        while let RNode::Internal { children, .. } = &self.nodes[current as usize] {
+            path.push(current);
+            current = children
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ea = enlargement(&self.nodes[a as usize].mbr(), &p);
+                    let eb = enlargement(&self.nodes[b as usize].mbr(), &p);
+                    ea.total_cmp(&eb)
+                })
+                .expect("internal nodes always have children");
         }
         path.push(current);
 
@@ -210,7 +248,11 @@ impl PackedRTree {
         coords.sort_unstable_by(f64::total_cmp);
         let median = coords[coords.len() / 2];
         let pages = self.store.split_page(page, 2, |q| {
-            usize::from(if split_on_x { q.x > median } else { q.y > median })
+            usize::from(if split_on_x {
+                q.x > median
+            } else {
+                q.y > median
+            })
         });
         // Refresh the original leaf and create the sibling.
         let first_bbox = self.store.page(pages[0]).bbox();
@@ -358,7 +400,10 @@ mod tests {
             tree.insert(p);
         }
         assert_eq!(tree.len, 400);
-        assert!(tree.store.page_count() > page_count_before, "splits happened");
+        assert!(
+            tree.store.page_count() > page_count_before,
+            "splits happened"
+        );
         let mut stats = ExecStats::default();
         let query = Rect::from_coords(0.2, 0.2, 0.6, 0.6);
         let got = tree.range_query(&query, &mut stats);

@@ -67,10 +67,24 @@ impl SpatialIndex for StrRTree {
         self.tree.len
     }
 
+    fn data_bounds(&self) -> Rect {
+        self.tree.root_mbr()
+    }
+
     fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
         let result = self.tree.range_query(query, stats);
         stats.results += result.len() as u64;
         result
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let count = self.tree.range_count(query, stats);
+        stats.results += count;
+        count
+    }
+
+    fn range_for_each(&self, query: &Rect, stats: &mut ExecStats, visit: &mut dyn FnMut(&Point)) {
+        stats.results += self.tree.range_for_each(query, stats, visit);
     }
 
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
@@ -132,8 +146,11 @@ mod tests {
         ] {
             let mut got = index.range_query(&query, &mut stats);
             got.sort_by(|a, b| a.lex_cmp(b));
-            let mut expected: Vec<Point> =
-                points.iter().copied().filter(|p| query.contains(p)).collect();
+            let mut expected: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
             expected.sort_by(|a, b| a.lex_cmp(b));
             assert_eq!(got, expected);
         }

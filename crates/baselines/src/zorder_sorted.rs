@@ -24,6 +24,8 @@ pub struct ZOrderSorted {
     /// `(code, point)` pairs sorted by Morton code.
     entries: Vec<(u64, Point)>,
     mapper: ZOrderMapper,
+    /// Bounding box of the indexed points (grown by inserts).
+    space: Rect,
 }
 
 impl ZOrderSorted {
@@ -38,7 +40,11 @@ impl ZOrderSorted {
         let mut entries: Vec<(u64, Point)> =
             points.into_iter().map(|p| (mapper.code(&p), p)).collect();
         entries.sort_unstable_by_key(|(code, _)| *code);
-        Self { entries, mapper }
+        Self {
+            entries,
+            mapper,
+            space,
+        }
     }
 
     /// Builds the index with the default 16-bit grid.
@@ -50,25 +56,18 @@ impl ZOrderSorted {
     fn lower_bound(&self, code: u64) -> usize {
         self.entries.partition_point(|(c, _)| *c < code)
     }
-}
 
-impl SpatialIndex for ZOrderSorted {
-    fn name(&self) -> &'static str {
-        "Zpgm"
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+    /// The range-scan kernel shared by every execution mode: scans the
+    /// Morton-code interval `[code(BL), code(TR)]`, consulting BIGMIN to
+    /// jump over runs of codes outside the query rectangle, and invokes
+    /// `on_match` for every matching point.
+    fn scan_range(&self, query: &Rect, stats: &mut ExecStats, mut on_match: impl FnMut(&Point)) {
         let projection_start = std::time::Instant::now();
         let (lo_code, hi_code) = self.mapper.query_interval(query);
         let start = self.lower_bound(lo_code);
         stats.add_projection(projection_start.elapsed());
 
         let scan_start = std::time::Instant::now();
-        let mut result = Vec::new();
         let mut i = start;
         let mut misses = 0usize;
         while i < self.entries.len() {
@@ -78,7 +77,7 @@ impl SpatialIndex for ZOrderSorted {
             }
             stats.points_scanned += 1;
             if query.contains(&point) {
-                result.push(point);
+                on_match(&point);
                 misses = 0;
             } else {
                 misses += 1;
@@ -100,8 +99,43 @@ impl SpatialIndex for ZOrderSorted {
             i += 1;
         }
         stats.add_scan(scan_start.elapsed());
+    }
+}
+
+impl SpatialIndex for ZOrderSorted {
+    fn name(&self) -> &'static str {
+        "Zpgm"
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn data_bounds(&self) -> Rect {
+        self.space
+    }
+
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        let mut result = Vec::new();
+        self.scan_range(query, stats, |p| result.push(*p));
         stats.results += result.len() as u64;
         result
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let mut count = 0u64;
+        self.scan_range(query, stats, |_| count += 1);
+        stats.results += count;
+        count
+    }
+
+    fn range_for_each(&self, query: &Rect, stats: &mut ExecStats, visit: &mut dyn FnMut(&Point)) {
+        let mut matched = 0u64;
+        self.scan_range(query, stats, |p| {
+            matched += 1;
+            visit(p);
+        });
+        stats.results += matched;
     }
 
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
@@ -131,6 +165,7 @@ impl SpatialIndex for ZOrderSorted {
         let code = self.mapper.code(&p);
         let position = self.lower_bound(code);
         self.entries.insert(position, (code, p));
+        self.space.expand(&p);
         Ok(())
     }
 
@@ -165,8 +200,11 @@ mod tests {
         ] {
             let mut got = index.range_query(&query, &mut stats);
             got.sort_by(|a, b| a.lex_cmp(b));
-            let mut expected: Vec<Point> =
-                points.iter().copied().filter(|p| query.contains(p)).collect();
+            let mut expected: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
             expected.sort_by(|a, b| a.lex_cmp(b));
             assert_eq!(got, expected);
         }

@@ -16,7 +16,9 @@ fn bench_ablation(c: &mut Criterion) {
             "ablation/figure13/sel_{:.4}pct",
             selectivity * 100.0
         ));
-        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2));
         for kind in IndexKind::ABLATION {
             let built = build_index(kind, &points, &train, 256);
             group.bench_with_input(
@@ -28,7 +30,9 @@ fn bench_ablation(c: &mut Criterion) {
                         let mut stats = ExecStats::default();
                         let query = &eval[cursor % eval.len()];
                         cursor += 1;
-                        std::hint::black_box(built.index.range_query(query, &mut stats))
+                        // Non-materializing path: what the ablation experiment
+                        // (Figure 13) reports.
+                        std::hint::black_box(built.index.range_count(query, &mut stats))
                     });
                 },
             );

@@ -10,7 +10,9 @@ fn bench_build(c: &mut Criterion) {
     let train = generate_queries(Region::NewYork, 500, SELECTIVITIES[2]);
 
     let mut group = c.benchmark_group("build/table3");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     // QUASII is excluded from the timed loop: its cracking-based build is
     // orders of magnitude slower (which is exactly what Table 3 reports) and
     // would dominate the benchmark wall-clock; the reproduce harness still
@@ -22,9 +24,13 @@ fn bench_build(c: &mut Criterion) {
         IndexKind::Str,
         IndexKind::Wazi,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| std::hint::black_box(build_index(kind, &points, &train, 256).build_ns));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| std::hint::black_box(build_index(kind, &points, &train, 256).build_ns));
+            },
+        );
     }
     group.finish();
 }

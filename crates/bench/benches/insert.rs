@@ -11,23 +11,29 @@ fn bench_inserts(c: &mut Criterion) {
     let inserts = uniform_dataset(50_000, 3);
 
     let mut group = c.benchmark_group("insert/figure11");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in IndexKind::INSERTABLE {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            // Rebuild periodically so the index does not grow unboundedly
-            // across iterations; the measured unit is a single insert.
-            let mut built = build_index(kind, &points, &train, 256);
-            let mut cursor = 0usize;
-            b.iter(|| {
-                if cursor == inserts.len() {
-                    built = build_index(kind, &points, &train, 256);
-                    cursor = 0;
-                }
-                let p = inserts[cursor];
-                cursor += 1;
-                std::hint::black_box(built.index.insert(p)).ok();
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                // Rebuild periodically so the index does not grow unboundedly
+                // across iterations; the measured unit is a single insert.
+                let mut built = build_index(kind, &points, &train, 256);
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    if cursor == inserts.len() {
+                        built = build_index(kind, &points, &train, 256);
+                        cursor = 0;
+                    }
+                    let p = inserts[cursor];
+                    cursor += 1;
+                    std::hint::black_box(built.index.insert(p)).ok();
+                });
+            },
+        );
     }
     group.finish();
 }

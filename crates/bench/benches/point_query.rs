@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use wazi_bench::{build_index, IndexKind};
 use wazi_storage::ExecStats;
-use wazi_workload::{generate_dataset, generate_queries, sample_point_queries, Region, SELECTIVITIES};
+use wazi_workload::{
+    generate_dataset, generate_queries, sample_point_queries, Region, SELECTIVITIES,
+};
 
 fn bench_point_queries(c: &mut Criterion) {
     let points = generate_dataset(Region::NewYork, 50_000);
@@ -12,18 +14,24 @@ fn bench_point_queries(c: &mut Criterion) {
     let probes = sample_point_queries(&points, 1_000, 11);
 
     let mut group = c.benchmark_group("point_query/figure10");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in IndexKind::PRIMARY {
         let built = build_index(kind, &points, &train, 256);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
-            let mut cursor = 0usize;
-            b.iter(|| {
-                let mut stats = ExecStats::default();
-                let probe = &probes[cursor % probes.len()];
-                cursor += 1;
-                std::hint::black_box(built.index.point_query(probe, &mut stats))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &built,
+            |b, built| {
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    let probe = &probes[cursor % probes.len()];
+                    cursor += 1;
+                    std::hint::black_box(built.index.point_query(probe, &mut stats))
+                });
+            },
+        );
     }
     group.finish();
 }

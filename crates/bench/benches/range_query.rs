@@ -1,5 +1,7 @@
 //! Criterion benchmark behind Figures 4 and 6: range-query latency of every
-//! index on a skewed workload.
+//! index on a skewed workload, on both execution paths of the query engine —
+//! the materializing `range_query` and the non-materializing `range_count`
+//! the experiment harness reports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -13,18 +15,37 @@ fn bench_range_queries(c: &mut Criterion) {
     let eval = generate_queries(Region::NewYork, 256, SELECTIVITIES[2]);
 
     let mut group = c.benchmark_group("range_query/figure4_6");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in IndexKind::OVERVIEW {
         let built = build_index(kind, &points, &train, 256);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
-            let mut cursor = 0usize;
-            b.iter(|| {
-                let mut stats = ExecStats::default();
-                let query = &eval[cursor % eval.len()];
-                cursor += 1;
-                std::hint::black_box(built.index.range_query(query, &mut stats))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("materialize", kind.name()),
+            &built,
+            |b, built| {
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    let query = &eval[cursor % eval.len()];
+                    cursor += 1;
+                    std::hint::black_box(built.index.range_query(query, &mut stats))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count", kind.name()),
+            &built,
+            |b, built| {
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    let query = &eval[cursor % eval.len()];
+                    cursor += 1;
+                    std::hint::black_box(built.index.range_count(query, &mut stats))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -83,9 +83,9 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&all_reports).expect("reports serialise");
-        let mut file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let json = wazi_bench::Report::json_array(&all_reports);
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         file.write_all(json.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {} reports to {path}", all_reports.len());

@@ -13,8 +13,11 @@ use wazi_workload::{generate_queries_with_seed, Region, ABLATION_SELECTIVITIES, 
 /// selectivity range.
 pub fn figure13(ctx: &ExperimentContext) -> Vec<Report> {
     let region = Region::NewYork;
-    let mut query_time = Report::new("figure13-time", "Ablation: query time (Figure 13, top-left)")
-        .with_headers(&["Selectivity (%)", "Base", "Base+SK", "WaZI-SK", "WaZI"]);
+    let mut query_time = Report::new(
+        "figure13-time",
+        "Ablation: query time (Figure 13, top-left)",
+    )
+    .with_headers(&["Selectivity (%)", "Base", "Base+SK", "WaZI-SK", "WaZI"]);
     let mut excess = Report::new(
         "figure13-excess",
         "Ablation: excess points compared (Figure 13, top-right)",
@@ -50,7 +53,9 @@ pub fn figure13(ctx: &ExperimentContext) -> Vec<Report> {
         bbs.push_row(bbs_row);
         pages.push_row(pages_row);
     }
-    bbs.push_note("expected shape: the +SK variants check orders of magnitude fewer bounding boxes");
+    bbs.push_note(
+        "expected shape: the +SK variants check orders of magnitude fewer bounding boxes",
+    );
     excess.push_note("expected shape: adaptive partitioning (WaZI, WaZI-SK) reduces excess points and pages scanned; skipping alone does not");
     query_time.push_note("expected shape: WaZI is fastest; Base+SK approaches Base and WaZI-SK approaches WaZI as selectivity grows");
     vec![query_time, excess, bbs, pages]

@@ -47,8 +47,7 @@ pub fn table4(ctx: &ExperimentContext) -> Vec<Report> {
         IndexKind::Wazi,
     ];
     for region in Region::ALL {
-        let (points, train, eval) =
-            workload_setup(ctx, region, SELECTIVITIES[2], ctx.dataset_size);
+        let (points, train, eval) = workload_setup(ctx, region, SELECTIVITIES[2], ctx.dataset_size);
         let base = build_index(IndexKind::Base, &points, &train, ctx.leaf_capacity);
         let base_query = measure_range_queries(base.index.as_ref(), &eval).mean_latency_ns;
         let mut row = vec![region.name().to_string()];
@@ -64,7 +63,9 @@ pub fn table4(ctx: &ExperimentContext) -> Vec<Report> {
         }
         report.push_row(row);
     }
-    report.push_note("(+) slower to build but faster to query: redeems after the reported number of queries");
+    report.push_note(
+        "(+) slower to build but faster to query: redeems after the reported number of queries",
+    );
     report.push_note("(-) faster to build but slower to query: falls behind after the reported number of queries");
     report.push_note("(+)/(-) without a number: better/worse regardless of the number of queries");
     vec![report]

@@ -13,13 +13,12 @@ pub mod range;
 pub mod updates;
 
 use crate::report::Report;
-use serde::{Deserialize, Serialize};
 
 /// Global knobs of an experiment run. The defaults are laptop-scale
 /// stand-ins for the paper's server-scale parameters (Table 2); the
 /// `reproduce` binary exposes them as command-line flags so paper-scale runs
 /// remain possible.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExperimentContext {
     /// Default dataset size (the paper's default is 32 million).
     pub dataset_size: usize,
@@ -126,7 +125,8 @@ pub fn registry() -> Vec<ExperimentSpec> {
         },
         ExperimentSpec {
             id: "figure4",
-            description: "Average range-query latency of all indexes incl. rank-space Z-order (Figure 4)",
+            description:
+                "Average range-query latency of all indexes incl. rank-space Z-order (Figure 4)",
             run: range::figure4,
         },
         ExperimentSpec {

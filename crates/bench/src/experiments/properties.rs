@@ -25,8 +25,11 @@ pub fn table1(_ctx: &ExperimentContext) -> Vec<Report> {
 /// Table 2: parameter settings actually used by this run, next to the
 /// paper's values.
 pub fn table2(ctx: &ExperimentContext) -> Vec<Report> {
-    let mut report = Report::new("table2", "Parameter setting")
-        .with_headers(&["Parameter", "Paper", "This run"]);
+    let mut report = Report::new("table2", "Parameter setting").with_headers(&[
+        "Parameter",
+        "Paper",
+        "This run",
+    ]);
     let sweep: Vec<String> = ctx.size_sweep().iter().map(|s| s.to_string()).collect();
     report.push_row(vec![
         "Dataset size".into(),
@@ -57,7 +60,9 @@ pub fn table2(ctx: &ExperimentContext) -> Vec<Report> {
         "50,000".into(),
         ctx.point_queries.to_string(),
     ]);
-    report.push_note("datasets and workloads are synthetic stand-ins for OSM/Gowalla; see DESIGN.md §3");
+    report.push_note(
+        "datasets and workloads are synthetic stand-ins for OSM/Gowalla; see DESIGN.md §3",
+    );
     vec![report]
 }
 

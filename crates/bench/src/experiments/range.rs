@@ -77,16 +77,20 @@ pub fn figure6(ctx: &ExperimentContext) -> Vec<Report> {
         )
         .with_headers(&["Dataset", "QUASII", "CUR", "STR", "Flood", "Base", "WaZI"]);
         for region in Region::ALL {
-            let results = measure_kinds(ctx, &IndexKind::PRIMARY, region, selectivity, ctx.dataset_size);
-            let mut row = vec![region.name().to_string()];
-            row.extend(
-                results
-                    .iter()
-                    .map(|(_, m)| format_ns(m.mean_latency_ns)),
+            let results = measure_kinds(
+                ctx,
+                &IndexKind::PRIMARY,
+                region,
+                selectivity,
+                ctx.dataset_size,
             );
+            let mut row = vec![region.name().to_string()];
+            row.extend(results.iter().map(|(_, m)| format_ns(m.mean_latency_ns)));
             report.push_row(row);
         }
-        report.push_note("expected shape: WaZI has the lowest (or tied-lowest) latency in every cell");
+        report.push_note(
+            "expected shape: WaZI has the lowest (or tied-lowest) latency in every cell",
+        );
         reports.push(report);
     }
     reports
@@ -110,7 +114,13 @@ pub fn figure7(ctx: &ExperimentContext) -> Vec<Report> {
         let mut improvements_per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         let mut base_latencies = Vec::new();
         for &selectivity in &SELECTIVITIES {
-            let all = measure_kinds(ctx, &IndexKind::PRIMARY, region, selectivity, ctx.dataset_size);
+            let all = measure_kinds(
+                ctx,
+                &IndexKind::PRIMARY,
+                region,
+                selectivity,
+                ctx.dataset_size,
+            );
             let base = all
                 .iter()
                 .find(|(k, _)| *k == IndexKind::Base)
@@ -137,9 +147,11 @@ pub fn figure7(ctx: &ExperimentContext) -> Vec<Report> {
     .with_headers(&["Dataset", "QUASII", "CUR", "STR", "Flood", "WaZI"]);
     for (region, improvements) in &by_region {
         let mut row = vec![region.name().to_string()];
-        row.extend(improvements.iter().map(|values| {
-            format!("{:+.1}%", values.iter().sum::<f64>() / values.len() as f64)
-        }));
+        row.extend(
+            improvements
+                .iter()
+                .map(|values| format!("{:+.1}%", values.iter().sum::<f64>() / values.len() as f64)),
+        );
         by_dataset.push_row(row);
     }
     by_dataset.push_note("positive numbers are improvements; WaZI should be the only index that is positive everywhere");
@@ -175,12 +187,20 @@ pub fn figure8(ctx: &ExperimentContext) -> Vec<Report> {
     )
     .with_headers(&["Size", "QUASII", "CUR", "STR", "Flood", "Base", "WaZI"]);
     for size in ctx.size_sweep() {
-        let results = measure_kinds(ctx, &IndexKind::PRIMARY, DEFAULT_REGION, SELECTIVITIES[2], size);
+        let results = measure_kinds(
+            ctx,
+            &IndexKind::PRIMARY,
+            DEFAULT_REGION,
+            SELECTIVITIES[2],
+            size,
+        );
         let mut row = vec![size.to_string()];
         row.extend(results.iter().map(|(_, m)| format_ns(m.mean_latency_ns)));
         report.push_row(row);
     }
-    report.push_note("expected shape: near-linear growth for every index, with WaZI lowest at every size");
+    report.push_note(
+        "expected shape: near-linear growth for every index, with WaZI lowest at every size",
+    );
     vec![report]
 }
 

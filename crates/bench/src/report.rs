@@ -1,10 +1,8 @@
 //! Plain-text and JSON reporting of experiment results.
 
-use serde::Serialize;
-
 /// A rendered experiment result: one table with a title, headers and rows,
 /// mirroring a table or figure of the paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment identifier, e.g. `"figure6"`.
     pub id: String,
@@ -52,8 +50,81 @@ impl Report {
 
     /// Serialises the report to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        let mut out = String::new();
+        self.write_json(&mut out, 0);
+        out
     }
+
+    /// Serialises a slice of reports to a pretty JSON array (the `--json`
+    /// output of the `reproduce` binary).
+    pub fn json_array(reports: &[Report]) -> String {
+        if reports.is_empty() {
+            return "[]".to_string();
+        }
+        let mut out = String::from("[\n");
+        for (i, report) in reports.iter().enumerate() {
+            out.push_str("  ");
+            report.write_json(&mut out, 1);
+            if i + 1 < reports.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+
+    fn write_json(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        out.push_str("{\n");
+        out.push_str(&format!("{pad}\"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("{pad}\"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!(
+            "{pad}\"headers\": {},\n",
+            json_string_array(&self.headers)
+        ));
+        out.push_str(&format!("{pad}\"rows\": ["));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n{pad}  {}", json_string_array(row)));
+        }
+        if !self.rows.is_empty() {
+            out.push_str(&format!("\n{pad}"));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "{pad}\"notes\": {}\n",
+            json_string_array(&self.notes)
+        ));
+        out.push_str(&"  ".repeat(depth));
+        out.push('}');
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(values: &[String]) -> String {
+    let escaped: Vec<String> = values.iter().map(|v| json_string(v)).collect();
+    format!("[{}]", escaped.join(", "))
 }
 
 impl std::fmt::Display for Report {
@@ -93,7 +164,12 @@ impl std::fmt::Display for Report {
             let line: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, cell)| format!("{cell:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .map(|(i, cell)| {
+                    format!(
+                        "{cell:>width$}",
+                        width = widths.get(i).copied().unwrap_or(0)
+                    )
+                })
                 .collect();
             writeln!(f, "{}", line.join("  "))?;
         }

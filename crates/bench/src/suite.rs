@@ -1,6 +1,5 @@
 //! Uniform construction of every index compared in the evaluation.
 
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use wazi_baselines::{CurTree, FloodIndex, Quasii, StrRTree, ZOrderSorted};
 use wazi_core::{SpatialIndex, ZIndexBuilder, ZIndexConfig};
@@ -9,7 +8,7 @@ use wazi_geom::{Point, Rect};
 /// The indexes of the evaluation. The first six are the primary competitors
 /// of Figures 6–13 and Tables 3–5; `Zpgm` is the rank-space representative
 /// that only appears in Figure 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexKind {
     /// The paper's contribution (adaptive layout + skipping).
     Wazi,

@@ -256,7 +256,7 @@ impl BuildContext {
             };
             let (ordering, cost) = best_ordering(queries, &candidate, &counts, self.config.alpha);
             self.report.candidates_evaluated += 1;
-            if best.map_or(true, |(_, _, c)| cost < c) {
+            if best.is_none_or(|(_, _, c)| cost < c) {
                 best = Some((candidate, ordering, cost));
             }
         }

@@ -1,11 +1,10 @@
 //! Configuration of Z-index construction.
 
-use serde::{Deserialize, Serialize};
 use wazi_density::RfdeConfig;
 
 /// How the greedy builder estimates the number of data points inside a
 /// candidate quadrant when evaluating the retrieval cost (Eq. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DensityMode {
     /// Count the points of the cell exactly (no learned component). This is
     /// the "non-learned" ablation of the construction procedure.
@@ -22,7 +21,7 @@ impl Default for DensityMode {
 }
 
 /// Construction parameters shared by the base Z-index and WaZI.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ZIndexConfig {
     /// Leaf capacity `L`: a cell stops splitting once it holds fewer than
     /// `leaf_capacity` points. The paper's default is 256.
@@ -182,7 +181,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(ZIndexConfig::wazi().with_leaf_capacity(0).validate().is_err());
+        assert!(ZIndexConfig::wazi()
+            .with_leaf_capacity(0)
+            .validate()
+            .is_err());
         assert!(ZIndexConfig::wazi().with_kappa(0).validate().is_err());
         assert!(ZIndexConfig::wazi().with_alpha(2.0).validate().is_err());
         assert!(ZIndexConfig::wazi().with_alpha(-0.1).validate().is_err());

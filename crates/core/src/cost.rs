@@ -276,10 +276,7 @@ mod tests {
         let mut points = Vec::new();
         for i in 0..40 {
             for j in 0..40 {
-                points.push(Point::new(
-                    (i as f64 + 0.5) / 40.0,
-                    (j as f64 + 0.5) / 40.0,
-                ));
+                points.push(Point::new((i as f64 + 0.5) / 40.0, (j as f64 + 0.5) / 40.0));
             }
         }
         let rfde = Rfde::fit(&points, wazi_density::RfdeConfig::default());

@@ -41,7 +41,11 @@ pub(crate) fn build_lookahead(leaves: &mut [Leaf]) {
             }
             lookahead.set(
                 criterion,
-                if (ptr as usize) < n { ptr } else { LOOKAHEAD_END },
+                if (ptr as usize) < n {
+                    ptr
+                } else {
+                    LOOKAHEAD_END
+                },
             );
         }
         leaves[i].lookahead = Some(lookahead);
@@ -158,7 +162,12 @@ mod tests {
     fn empty_leaves_use_degenerate_skip_rects() {
         let mut leaves = vec![
             leaf(0.0, 0.0, 0.1, 0.1),
-            Leaf::new(Rect::from_coords(0.1, 0.0, 0.2, 0.1), Rect::EMPTY, PageId(1), 0),
+            Leaf::new(
+                Rect::from_coords(0.1, 0.0, 0.2, 0.1),
+                Rect::EMPTY,
+                PageId(1),
+                0,
+            ),
             leaf(0.2, 0.0, 0.3, 0.9),
         ];
         build_lookahead(&mut leaves);

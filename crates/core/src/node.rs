@@ -6,12 +6,11 @@
 //! clustered layout the paper assumes (consecutive leaves map to consecutive
 //! pages).
 
-use serde::{Deserialize, Serialize};
 use wazi_geom::{CellOrdering, Point, Rect};
 use wazi_storage::PageId;
 
 /// Reference to a child node in the arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeRef {
     /// An internal node, indexed into the internal-node arena.
     Internal(u32),
@@ -33,7 +32,7 @@ impl NodeRef {
 
 /// An internal node: a split point, a child ordering and four children in
 /// curve order (position 0 is visited first by the curve).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InternalNode {
     /// The region of the data space covered by this node's cell.
     pub region: Rect,
@@ -57,7 +56,7 @@ impl InternalNode {
 }
 
 /// The four irrelevancy criteria of the skipping mechanism (Section 5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum SkipCriterion {
     /// The leaf lies entirely below the query (`TR(P).y < BL(R).y`).
@@ -83,7 +82,7 @@ impl SkipCriterion {
 /// Per-leaf look-ahead pointers, one per irrelevancy criterion. The value is
 /// a leaf index; `u32::MAX` is the "dummy page" sentinel marking the end of
 /// the leaf list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lookahead {
     pointers: [u32; 4],
 }
@@ -114,7 +113,7 @@ impl Lookahead {
 }
 
 /// A leaf node of the Z-index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Leaf {
     /// The cell region assigned to this leaf by the hierarchical
     /// partitioning (used to route point queries and updates).

@@ -1,0 +1,190 @@
+//! Query execution: the shared leaf-interval scan kernel.
+//!
+//! Every read path of the Z-index — materializing range queries, counting,
+//! streaming, and the candidate collection behind kNN — funnels through one
+//! kernel, [`ZIndex::scan_range`]. The kernel walks the leaf interval
+//! `[leaf(BL(q)) : leaf(TR(q))]` of Algorithm 2, applies the look-ahead
+//! skipping of Section 5 exactly once (no per-query-type duplication), and
+//! hands each relevant page to a [`RangeVisitor`]. Visitors decide what
+//! happens to matching points: collect them, count them, or stream them to a
+//! caller-supplied closure. Filtering happens in place via the storage
+//! layer's visitor primitives, so non-materializing paths allocate nothing.
+//!
+//! The paper's cost model (Eq. 5) charges queries by bounding boxes checked
+//! and points compared; because all paths share this kernel, those counters
+//! are identical whichever execution mode the caller picks — only the
+//! per-match work differs.
+
+use super::ZIndex;
+use crate::node::{NodeRef, LOOKAHEAD_END};
+use std::time::Instant;
+use wazi_geom::{Point, Rect};
+use wazi_storage::{ExecStats, Page};
+
+/// A consumer of the scan kernel: receives every page whose leaf bounding
+/// box overlaps the query, in leaf order.
+pub(crate) trait RangeVisitor {
+    /// Processes one relevant page. Implementations are expected to charge
+    /// `stats` through the storage layer's scan primitives.
+    fn visit_page(&mut self, page: &Page, query: &Rect, stats: &mut ExecStats);
+}
+
+/// Collects matching points into a result vector (the classic range query).
+struct CollectVisitor {
+    out: Vec<Point>,
+}
+
+impl RangeVisitor for CollectVisitor {
+    fn visit_page(&mut self, page: &Page, query: &Rect, stats: &mut ExecStats) {
+        page.filter_into(query, &mut self.out, stats);
+    }
+}
+
+/// Counts matching points without materializing them.
+struct CountVisitor {
+    count: u64,
+}
+
+impl RangeVisitor for CountVisitor {
+    fn visit_page(&mut self, page: &Page, query: &Rect, stats: &mut ExecStats) {
+        self.count += page.count_in(query, stats);
+    }
+}
+
+/// Streams matching points to a caller-supplied closure.
+struct StreamVisitor<'a> {
+    visit: &'a mut dyn FnMut(&Point),
+    matched: u64,
+}
+
+impl RangeVisitor for StreamVisitor<'_> {
+    fn visit_page(&mut self, page: &Page, query: &Rect, stats: &mut ExecStats) {
+        let visit = &mut *self.visit;
+        let matched = &mut self.matched;
+        page.for_each_in(query, stats, |p| {
+            *matched += 1;
+            visit(p);
+        });
+    }
+}
+
+impl ZIndex {
+    /// Algorithm 1: descends from the root to the leaf whose cell contains
+    /// `p`, returning its index in the leaf list.
+    pub(crate) fn locate_leaf(&self, p: &Point, stats: &mut ExecStats) -> u32 {
+        let mut node = self.root;
+        loop {
+            match node {
+                NodeRef::Leaf(i) => return i,
+                NodeRef::Internal(i) => {
+                    stats.nodes_visited += 1;
+                    node = self.nodes[i as usize].child_for(p);
+                }
+            }
+        }
+    }
+
+    /// The scan kernel (Algorithm 2 + Section 5 skipping): walks the leaf
+    /// interval spanned by the query corners, follows look-ahead pointers
+    /// over irrelevant runs when skipping is enabled, and hands every
+    /// overlapping leaf's page to `visitor` — no intermediate list of
+    /// relevant leaves is materialized.
+    ///
+    /// Timing: page visits are accumulated as scan-phase time, everything
+    /// else (corner location, bounding-box checks, pointer hops) as
+    /// projection-phase time, matching the split of Figure 9.
+    fn scan_range<V: RangeVisitor>(&self, query: &Rect, stats: &mut ExecStats, visitor: &mut V) {
+        let kernel_start = Instant::now();
+        let mut scan_ns = 0u64;
+        if !self.leaves.is_empty() {
+            let low = self.locate_leaf(&query.bl(), stats);
+            let high = self.locate_leaf(&query.tr(), stats);
+            debug_assert!(low <= high, "monotone orderings visit BL before TR");
+            let skipping = self.skipping_enabled();
+            let mut i = low;
+            while i <= high {
+                let leaf = &self.leaves[i as usize];
+                stats.bbs_checked += 1;
+                if !leaf.bbox.is_empty() && leaf.bbox.overlaps(query) {
+                    let scan_start = Instant::now();
+                    visitor.visit_page(self.store.page(leaf.page), query, stats);
+                    scan_ns += scan_start.elapsed().as_nanos() as u64;
+                    i += 1;
+                    continue;
+                }
+                let mut next = i + 1;
+                if skipping {
+                    if let Some(lookahead) = leaf.lookahead {
+                        for criterion in leaf.irrelevancy_criteria(query) {
+                            let target = lookahead.get(criterion);
+                            let target = if target == LOOKAHEAD_END {
+                                high + 1
+                            } else {
+                                target
+                            };
+                            next = next.max(target);
+                        }
+                    }
+                }
+                stats.leaves_skipped += u64::from(next - (i + 1));
+                i = next;
+            }
+        }
+        stats.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+    }
+
+    /// Materializing range query: returns every indexed point inside
+    /// `query`.
+    pub(crate) fn execute_range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        let mut visitor = CollectVisitor { out: Vec::new() };
+        self.scan_range(query, stats, &mut visitor);
+        stats.results += visitor.out.len() as u64;
+        visitor.out
+    }
+
+    /// Counting range query: the size of the result set, computed without
+    /// materializing it.
+    pub(crate) fn execute_range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        let mut visitor = CountVisitor { count: 0 };
+        self.scan_range(query, stats, &mut visitor);
+        stats.results += visitor.count;
+        visitor.count
+    }
+
+    /// Streaming range query: invokes `visit` for every indexed point inside
+    /// `query` without building an intermediate vector.
+    pub(crate) fn execute_range_for_each(
+        &self,
+        query: &Rect,
+        stats: &mut ExecStats,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let mut visitor = StreamVisitor { visit, matched: 0 };
+        self.scan_range(query, stats, &mut visitor);
+        stats.results += visitor.matched;
+    }
+
+    /// Point query: locate the owning leaf (Algorithm 1), then probe its
+    /// page.
+    pub(crate) fn execute_point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+        if self.leaves.is_empty() {
+            return false;
+        }
+        let projection_start = Instant::now();
+        let leaf = self.locate_leaf(p, stats);
+        stats.add_projection(projection_start.elapsed());
+
+        let scan_start = Instant::now();
+        let leaf = &self.leaves[leaf as usize];
+        let found = if leaf.count == 0 || !leaf.bbox.contains(p) {
+            false
+        } else {
+            self.store.probe_page(leaf.page, p, stats)
+        };
+        stats.add_scan(scan_start.elapsed());
+        if found {
+            stats.results += 1;
+        }
+        found
+    }
+}

@@ -4,11 +4,10 @@ use crate::tree::{CountKdTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use wazi_geom::{Point, Rect};
 
 /// Configuration of an RFDE forest.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RfdeConfig {
     /// Number of randomized trees in the forest.
     pub trees: usize,
@@ -56,7 +55,7 @@ impl RfdeConfig {
 /// data points to estimate the `n_X` terms of the cost function, and the CUR
 /// baseline uses a weighted variant where each point is weighted by the
 /// number of distinct queries fetching it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Rfde {
     trees: Vec<CountKdTree>,
     total_weight: f64,
@@ -213,18 +212,25 @@ mod tests {
         }
         let rfde = Rfde::fit(&points, RfdeConfig::default());
         let cluster = rfde.estimate_fraction(&Rect::from_coords(0.0, 0.0, 0.1, 0.1));
-        assert!(cluster > 0.75, "cluster fraction {cluster} should be close to 0.9");
+        assert!(
+            cluster > 0.75,
+            "cluster fraction {cluster} should be close to 0.9"
+        );
         let far = rfde.estimate_fraction(&Rect::from_coords(0.8, 0.8, 1.0, 1.0));
         assert!(far < 0.05, "far fraction {far} should be small");
     }
 
     #[test]
     fn weighted_estimates_respect_weights() {
-        let points = vec![
-            (Point::new(0.2, 0.2), 10.0),
-            (Point::new(0.8, 0.8), 90.0),
-        ];
-        let rfde = Rfde::fit_weighted(&points, RfdeConfig { trees: 3, leaf_weight: 1.0, ..Default::default() });
+        let points = vec![(Point::new(0.2, 0.2), 10.0), (Point::new(0.8, 0.8), 90.0)];
+        let rfde = Rfde::fit_weighted(
+            &points,
+            RfdeConfig {
+                trees: 3,
+                leaf_weight: 1.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(rfde.total_weight(), 100.0);
         let hot = rfde.estimate_count(&Rect::from_coords(0.7, 0.7, 0.9, 0.9));
         assert!((hot - 90.0).abs() < 1e-6, "hot estimate {hot}");
@@ -245,7 +251,10 @@ mod tests {
             "rescaled estimate {est}"
         );
         let half = rfde.estimate_count(&Rect::from_coords(0.0, 0.0, 1.0, 0.5));
-        assert!((half - 5_000.0).abs() / 5_000.0 < 0.1, "half estimate {half}");
+        assert!(
+            (half - 5_000.0).abs() / 5_000.0 < 0.1,
+            "half estimate {half}"
+        );
     }
 
     #[test]
@@ -258,8 +267,20 @@ mod tests {
     #[test]
     fn size_grows_with_tree_count() {
         let points = uniform_points(2_000, 5);
-        let small = Rfde::fit(&points, RfdeConfig { trees: 1, ..Default::default() });
-        let large = Rfde::fit(&points, RfdeConfig { trees: 8, ..Default::default() });
+        let small = Rfde::fit(
+            &points,
+            RfdeConfig {
+                trees: 1,
+                ..Default::default()
+            },
+        );
+        let large = Rfde::fit(
+            &points,
+            RfdeConfig {
+                trees: 8,
+                ..Default::default()
+            },
+        );
         assert!(large.size_bytes() > small.size_bytes());
         assert_eq!(small.tree_count(), 1);
         assert_eq!(large.tree_count(), 8);

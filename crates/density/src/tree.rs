@@ -2,11 +2,10 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use wazi_geom::{Point, Rect};
 
 /// Axis of a k-d split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     /// Split on the x coordinate.
     X,
@@ -33,7 +32,7 @@ impl Axis {
 }
 
 /// A node of the count k-d tree stored in an index-based arena.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Node {
     /// Tight bounding box of the points below this node.
     pub region: Rect,
@@ -44,7 +43,7 @@ pub(crate) struct Node {
     pub split: Option<Split>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Split {
     pub axis: Axis,
     pub value: f64,
@@ -58,7 +57,7 @@ pub(crate) struct Split {
 /// within a leaf bounding box), exactly the "collect cardinality information
 /// from nodes overlapping the density estimation query" procedure the paper
 /// describes for its RFDE models.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CountKdTree {
     nodes: Vec<Node>,
     root: u32,
@@ -135,7 +134,22 @@ impl CountKdTree {
         }
         match &node.split {
             Some(split) => {
-                self.estimate_node(split.left, query) + self.estimate_node(split.right, query)
+                // Prune by the split plane before touching the children:
+                // left holds coordinates `<= value`, right holds `> value`,
+                // so a query strictly on one side never needs the other
+                // child's node at all.
+                let (q_lo, q_hi) = match split.axis {
+                    Axis::X => (query.lo.x, query.hi.x),
+                    Axis::Y => (query.lo.y, query.hi.y),
+                };
+                let mut sum = 0.0;
+                if q_lo <= split.value {
+                    sum += self.estimate_node(split.left, query);
+                }
+                if q_hi > split.value {
+                    sum += self.estimate_node(split.right, query);
+                }
+                sum
             }
             None => {
                 // Partially overlapped leaf: assume uniform density within
@@ -195,8 +209,7 @@ fn build_node(
         split: None,
     });
 
-    let should_split =
-        weight > params.leaf_weight && depth < params.max_depth && data.len() > 1;
+    let should_split = weight > params.leaf_weight && depth < params.max_depth && data.len() > 1;
     if !should_split {
         *leaf_count += 1;
         return idx;
@@ -320,10 +333,7 @@ mod tests {
 
     #[test]
     fn weighted_points_are_summed_exactly_for_separating_queries() {
-        let mut data = vec![
-            (Point::new(0.25, 0.25), 3.0),
-            (Point::new(0.75, 0.75), 7.0),
-        ];
+        let mut data = vec![(Point::new(0.25, 0.25), 3.0), (Point::new(0.75, 0.75), 7.0)];
         let tree = fit(&mut data, 1.0);
         assert_eq!(tree.total_weight(), 10.0);
         let left = tree.estimate(&Rect::from_coords(0.0, 0.0, 0.5, 0.5));
@@ -337,7 +347,10 @@ mod tests {
         let mut data = vec![(Point::new(0.5, 0.5), 1.0); 100];
         let tree = fit(&mut data, 4.0);
         assert_eq!(tree.total_weight(), 100.0);
-        assert!(tree.node_count() < 50, "degenerate data must stop splitting");
+        assert!(
+            tree.node_count() < 50,
+            "degenerate data must stop splitting"
+        );
         let q = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
         assert_eq!(tree.estimate(&q), 100.0);
     }

@@ -11,8 +11,7 @@
 //! * [`zorder`] — classic rank-space Morton arithmetic (including BIGMIN)
 //!   used by the rank-space baselines of Figure 4.
 //!
-//! The crate is dependency-light (only `serde` for configuration round
-//! trips) and contains no index logic of its own.
+//! The crate is dependency-free and contains no index logic of its own.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,15 +5,13 @@
 //! share this point type. Coordinates are `f64` in the original data space —
 //! WaZI explicitly avoids the rank-space projection used by ZM/RSMI.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in the two-dimensional data space.
 ///
 /// Ordering helpers ([`Point::dominates`], [`Point::dominated_by`]) implement
 /// the dominance relation used by the paper to state the monotonicity
 /// property of Z-orderings: a point `a` is dominated by `b` when
 /// `a.x <= b.x && a.y <= b.y` and at least one inequality is strict.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Coordinate along the first axis.
     pub x: f64,

@@ -15,13 +15,12 @@
 
 use crate::point::Point;
 use crate::rect::Rect;
-use serde::{Deserialize, Serialize};
 
 /// The four spatial quadrants of a split cell.
 ///
 /// The discriminant encodes the comparison bits of Algorithm 1:
 /// `quadrant as u8 == 2 * bit_y + bit_x`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Quadrant {
     /// `A`: bottom-left (x <= split.x, y <= split.y).
@@ -81,7 +80,7 @@ impl Quadrant {
 /// differ in whether the bottom-right (`B`) or top-left (`C`) child comes
 /// second. The base Z-index always uses [`CellOrdering::Abcd`]; WaZI chooses
 /// per node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CellOrdering {
     /// `A, B, C, D` — the classic Z / N-shaped curve.
     #[default]

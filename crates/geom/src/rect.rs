@@ -1,7 +1,6 @@
 //! Axis-aligned rectangles: range queries, cell regions and bounding boxes.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle defined by its bottom-left (`lo`) and top-right
 /// (`hi`) corners, both inclusive.
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///   paper;
 /// * the region spanned by an index cell (a node of the quaternary tree);
 /// * bounding boxes (`bbs`) of leaf pages checked during the scanning phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Bottom-left corner (minimum on both axes).
     pub lo: Point,
@@ -106,10 +105,7 @@ impl Rect {
     /// Center of the rectangle.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2.0,
-            (self.lo.y + self.hi.y) / 2.0,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
     }
 
     /// Returns `true` when the point lies inside the rectangle (inclusive on
@@ -263,11 +259,8 @@ impl Rect {
             lo.y -= shift;
             hi.y -= shift;
         }
-        let clipped = Rect::from_corners(
-            space.clamp_point(&lo),
-            space.clamp_point(&hi),
-        );
-        clipped
+
+        Rect::from_corners(space.clamp_point(&lo), space.clamp_point(&hi))
     }
 }
 

@@ -177,7 +177,7 @@ fn load_max(value: u64, bit: u32) -> u64 {
 /// (even positions for x, odd positions for y).
 #[inline]
 fn dimension_mask(bit: u32) -> u64 {
-    if bit % 2 == 0 {
+    if bit.is_multiple_of(2) {
         0x5555_5555_5555_5555
     } else {
         0xAAAA_AAAA_AAAA_AAAA

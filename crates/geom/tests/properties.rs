@@ -1,139 +1,199 @@
-//! Property-based tests for the geometric primitives.
+//! Randomized property tests for the geometric primitives.
+//!
+//! Each property is checked over a deterministic stream of random inputs
+//! (seeded, so failures are reproducible by seed).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wazi_geom::zorder::{bigmin, morton_decode, morton_encode, ZOrderMapper};
 use wazi_geom::{CellOrdering, Point, Quadrant, QueryCase, Rect};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 512;
+
+fn rand_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen::<f64>(), rng.gen::<f64>())
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+fn rand_rect(rng: &mut StdRng) -> Rect {
+    Rect::from_corners(rand_point(rng), rand_point(rng))
 }
 
-proptest! {
-    #[test]
-    fn dominance_is_antisymmetric(a in arb_point(), b in arb_point()) {
-        prop_assert!(!(a.dominated_by(&b) && b.dominated_by(&a)));
+#[test]
+fn dominance_is_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b) = (rand_point(&mut rng), rand_point(&mut rng));
+        assert!(!(a.dominated_by(&b) && b.dominated_by(&a)), "{a} vs {b}");
     }
+}
 
-    #[test]
-    fn rect_contains_its_corners_and_center(r in arb_rect()) {
-        prop_assert!(r.contains(&r.bl()));
-        prop_assert!(r.contains(&r.tr()));
-        prop_assert!(r.contains(&r.center()));
+#[test]
+fn rect_contains_its_corners_and_center() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let r = rand_rect(&mut rng);
+        assert!(r.contains(&r.bl()), "{r:?}");
+        assert!(r.contains(&r.tr()), "{r:?}");
+        assert!(r.contains(&r.center()), "{r:?}");
     }
+}
 
-    #[test]
-    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn intersection_is_contained_in_both() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b) = (rand_rect(&mut rng), rand_rect(&mut rng));
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains_rect(&i) || i.area() == 0.0);
-            prop_assert!(b.contains_rect(&i) || i.area() == 0.0);
-            prop_assert!(i.area() <= a.area() + 1e-12);
-            prop_assert!(i.area() <= b.area() + 1e-12);
+            assert!(a.contains_rect(&i) || i.area() == 0.0);
+            assert!(b.contains_rect(&i) || i.area() == 0.0);
+            assert!(i.area() <= a.area() + 1e-12);
+            assert!(i.area() <= b.area() + 1e-12);
         } else {
-            prop_assert!(!a.overlaps(&b));
+            assert!(!a.overlaps(&b));
         }
     }
+}
 
-    #[test]
-    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn union_contains_both() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let (a, b) = (rand_rect(&mut rng), rand_rect(&mut rng));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
     }
+}
 
-    #[test]
-    fn quadrant_regions_partition_area(split in arb_point()) {
+#[test]
+fn quadrant_regions_partition_area() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let split = rand_point(&mut rng);
         let cell = Rect::UNIT;
         let total: f64 = Quadrant::ALL
             .iter()
             .map(|q| q.region(&cell, &split).area())
             .sum();
-        prop_assert!((total - cell.area()).abs() < 1e-9);
+        assert!((total - cell.area()).abs() < 1e-9, "split {split}");
     }
+}
 
-    #[test]
-    fn quadrant_of_point_lies_in_its_region(p in arb_point(), split in arb_point()) {
+#[test]
+fn quadrant_of_point_lies_in_its_region() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let (p, split) = (rand_point(&mut rng), rand_point(&mut rng));
         let q = Quadrant::of(&p, &split);
         let region = q.region(&Rect::UNIT, &split);
-        prop_assert!(region.contains(&p));
+        assert!(region.contains(&p), "{p} not in {q:?} region for {split}");
     }
+}
 
-    #[test]
-    fn orderings_are_permutations(p in arb_point(), split in arb_point()) {
+#[test]
+fn orderings_are_permutations() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let (p, split) = (rand_point(&mut rng), rand_point(&mut rng));
         for ordering in CellOrdering::ALL {
             let child = ordering.child_of(&p, &split);
-            prop_assert!(child < 4);
+            assert!(child < 4);
             let curve = ordering.curve();
-            prop_assert_eq!(curve[child], Quadrant::of(&p, &split));
+            assert_eq!(curve[child], Quadrant::of(&p, &split));
         }
     }
+}
 
-    #[test]
-    fn query_case_overlapped_matches_geometry(r in arb_rect(), split in arb_point()) {
+#[test]
+fn query_case_overlapped_matches_geometry() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let (r, split) = (rand_rect(&mut rng), rand_point(&mut rng));
         let case = QueryCase::classify(&r, &split);
         let overlapped = case.overlapped();
-        // Every quadrant reported as overlapped must geometrically overlap the
-        // query, and every quadrant with interior overlap must be reported.
+        // Every quadrant reported as overlapped must geometrically overlap
+        // the query, and every quadrant with interior overlap must be
+        // reported.
         for q in Quadrant::ALL {
             let region = q.region(&Rect::UNIT, &split);
             let reported = overlapped.contains(&q);
             if reported {
-                prop_assert!(region.overlaps(&r) || region.area() == 0.0);
+                assert!(region.overlaps(&r) || region.area() == 0.0);
             }
             if let Some(i) = region.intersection(&r) {
                 if i.area() > 0.0 {
-                    prop_assert!(reported, "quadrant {:?} overlaps but was not reported", q);
+                    assert!(reported, "quadrant {q:?} overlaps but was not reported");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn morton_round_trip(x in 0u32..=0x7FFF_FFFF, y in 0u32..=0x7FFF_FFFF) {
-        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+#[test]
+fn morton_round_trip() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let x = rng.gen_range(0u32..=0x7FFF_FFFF);
+        let y = rng.gen_range(0u32..=0x7FFF_FFFF);
+        assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
     }
+}
 
-    #[test]
-    fn morton_is_monotone_under_dominance(
-        x0 in 0u32..1000, y0 in 0u32..1000, dx in 0u32..1000, dy in 0u32..1000
-    ) {
+#[test]
+fn morton_is_monotone_under_dominance() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..CASES {
         // A dominated grid cell always receives a smaller or equal code.
+        let x0 = rng.gen_range(0u32..1000);
+        let y0 = rng.gen_range(0u32..1000);
+        let dx = rng.gen_range(0u32..1000);
+        let dy = rng.gen_range(0u32..1000);
         let a = morton_encode(x0, y0);
         let b = morton_encode(x0 + dx, y0 + dy);
-        prop_assert!(a <= b || (dx == 0 && dy == 0));
+        assert!(a <= b || (dx == 0 && dy == 0));
     }
+}
 
-    #[test]
-    fn bigmin_result_is_inside_box_and_after_current(
-        qx0 in 0u32..32, qy0 in 0u32..32, w in 0u32..32, h in 0u32..32, cx in 0u32..64, cy in 0u32..64
-    ) {
-        let (qx1, qy1) = (qx0 + w, qy0 + h);
+#[test]
+fn bigmin_result_is_inside_box_and_after_current() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let qx0 = rng.gen_range(0u32..32);
+        let qy0 = rng.gen_range(0u32..32);
+        let (qx1, qy1) = (qx0 + rng.gen_range(0u32..32), qy0 + rng.gen_range(0u32..32));
+        let current = morton_encode(rng.gen_range(0u32..64), rng.gen_range(0u32..64));
         let min_code = morton_encode(qx0, qy0);
         let max_code = morton_encode(qx1, qy1);
-        let current = morton_encode(cx, cy);
         if let Some(next) = bigmin(current, min_code, max_code) {
             let (nx, ny) = morton_decode(next);
-            prop_assert!(next > current);
-            prop_assert!(nx >= qx0 && nx <= qx1, "x out of box");
-            prop_assert!(ny >= qy0 && ny <= qy1, "y out of box");
+            assert!(next > current);
+            assert!(nx >= qx0 && nx <= qx1, "x out of box");
+            assert!(ny >= qy0 && ny <= qy1, "y out of box");
         }
     }
+}
 
-    #[test]
-    fn query_box_area_matches_selectivity(center in arb_point(), frac in 0.0001f64..0.05, aspect in 0.25f64..4.0) {
+#[test]
+fn query_box_area_matches_selectivity() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let center = rand_point(&mut rng);
+        let frac = rng.gen_range(0.0001f64..0.05);
+        let aspect = rng.gen_range(0.25f64..4.0);
         let q = Rect::query_box(&Rect::UNIT, center, frac, aspect);
-        prop_assert!(Rect::UNIT.contains_rect(&q));
-        prop_assert!((q.area() - frac).abs() < 1e-9);
+        assert!(Rect::UNIT.contains_rect(&q));
+        assert!((q.area() - frac).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn zorder_mapper_codes_are_monotone(a in arb_point(), b in arb_point()) {
-        let mapper = ZOrderMapper::new(Rect::UNIT, 20);
+#[test]
+fn zorder_mapper_codes_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mapper = ZOrderMapper::new(Rect::UNIT, 20);
+    for _ in 0..CASES {
+        let (a, b) = (rand_point(&mut rng), rand_point(&mut rng));
         if a.weakly_dominated_by(&b) {
-            prop_assert!(mapper.code(&a) <= mapper.code(&b));
+            assert!(mapper.code(&a) <= mapper.code(&b));
         }
     }
 }

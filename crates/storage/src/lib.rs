@@ -4,7 +4,10 @@
 //! reproduction:
 //!
 //! * [`Page`] / [`PageStore`] — clustered data pages of capacity `L`
-//!   (the leaf pages the Z-index scanning phase iterates over);
+//!   (the leaf pages the Z-index scanning phase iterates over), with
+//!   visitor-based scan primitives (`for_each_in`, `count_in`) so query
+//!   execution can filter, count or stream in place without materializing
+//!   intermediate vectors;
 //! * [`ExecStats`], [`StatsSummary`], [`StatsCollector`] — the execution
 //!   counters (bounding boxes checked, pages scanned, excess points,
 //!   projection vs scan time) reported throughout the paper's evaluation.

@@ -1,12 +1,10 @@
 //! Data pages: the unit of storage scanned during range-query filtering.
 
 use crate::stats::ExecStats;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 use wazi_geom::{Point, Rect};
 
 /// Identifier of a page inside a [`crate::PageStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 impl PageId {
@@ -27,7 +25,7 @@ impl std::fmt::Display for PageId {
 /// (Section 3: "leaf nodes contain ... a pointer to a page with at most L
 /// elements"; points within a page are stored in arrival order, i.e. no
 /// intra-page ordering is assumed).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Page {
     id: PageId,
     points: Vec<Point>,
@@ -97,17 +95,43 @@ impl Page {
         std::mem::take(&mut self.points)
     }
 
-    /// Scanning-phase filter: appends the points falling inside `query` to
-    /// `out` and records one page scan plus one point comparison per stored
-    /// point in `stats`.
-    pub fn filter_into(&self, query: &Rect, out: &mut Vec<Point>, stats: &mut ExecStats) {
+    /// Visitor-based scanning-phase filter: invokes `visit` for every stored
+    /// point falling inside `query`, recording one page scan plus one point
+    /// comparison per stored point in `stats`. This is the primitive every
+    /// query path funnels through — nothing is materialized here, so callers
+    /// choose between counting, collecting or streaming.
+    #[inline]
+    pub fn for_each_in(&self, query: &Rect, stats: &mut ExecStats, mut visit: impl FnMut(&Point)) {
         stats.pages_scanned += 1;
         stats.points_scanned += self.points.len() as u64;
         for p in &self.points {
             if query.contains(p) {
-                out.push(*p);
+                visit(p);
             }
         }
+    }
+
+    /// Counting scan: returns the number of stored points inside `query`
+    /// without materializing them, charging the same counters as
+    /// [`Page::for_each_in`].
+    #[inline]
+    pub fn count_in(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        stats.pages_scanned += 1;
+        stats.points_scanned += self.points.len() as u64;
+        let mut count = 0u64;
+        for p in &self.points {
+            // Branch-free accumulation keeps the counting fast path free of
+            // per-match work.
+            count += u64::from(query.contains(p));
+        }
+        count
+    }
+
+    /// Materializing filter: appends the points falling inside `query` to
+    /// `out`. A thin wrapper over [`Page::for_each_in`] kept for callers
+    /// that genuinely need the result set.
+    pub fn filter_into(&self, query: &Rect, out: &mut Vec<Point>, stats: &mut ExecStats) {
+        self.for_each_in(query, stats, |p| out.push(*p));
     }
 
     /// Point-query probe: returns `true` when a point equal to `p` is stored
@@ -130,35 +154,35 @@ impl Page {
     }
 
     /// Serialises the page to a compact binary representation
-    /// (`id, len, [x, y] * len`), the on-disk page format of the simulated
-    /// clustered storage.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + 16 * self.points.len());
-        buf.put_u32_le(self.id.0);
-        buf.put_u32_le(self.points.len() as u32);
+    /// (`id, len, [x, y] * len`, all little-endian), the on-disk page format
+    /// of the simulated clustered storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 16 * self.points.len());
+        buf.extend_from_slice(&self.id.0.to_le_bytes());
+        buf.extend_from_slice(&(self.points.len() as u32).to_le_bytes());
         for p in &self.points {
-            buf.put_f64_le(p.x);
-            buf.put_f64_le(p.y);
+            buf.extend_from_slice(&p.x.to_le_bytes());
+            buf.extend_from_slice(&p.y.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a page previously produced by [`Page::to_bytes`].
     ///
     /// Returns `None` when the buffer is truncated or malformed.
-    pub fn from_bytes(mut bytes: Bytes) -> Option<Self> {
-        if bytes.remaining() < 8 {
-            return None;
-        }
-        let id = PageId(bytes.get_u32_le());
-        let len = bytes.get_u32_le() as usize;
-        if bytes.remaining() < len * 16 {
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let header: [u8; 4] = bytes.get(0..4)?.try_into().ok()?;
+        let id = PageId(u32::from_le_bytes(header));
+        let len_bytes: [u8; 4] = bytes.get(4..8)?.try_into().ok()?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let payload = bytes.get(8..)?;
+        if payload.len() < len * 16 {
             return None;
         }
         let mut points = Vec::with_capacity(len);
-        for _ in 0..len {
-            let x = bytes.get_f64_le();
-            let y = bytes.get_f64_le();
+        for chunk in payload.chunks_exact(16).take(len) {
+            let x = f64::from_le_bytes(chunk[0..8].try_into().ok()?);
+            let y = f64::from_le_bytes(chunk[8..16].try_into().ok()?);
             points.push(Point::new(x, y));
         }
         Some(Self::new(id, points))
@@ -203,6 +227,31 @@ mod tests {
     }
 
     #[test]
+    fn count_in_agrees_with_filter_and_charges_the_same_work() {
+        let page = sample_page();
+        let query = Rect::from_coords(0.0, 0.0, 0.6, 0.7);
+        let mut filter_stats = ExecStats::default();
+        let mut out = Vec::new();
+        page.filter_into(&query, &mut out, &mut filter_stats);
+        let mut count_stats = ExecStats::default();
+        let count = page.count_in(&query, &mut count_stats);
+        assert_eq!(count, out.len() as u64);
+        assert_eq!(filter_stats, count_stats);
+    }
+
+    #[test]
+    fn for_each_visits_exactly_the_matches() {
+        let page = sample_page();
+        let mut stats = ExecStats::default();
+        let mut seen = Vec::new();
+        page.for_each_in(&Rect::from_coords(0.4, 0.0, 1.0, 1.0), &mut stats, |p| {
+            seen.push(*p)
+        });
+        assert_eq!(seen, vec![Point::new(0.5, 0.6), Point::new(0.9, 0.2)]);
+        assert_eq!(stats.points_scanned, 3);
+    }
+
+    #[test]
     fn probe_finds_existing_points_only() {
         let page = sample_page();
         let mut stats = ExecStats::default();
@@ -225,7 +274,7 @@ mod tests {
     fn binary_round_trip() {
         let page = sample_page();
         let bytes = page.to_bytes();
-        let decoded = Page::from_bytes(bytes).expect("decoding must succeed");
+        let decoded = Page::from_bytes(&bytes).expect("decoding must succeed");
         assert_eq!(decoded.id(), page.id());
         assert_eq!(decoded.points(), page.points());
         assert_eq!(decoded.bbox(), page.bbox());
@@ -235,9 +284,8 @@ mod tests {
     fn truncated_bytes_are_rejected() {
         let page = sample_page();
         let bytes = page.to_bytes();
-        let truncated = bytes.slice(0..bytes.len() - 1);
-        assert!(Page::from_bytes(truncated).is_none());
-        assert!(Page::from_bytes(Bytes::from_static(&[1, 2, 3])).is_none());
+        assert!(Page::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Page::from_bytes(&[1, 2, 3]).is_none());
     }
 
     #[test]

@@ -8,13 +8,11 @@
 //! workspace reports its work through [`ExecStats`] so the benchmark harness
 //! can compare them uniformly.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Per-query (or per-operation) execution counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct ExecStats {
     /// Internal search-structure nodes visited during traversal.
     pub nodes_visited: u64,
@@ -68,6 +66,16 @@ impl ExecStats {
         self.projection_ns += d.as_nanos() as u64;
     }
 
+    /// Charges one fused scan-kernel run to the two phase counters of
+    /// Figure 9: the accumulated page-visit time is scan-phase, the rest of
+    /// the kernel (traversal, bounding-box checks, pointer hops) is
+    /// projection-phase. Keeping the attribution rule here means every
+    /// index's kernel splits phases identically.
+    pub fn charge_kernel(&mut self, total_ns: u64, scan_ns: u64) {
+        self.scan_ns += scan_ns;
+        self.projection_ns += total_ns.saturating_sub(scan_ns);
+    }
+
     /// Records a scan-phase duration.
     pub fn add_scan(&mut self, d: Duration) {
         self.scan_ns += d.as_nanos() as u64;
@@ -75,7 +83,7 @@ impl ExecStats {
 }
 
 /// Aggregated statistics over many operations, with per-counter means.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct StatsSummary {
     /// Number of operations aggregated.
     pub operations: u64,
@@ -134,12 +142,15 @@ impl StatsCollector {
 
     /// Records one operation's stats.
     pub fn record(&self, stats: &ExecStats) {
-        self.inner.lock().record(stats);
+        self.inner
+            .lock()
+            .expect("stats mutex poisoned")
+            .record(stats);
     }
 
     /// Snapshot of the aggregated summary.
     pub fn summary(&self) -> StatsSummary {
-        *self.inner.lock()
+        *self.inner.lock().expect("stats mutex poisoned")
     }
 }
 

@@ -8,11 +8,10 @@
 
 use crate::page::{Page, PageId};
 use crate::stats::ExecStats;
-use serde::{Deserialize, Serialize};
 use wazi_geom::{Point, Rect};
 
 /// A collection of clustered data pages with a fixed leaf capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageStore {
     pages: Vec<Page>,
     leaf_capacity: usize,
@@ -79,6 +78,26 @@ impl PageStore {
     /// Returns `true` when a page is over capacity and must be split.
     pub fn is_overflowing(&self, id: PageId) -> bool {
         self.pages[id.index()].len() > self.leaf_capacity
+    }
+
+    /// Visitor-based scan of one page: invokes `visit` for every stored
+    /// point inside `query` without materializing an intermediate vector.
+    #[inline]
+    pub fn for_each_in(
+        &self,
+        id: PageId,
+        query: &Rect,
+        stats: &mut ExecStats,
+        visit: impl FnMut(&Point),
+    ) {
+        self.pages[id.index()].for_each_in(query, stats, visit);
+    }
+
+    /// Counting scan of one page: the number of stored points inside
+    /// `query`, charging the same counters as a full scan.
+    #[inline]
+    pub fn count_in(&self, id: PageId, query: &Rect, stats: &mut ExecStats) -> u64 {
+        self.pages[id.index()].count_in(query, stats)
     }
 
     /// Scans a page against a range query, appending matches to `out`.

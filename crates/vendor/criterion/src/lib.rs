@@ -1,0 +1,250 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the surface used by `crates/bench/benches`: benchmark groups,
+//! `bench_with_input` / `bench_function`, `Bencher::iter`, throughput and
+//! timing knobs, and the `criterion_group!` / `criterion_main!` macros.
+//! Each benchmark runs its closure for a bounded wall-clock budget and
+//! prints the mean time per iteration; no statistical analysis is done.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside the mean).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs benchmark closures and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks `routine` without an input value.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, self.throughput, |b| routine(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            label: value.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run_one(name, None, |b| routine(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        // Calibration pass: one iteration to size the measured run.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let iters = (budget.as_nanos() / per_iter.as_nanos())
+            .clamp(1, 1_000_000 * self.sample_size as u128) as u64;
+
+        let mut measured = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut measured);
+        let mean_ns = measured.elapsed.as_nanos() as f64 / measured.iters as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "bench {label}: {mean_ns:.0} ns/iter ({:.2} Melem/s)",
+                n as f64 / mean_ns * 1e3
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "bench {label}: {mean_ns:.0} ns/iter ({:.2} MB/s)",
+                n as f64 / mean_ns * 1e3
+            ),
+            None => println!("bench {label}: {mean_ns:.0} ns/iter"),
+        }
+    }
+}
+
+/// Re-export used by `criterion_main!`-generated code.
+pub fn run_groups(groups: &[fn()]) {
+    for group in groups {
+        group();
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_the_closure() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("demo");
+            group
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(10));
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        assert!(calls > 0, "the routine must have been driven");
+    }
+}

@@ -4,7 +4,6 @@ use crate::dataset::sample_mixture;
 use crate::region::Region;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use wazi_geom::{Point, Rect};
 
 /// The query selectivities of Table 2, expressed as fractions of the data
@@ -19,7 +18,7 @@ pub const WORKLOAD_SIZE: usize = 20_000;
 
 /// Descriptor of a generated workload, kept alongside experiment output so
 /// results are reproducible from the recorded configuration alone.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
     /// The region whose check-in profile drives the query centres.
     pub region: Region,
@@ -178,7 +177,11 @@ mod tests {
         let queries = uniform_queries(5_000, SELECTIVITIES[2], 1);
         let centers: Vec<Point> = queries.iter().map(|q| q.center()).collect();
         let skew = skew_summary(&centers);
-        assert!(skew.occupied_cells == 100, "occupied {}", skew.occupied_cells);
+        assert!(
+            skew.occupied_cells == 100,
+            "occupied {}",
+            skew.occupied_cells
+        );
         assert!(skew.densest_cell_fraction < 0.03);
     }
 

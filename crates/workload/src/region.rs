@@ -9,10 +9,8 @@
 //! *differently*-skewed, more concentrated distribution for the query
 //! centres. See DESIGN.md §3 for the substitution rationale.
 
-use serde::{Deserialize, Serialize};
-
 /// A Gaussian-ish cluster of the synthetic mixture.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cluster {
     /// Cluster centre (unit-square coordinates).
     pub center: (f64, f64),
@@ -36,7 +34,7 @@ impl Cluster {
 }
 
 /// The four evaluation regions of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// California coast: an elongated coastal corridor with two metropolitan
     /// concentrations.

@@ -57,7 +57,10 @@ fn main() {
     //    strategy the paper describes for non-specialised spatial indexes).
     let probe = points[12_345];
     let mut stats = ExecStats::default();
-    println!("point query {probe}: found = {}", index.point_query(&probe, &mut stats));
+    println!(
+        "point query {probe}: found = {}",
+        index.point_query(&probe, &mut stats)
+    );
     let center = Point::new(0.5, 0.5);
     let neighbours = index.knn(&center, 5, &mut stats);
     println!("5 nearest neighbours of {center}:");

@@ -12,9 +12,7 @@
 
 use wazi_bench::measure::{format_ns, measure_range_queries};
 use wazi_bench::{build_index, IndexKind};
-use wazi_workload::{
-    generate_dataset, generate_queries_with_seed, Region, ABLATION_SELECTIVITIES,
-};
+use wazi_workload::{generate_dataset, generate_queries_with_seed, Region, ABLATION_SELECTIVITIES};
 
 fn main() {
     let region = Region::Japan;

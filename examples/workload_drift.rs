@@ -30,9 +30,15 @@ fn main() {
     let uniform = uniform_queries(1_000, selectivity, 3);
     let foreign = generate_queries_with_seed(Region::Japan, 1_000, selectivity, 4);
 
-    for (label, replacement) in [("uniform", &uniform), ("differently skewed (Japan)", &foreign)] {
+    for (label, replacement) in [
+        ("uniform", &uniform),
+        ("differently skewed (Japan)", &foreign),
+    ] {
         println!("drift towards a {label} workload:");
-        println!("{:>9} {:>12} {:>12} {:>12}", "% change", "Base", "WaZI", "WaZI/Base");
+        println!(
+            "{:>9} {:>12} {:>12} {:>12}",
+            "% change", "Base", "WaZI", "WaZI/Base"
+        );
         for change in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let drifted = drift_workload(&original, replacement, change, 5);
             let base_m = measure_range_queries(base.index.as_ref(), &drifted);

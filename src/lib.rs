@@ -1,0 +1,34 @@
+//! # wazi
+//!
+//! Facade crate of the WaZI reproduction (Pai, Mathioudakis & Wang,
+//! EDBT 2024). It re-exports the workspace crates so simple consumers can
+//! depend on a single crate, and it owns the repository-level integration
+//! tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! The layering, bottom to top (see ROADMAP.md, "Architecture"):
+//!
+//! * [`geom`] — points, rectangles, quadrant/ordering geometry, Morton codes;
+//! * [`storage`] — clustered pages with visitor-based scan primitives and
+//!   the [`storage::ExecStats`] work counters;
+//! * [`density`] — RFDE cardinality estimation used during construction;
+//! * [`core`] — the generalized Z-index (Base and WaZI) and the
+//!   [`core::SpatialIndex`] trait with its layered query-execution engine;
+//! * [`baselines`] — the six competitor indexes of the evaluation;
+//! * [`workload`] — deterministic dataset and query-workload generators;
+//! * [`bench`] — the experiment harness reproducing every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wazi_baselines as baselines;
+pub use wazi_bench as bench;
+pub use wazi_core as core;
+pub use wazi_density as density;
+pub use wazi_geom as geom;
+pub use wazi_storage as storage;
+pub use wazi_workload as workload;
+
+// The types almost every consumer needs, flattened to the crate root.
+pub use wazi_core::{SpatialIndex, ZIndex, ZIndexBuilder, ZIndexConfig};
+pub use wazi_geom::{Point, Rect};
+pub use wazi_storage::ExecStats;

@@ -3,8 +3,14 @@
 //! index the same data. This is the end-to-end guarantee the whole benchmark
 //! harness relies on — latency comparisons are only meaningful if the
 //! indexes agree on correctness.
+//!
+//! With the layered query-execution engine, "the same answers" spans three
+//! execution modes: the materializing `range_query`, the counting
+//! `range_count` and the streaming `range_for_each` must agree for every
+//! index on every query.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wazi_bench::{build_index, IndexKind};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
@@ -17,16 +23,20 @@ fn sorted(mut points: Vec<Point>) -> Vec<Point> {
     points
 }
 
+/// Every index kind of the evaluation, including the ablation variants.
+fn all_kinds() -> impl Iterator<Item = IndexKind> {
+    IndexKind::OVERVIEW
+        .into_iter()
+        .chain([IndexKind::WaziNoSkip, IndexKind::BaseSkip])
+}
+
 #[test]
 fn all_indexes_agree_with_brute_force_on_every_region() {
     for region in Region::ALL {
         let points = generate_dataset(region, 6_000);
         let train = generate_queries(region, 200, SELECTIVITIES[1]);
         let eval = generate_queries(region, 60, SELECTIVITIES[2]);
-        for kind in IndexKind::OVERVIEW
-            .into_iter()
-            .chain([IndexKind::WaziNoSkip, IndexKind::BaseSkip])
-        {
+        for kind in all_kinds() {
             let built = build_index(kind, &points, &train, 128);
             let mut stats = ExecStats::default();
             for query in &eval {
@@ -39,6 +49,77 @@ fn all_indexes_agree_with_brute_force_on_every_region() {
                         .collect(),
                 );
                 assert_eq!(got, expected, "{kind} disagrees on {region}");
+            }
+        }
+    }
+}
+
+/// The engine-consistency property of the layered query executor: for every
+/// index and every query, `range_count` equals the materialized result size,
+/// and `range_for_each` visits exactly the same multiset of points — while
+/// charging identical work counters, since all three modes share one scan
+/// kernel per index.
+#[test]
+fn range_count_and_for_each_agree_with_range_query_for_every_index() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 5_000);
+    let train = generate_queries(region, 150, SELECTIVITIES[1]);
+    // Training-shaped queries, unseen queries, random rectangles and
+    // degenerate boxes all exercise the same three paths.
+    let mut queries = generate_queries(region, 30, SELECTIVITIES[2]);
+    for _ in 0..30 {
+        let a = Point::new(rng.gen(), rng.gen());
+        let b = Point::new(rng.gen(), rng.gen());
+        queries.push(Rect::from_corners(a, b));
+    }
+    queries.push(Rect::UNIT);
+    queries.push(Rect::from_coords(0.5, 0.5, 0.5, 0.5));
+
+    for kind in all_kinds() {
+        let built = build_index(kind, &points, &train, 128);
+        for query in &queries {
+            let mut query_stats = ExecStats::default();
+            let materialized = built.index.range_query(query, &mut query_stats);
+
+            let mut count_stats = ExecStats::default();
+            let count = built.index.range_count(query, &mut count_stats);
+
+            let mut stream_stats = ExecStats::default();
+            let mut streamed = Vec::new();
+            built
+                .index
+                .range_for_each(query, &mut stream_stats, &mut |p| streamed.push(*p));
+
+            assert_eq!(
+                count,
+                materialized.len() as u64,
+                "{kind}: range_count disagrees with range_query on {query}"
+            );
+            assert_eq!(
+                sorted(streamed),
+                sorted(materialized),
+                "{kind}: range_for_each visits a different multiset on {query}"
+            );
+            // All three modes share one scan kernel per index, so the work
+            // counters of the paper's cost model must be identical.
+            for (label, other) in [("count", &count_stats), ("for_each", &stream_stats)] {
+                assert_eq!(
+                    query_stats.points_scanned, other.points_scanned,
+                    "{kind}/{label}: points_scanned differs on {query}"
+                );
+                assert_eq!(
+                    query_stats.bbs_checked, other.bbs_checked,
+                    "{kind}/{label}: bbs_checked differs on {query}"
+                );
+                assert_eq!(
+                    query_stats.pages_scanned, other.pages_scanned,
+                    "{kind}/{label}: pages_scanned differs on {query}"
+                );
+                assert_eq!(
+                    query_stats.results, other.results,
+                    "{kind}/{label}: results differs on {query}"
+                );
             }
         }
     }
@@ -75,7 +156,12 @@ fn knn_agrees_across_indexes() {
     let q = Point::new(0.31, 0.62);
     expected.sort_by(|a, b| a.distance_squared(&q).total_cmp(&b.distance_squared(&q)));
     expected.truncate(8);
-    for kind in [IndexKind::Wazi, IndexKind::Base, IndexKind::Str, IndexKind::Flood] {
+    for kind in [
+        IndexKind::Wazi,
+        IndexKind::Base,
+        IndexKind::Str,
+        IndexKind::Flood,
+    ] {
         let built = build_index(kind, &points, &train, 128);
         let mut stats = ExecStats::default();
         let got = built.index.knn(&q, 8, &mut stats);
@@ -83,25 +169,62 @@ fn knn_agrees_across_indexes() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// The kNN fallback sweep is clamped to each index's data bounds, so a query
+/// point astronomically far from the data still terminates and stays exact.
+#[test]
+fn knn_from_far_outside_the_data_space_agrees_across_indexes() {
+    let region = Region::Iberia;
+    let points = generate_dataset(region, 2_000);
+    let train = generate_queries(region, 80, SELECTIVITIES[1]);
+    let q = Point::new(3.0e8, -7.0e8);
+    let mut expected = points.clone();
+    expected.sort_by(|a, b| a.distance_squared(&q).total_cmp(&b.distance_squared(&q)));
+    expected.truncate(5);
+    for kind in [
+        IndexKind::Wazi,
+        IndexKind::Base,
+        IndexKind::Str,
+        IndexKind::Cur,
+        IndexKind::Flood,
+        IndexKind::Quasii,
+        IndexKind::Zpgm,
+    ] {
+        let built = build_index(kind, &points, &train, 128);
+        let mut stats = ExecStats::default();
+        let got = built.index.knn(&q, 5, &mut stats);
+        assert_eq!(got, expected, "{kind} far-query kNN disagrees");
+    }
+}
 
-    /// Random rectangles on a fixed dataset: WaZI, Base and STR agree with
-    /// brute force (and hence with each other).
-    #[test]
-    fn random_rectangles_are_answered_identically(
-        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0, w in 0.0f64..0.5, h in 0.0f64..0.5
-    ) {
-        let region = Region::NewYork;
-        let points = generate_dataset(region, 3_000);
-        let train = generate_queries(region, 100, SELECTIVITIES[1]);
+/// Random rectangles on a fixed dataset: WaZI, Base and STR agree with
+/// brute force (and hence with each other).
+#[test]
+fn random_rectangles_are_answered_identically() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 3_000);
+    let train = generate_queries(region, 100, SELECTIVITIES[1]);
+    let indexes: Vec<_> = [IndexKind::Wazi, IndexKind::Base, IndexKind::Str]
+        .into_iter()
+        .map(|kind| build_index(kind, &points, &train, 128))
+        .collect();
+    for _ in 0..16 {
+        let x0 = rng.gen::<f64>();
+        let y0 = rng.gen::<f64>();
+        let w = rng.gen_range(0.0f64..0.5);
+        let h = rng.gen_range(0.0f64..0.5);
         let query = Rect::from_coords(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0));
-        let expected = sorted(points.iter().copied().filter(|p| query.contains(p)).collect());
-        for kind in [IndexKind::Wazi, IndexKind::Base, IndexKind::Str] {
-            let built = build_index(kind, &points, &train, 128);
+        let expected = sorted(
+            points
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect(),
+        );
+        for built in &indexes {
             let mut stats = ExecStats::default();
             let got = sorted(built.index.range_query(&query, &mut stats));
-            prop_assert_eq!(&got, &expected, "{} disagrees", kind);
+            assert_eq!(got, expected, "{} disagrees", built.kind);
         }
     }
 }

@@ -1,0 +1,55 @@
+//! Criterion benchmark behind the `batch` experiment: one overlapping range
+//! batch executed through the query engine, sequential vs fused, plus the
+//! heterogeneous mixed batch the engine schedules across plan kinds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_core::{BatchStrategy, Query, QueryEngine};
+use wazi_workload::{
+    generate_dataset, generate_mixed_batch, generate_queries, Region, SELECTIVITIES,
+};
+
+fn bench_batch_queries(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 50_000);
+    let train = generate_queries(Region::NewYork, 1_000, SELECTIVITIES[3]);
+    let range_batch: Vec<Query> = generate_queries(Region::NewYork, 256, SELECTIVITIES[3])
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let mixed_batch = generate_mixed_batch(Region::NewYork, 256, SELECTIVITIES[3], 99);
+
+    let mut group = c.benchmark_group("batch_query/engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for kind in [IndexKind::Wazi, IndexKind::Base] {
+        let built = build_index(kind, &points, &train, 256);
+        for strategy in [BatchStrategy::Sequential, BatchStrategy::Fused] {
+            let label = match strategy {
+                BatchStrategy::Sequential => "sequential",
+                BatchStrategy::Fused => "fused",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("range/{label}"), kind.name()),
+                &built,
+                |b, built| {
+                    let engine = QueryEngine::new(built.index.as_ref()).with_strategy(strategy);
+                    b.iter(|| std::hint::black_box(engine.execute_batch(&range_batch).unwrap()));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("mixed/{label}"), kind.name()),
+                &built,
+                |b, built| {
+                    let engine = QueryEngine::new(built.index.as_ref()).with_strategy(strategy);
+                    b.iter(|| std::hint::black_box(engine.execute_batch(&mixed_batch).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_queries);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Batched query execution: the engine experiment beyond the paper.
+//!
+//! The paper evaluates queries one at a time; production workloads arrive
+//! in batches. This experiment drives every index through the typed query
+//! engine's batch executor and compares the default sequential schedule
+//! against the fused strategy, which routes a batch's range plans through
+//! WaZI's batched leaf-interval kernel so pages shared by overlapping
+//! queries are scanned once per batch. Besides the usual reports, the
+//! experiment emits its tables as `BENCH_batch.json` in the working
+//! directory, the machine-readable artifact CI and regression tooling
+//! consume.
+
+use super::{workload_setup, ExperimentContext};
+use crate::measure::{format_ns, measure_query_batch, BatchMeasurement};
+use crate::report::Report;
+use crate::suite::{build_index, IndexKind};
+use wazi_core::{BatchStrategy, Query};
+use wazi_workload::{generate_mixed_batch, Region, SELECTIVITIES};
+
+/// The overlapping-range workload: the highest selectivity of Table 2 over
+/// the most concentrated query profile, so consecutive queries hit shared
+/// pages — the case batching exists for.
+const BATCH_REGION: Region = Region::NewYork;
+const BATCH_SELECTIVITY: f64 = SELECTIVITIES[3];
+
+/// File the experiment's reports are serialised to (JSON array, same format
+/// as the `reproduce` binary's `--json` output).
+pub const BATCH_JSON_PATH: &str = "BENCH_batch.json";
+
+fn pages_row(kind: IndexKind, m: &BatchMeasurement, strategy: &str) -> Vec<String> {
+    vec![
+        kind.name().to_string(),
+        strategy.to_string(),
+        format!("{}", m.totals.pages_scanned),
+        format!("{}", m.totals.points_scanned),
+        format!("{}", m.totals.bbs_checked),
+        format!("{}", m.total_results),
+        format_ns(m.batch_latency_ns as f64),
+    ]
+}
+
+/// The batch experiment: sequential vs fused execution of an overlapping
+/// range batch on every primary index, plus a mixed range/point/kNN batch
+/// exercising the heterogeneous path.
+pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
+    let (points, train, eval) =
+        workload_setup(ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
+    let range_batch: Vec<Query> = eval.iter().copied().map(Query::range_count).collect();
+    let mixed_batch = generate_mixed_batch(
+        BATCH_REGION,
+        ctx.workload_size,
+        BATCH_SELECTIVITY,
+        ctx.seed ^ 0xBA7C,
+    );
+
+    let mut overlap = Report::new(
+        "batch-range",
+        "Sequential vs fused execution of an overlapping range batch",
+    )
+    .with_headers(&[
+        "Index",
+        "Strategy",
+        "Pages scanned",
+        "Points scanned",
+        "BBs checked",
+        "Results",
+        "Batch latency",
+    ]);
+    let mut mixed = Report::new(
+        "batch-mixed",
+        "Mixed range/point/kNN batch through the query engine",
+    )
+    .with_headers(&[
+        "Index",
+        "Strategy",
+        "Fused queries",
+        "Results",
+        "Pages scanned",
+        "Batch latency",
+    ]);
+
+    for &kind in &IndexKind::PRIMARY {
+        let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+        let index = built.index.as_ref();
+        let sequential = measure_query_batch(index, &range_batch, BatchStrategy::Sequential);
+        let fused = measure_query_batch(index, &range_batch, BatchStrategy::Fused);
+        debug_assert_eq!(sequential.total_results, fused.total_results);
+        overlap.push_row(pages_row(kind, &sequential, "sequential"));
+        overlap.push_row(pages_row(kind, &fused, "fused"));
+
+        let mixed_sequential = measure_query_batch(index, &mixed_batch, BatchStrategy::Sequential);
+        let mixed_fused = measure_query_batch(index, &mixed_batch, BatchStrategy::Fused);
+        debug_assert_eq!(mixed_sequential.total_results, mixed_fused.total_results);
+        for (m, strategy) in [(&mixed_sequential, "sequential"), (&mixed_fused, "fused")] {
+            mixed.push_row(vec![
+                kind.name().to_string(),
+                strategy.to_string(),
+                m.fused_queries.to_string(),
+                m.total_results.to_string(),
+                m.totals.pages_scanned.to_string(),
+                format_ns(m.batch_latency_ns as f64),
+            ]);
+        }
+    }
+    overlap.push_note(format!(
+        "region {BATCH_REGION}, selectivity {:.4}%, {} queries per batch, {} points",
+        BATCH_SELECTIVITY * 100.0,
+        range_batch.len(),
+        ctx.dataset_size
+    ));
+    overlap.push_note(
+        "expected shape: WaZI fused scans strictly fewer pages than WaZI sequential; \
+         indexes without a batch kernel show identical rows for both strategies",
+    );
+    mixed.push_note(
+        "fused queries counts the range plans routed through the batched kernel; \
+         point and kNN plans always execute sequentially",
+    );
+
+    let reports = vec![overlap, mixed];
+    match emit_batch_json(&reports, BATCH_JSON_PATH) {
+        Ok(()) => eprintln!("   wrote {BATCH_JSON_PATH}"),
+        Err(e) => eprintln!("   could not write {BATCH_JSON_PATH}: {e}"),
+    }
+    reports
+}
+
+/// Serialises the batch reports to `path` as a JSON array (the
+/// `BENCH_batch.json` artifact).
+pub fn emit_batch_json(reports: &[Report], path: &str) -> std::io::Result<()> {
+    std::fs::write(path, Report::json_array(reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance property behind `BENCH_batch.json`: on an overlapping
+    /// range batch, WaZI's fused kernel visits fewer pages than
+    /// query-at-a-time execution, at identical results.
+    #[test]
+    fn fused_wazi_scans_fewer_pages_than_sequential() {
+        let ctx = ExperimentContext::smoke_test();
+        let (points, train, eval) =
+            workload_setup(&ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
+        let batch: Vec<Query> = eval.iter().copied().map(Query::range_count).collect();
+        let built = build_index(IndexKind::Wazi, &points, &train, ctx.leaf_capacity);
+        let sequential =
+            measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Sequential);
+        let fused = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Fused);
+        assert_eq!(sequential.total_results, fused.total_results);
+        assert_eq!(fused.fused_queries, batch.len());
+        assert!(
+            fused.totals.pages_scanned < sequential.totals.pages_scanned,
+            "fused {} pages vs sequential {}",
+            fused.totals.pages_scanned,
+            sequential.totals.pages_scanned
+        );
+    }
+
+    #[test]
+    fn batch_experiment_produces_rows_for_every_primary_index() {
+        let ctx = ExperimentContext::smoke_test();
+        let reports = batch(&ctx);
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert_eq!(report.rows.len(), IndexKind::PRIMARY.len() * 2);
+        }
+        // Every index appears with both strategies.
+        for kind in IndexKind::PRIMARY {
+            for strategy in ["sequential", "fused"] {
+                assert!(
+                    reports[0]
+                        .rows
+                        .iter()
+                        .any(|r| r[0] == kind.name() && r[1] == strategy),
+                    "missing {kind}/{strategy} row"
+                );
+            }
+        }
+    }
+}

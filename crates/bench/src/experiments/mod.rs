@@ -6,6 +6,7 @@
 //! table or figure.
 
 pub mod ablation;
+pub mod batch;
 pub mod build;
 pub mod point;
 pub mod properties;
@@ -188,6 +189,12 @@ pub fn registry() -> Vec<ExperimentSpec> {
             id: "ablation-extra",
             description: "Extra ablations beyond the paper: kappa, alpha and density estimation",
             run: ablation::extra,
+        },
+        ExperimentSpec {
+            id: "batch",
+            description:
+                "Sequential vs fused batched query execution through the engine (BENCH_batch.json)",
+            run: batch::batch,
         },
     ]
 }

@@ -1,4 +1,9 @@
 //! Range-query experiments: Figures 4, 6, 7, 8 and 9.
+//!
+//! All measurements execute through the typed query engine's counting plans
+//! (`Query::range_count` via [`crate::measure::measure_range_queries`]), so
+//! the work reported matches the paper's cost model; the `batch` experiment
+//! (`experiments/batch.rs`) covers the engine's batched schedules.
 
 use super::{workload_setup, ExperimentContext};
 use crate::measure::{format_ns, measure_range_queries, RangeMeasurement};

@@ -1,7 +1,14 @@
 //! Measurement helpers shared by every experiment.
+//!
+//! All query measurement funnels through the typed query-plan engine
+//! ([`QueryEngine`]): experiments describe their workload as [`Query`]
+//! plans, the engine owns the `ExecStats` plumbing, and the helpers here
+//! reduce the resulting reports to the per-query means the paper's tables
+//! print. The low-level `SpatialIndex` methods stay what they were — the
+//! implementation layer underneath the engine.
 
 use std::time::Instant;
-use wazi_core::SpatialIndex;
+use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
@@ -41,13 +48,16 @@ pub fn measure_range_queries(index: &dyn SpatialIndex, queries: &[Rect]) -> Rang
     if queries.is_empty() {
         return RangeMeasurement::default();
     }
+    let engine = QueryEngine::new(index);
     let mut stats = ExecStats::default();
     let mut total_latency = 0u64;
     for query in queries {
-        let start = Instant::now();
-        let count = index.range_count(query, &mut stats);
-        total_latency += start.elapsed().as_nanos() as u64;
-        std::hint::black_box(count);
+        let report = engine
+            .execute(&Query::range_count(*query))
+            .expect("workload rectangles are finite");
+        total_latency += report.latency_ns;
+        stats.merge(&report.stats);
+        std::hint::black_box(&report.output);
     }
     let n = queries.len() as f64;
     RangeMeasurement {
@@ -79,14 +89,15 @@ pub fn measure_point_queries(index: &dyn SpatialIndex, probes: &[Point]) -> Poin
     if probes.is_empty() {
         return PointMeasurement::default();
     }
-    let mut stats = ExecStats::default();
+    let engine = QueryEngine::new(index);
     let mut total_latency = 0u64;
     let mut hits = 0usize;
     for probe in probes {
-        let start = Instant::now();
-        let found = index.point_query(probe, &mut stats);
-        total_latency += start.elapsed().as_nanos() as u64;
-        hits += usize::from(found);
+        let report = engine
+            .execute(&Query::point(*probe))
+            .expect("probe points are finite");
+        total_latency += report.latency_ns;
+        hits += usize::from(report.output == QueryOutput::Found(true));
     }
     PointMeasurement {
         queries: probes.len(),
@@ -127,6 +138,41 @@ pub fn measure_inserts(index: &mut dyn SpatialIndex, points: &[Point]) -> Insert
         } else {
             total_latency as f64 / inserted as f64
         },
+    }
+}
+
+/// Aggregate measurement of one typed query batch on one index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchMeasurement {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Number of range queries executed through the fused batch kernel.
+    pub fused_queries: usize,
+    /// Wall-clock latency of the whole batch in nanoseconds.
+    pub batch_latency_ns: u64,
+    /// Total result points across the batch.
+    pub total_results: u64,
+    /// Merged work counters (per-query plus batch-shared work).
+    pub totals: ExecStats,
+}
+
+/// Executes one mixed batch through the engine under the given strategy and
+/// reduces the report to its aggregate work counters.
+pub fn measure_query_batch(
+    index: &dyn SpatialIndex,
+    batch: &[Query],
+    strategy: BatchStrategy,
+) -> BatchMeasurement {
+    let engine = QueryEngine::new(index).with_strategy(strategy);
+    let report = engine
+        .execute_batch(batch)
+        .expect("generated batches are valid");
+    BatchMeasurement {
+        queries: report.len(),
+        fused_queries: report.fused_queries,
+        batch_latency_ns: report.latency_ns,
+        total_results: report.total_results(),
+        totals: report.merged_stats(),
     }
 }
 
@@ -189,6 +235,30 @@ mod tests {
         let mut quasii = build_index(IndexKind::Quasii, &points, &queries, 64);
         let m = measure_inserts(quasii.index.as_mut(), &extra);
         assert_eq!(m.inserts, 0);
+    }
+
+    #[test]
+    fn batch_measurement_is_equivalent_across_strategies_and_shares_pages() {
+        use wazi_workload::generate_mixed_batch;
+        let points = generate_dataset(Region::NewYork, 4_000);
+        let queries = generate_queries(Region::NewYork, 100, 0.001);
+        let built = build_index(IndexKind::Wazi, &points, &queries, 64);
+        let batch = generate_mixed_batch(Region::NewYork, 200, 0.001, 21);
+
+        let sequential =
+            measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Sequential);
+        let fused = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Fused);
+        assert_eq!(sequential.queries, 200);
+        assert_eq!(sequential.fused_queries, 0);
+        assert!(fused.fused_queries > 0);
+        assert_eq!(sequential.total_results, fused.total_results);
+        assert_eq!(sequential.totals.results, fused.totals.results);
+        assert!(
+            fused.totals.pages_scanned < sequential.totals.pages_scanned,
+            "fused {} pages vs sequential {}",
+            fused.totals.pages_scanned,
+            sequential.totals.pages_scanned
+        );
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The fused batch-execution seam between the engine and the indexes.
+//!
+//! The engine speaks to indexes through [`crate::SpatialIndex`], one query
+//! at a time. An index that can do better on a *batch* of range queries —
+//! WaZI scans each relevant page once per batch instead of once per
+//! overlapping query — advertises the capability by returning itself from
+//! [`crate::SpatialIndex::range_batch_kernel`] and implementing
+//! [`RangeBatchKernel`]. The engine's fused strategy routes every range
+//! plan of a batch through the kernel and falls back to the sequential loop
+//! for indexes without one, so fusion is purely an optimization: answers
+//! are identical either way.
+
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+
+/// One range request of a fused batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeBatchRequest {
+    /// The query rectangle.
+    pub rect: Rect,
+    /// Whether the matching points must be materialized. Counting and
+    /// streaming plans set this to `false`: the kernel only tallies matches.
+    pub collect: bool,
+}
+
+/// Per-request answer of a fused batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeBatchOutput {
+    /// Materialized matches of a collecting request, in the index's scan
+    /// order (identical to the order the sequential path produces).
+    Points(Vec<Point>),
+    /// Match count of a non-collecting request.
+    Count(u64),
+}
+
+/// The kernel's answer to a batch: parallel to the request slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeBatchResponse {
+    /// One output per request, in request order.
+    pub outputs: Vec<RangeBatchOutput>,
+    /// Work attributable to a single request (its corner projections, its
+    /// bounding-box checks, its point comparisons and results).
+    pub per_query: Vec<ExecStats>,
+    /// Work the kernel performed once on behalf of the whole batch: visits
+    /// of pages shared by several requests, batch-level skipping, and the
+    /// kernel's phase timings.
+    pub shared: ExecStats,
+}
+
+impl RangeBatchResponse {
+    /// An empty response (no requests).
+    pub fn empty() -> Self {
+        Self {
+            outputs: Vec::new(),
+            per_query: Vec::new(),
+            shared: ExecStats::default(),
+        }
+    }
+}
+
+/// Fused execution of many range requests in one pass over the index.
+///
+/// # Contract
+///
+/// Implementations must return, for every request, exactly the answer the
+/// sequential [`crate::SpatialIndex::range_query`] /
+/// [`crate::SpatialIndex::range_count`] path returns — same points, same
+/// order — while being free to share physical work (page visits) between
+/// requests and to account that shared work in
+/// [`RangeBatchResponse::shared`] rather than per query.
+pub trait RangeBatchKernel {
+    /// Executes all `requests` in one fused pass.
+    fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse;
+}

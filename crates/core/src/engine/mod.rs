@@ -1,0 +1,293 @@
+//! The query-plan execution engine: a unified front door over any
+//! [`SpatialIndex`].
+//!
+//! The low-level trait speaks one query at a time through differently-shaped
+//! methods, each threading a `&mut ExecStats` out-parameter. The engine
+//! replaces that surface with typed requests and responses:
+//!
+//! * a [`Query`] describes one operation (range in one of three modes,
+//!   point probe, kNN);
+//! * [`QueryEngine::execute`] answers it with a [`QueryReport`] — output,
+//!   work counters and phase timings, wall-clock latency — owning the
+//!   `ExecStats` plumbing;
+//! * [`QueryEngine::execute_batch`] answers a whole workload mix, either by
+//!   the sequential per-query loop (the default, byte- and
+//!   counter-equivalent to calling [`QueryEngine::execute`] in a loop) or,
+//!   under [`BatchStrategy::Fused`], by routing the batch's range plans
+//!   through the index's [`RangeBatchKernel`] when it has one, so pages
+//!   shared by overlapping queries are scanned once per batch.
+//!
+//! The engine is configured builder-style and borrows the index, so it can
+//! be created per request batch without cost:
+//!
+//! ```
+//! use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, ZIndex};
+//! use wazi_geom::{Point, Rect};
+//!
+//! let points: Vec<Point> = (0..1_000)
+//!     .map(|i| Point::new((i % 40) as f64 / 40.0, (i / 40) as f64 / 25.0))
+//!     .collect();
+//! let index = ZIndex::build_base(points);
+//! let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
+//!
+//! let batch = vec![
+//!     Query::range_count(Rect::from_coords(0.1, 0.1, 0.4, 0.4)),
+//!     Query::point(Point::new(0.5, 0.52)),
+//!     Query::knn(Point::new(0.2, 0.2), 3),
+//! ];
+//! let report = engine.execute_batch(&batch).unwrap();
+//! assert_eq!(report.len(), 3);
+//! assert!(matches!(report.reports[0].output, QueryOutput::Count(_)));
+//! ```
+
+mod batch;
+mod plan;
+mod report;
+#[cfg(test)]
+mod tests;
+
+pub use batch::{RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse};
+pub use plan::{Query, QueryOutput, RangeMode};
+pub use report::{BatchReport, QueryReport};
+
+use crate::index::{IndexError, SpatialIndex};
+use std::time::Instant;
+use wazi_geom::Point;
+use wazi_storage::ExecStats;
+
+/// Errors returned by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The underlying index rejected the operation.
+    Index(IndexError),
+    /// The query plan itself was invalid (e.g. non-finite geometry).
+    InvalidQuery(String),
+}
+
+impl From<IndexError> for EngineError {
+    fn from(err: IndexError) -> Self {
+        EngineError::Index(err)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Index(err) => write!(f, "index error: {err}"),
+            EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Index(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// How [`QueryEngine::execute_batch`] schedules a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchStrategy {
+    /// Execute queries one at a time in input order. The default: results,
+    /// counters and per-query latencies are exactly those of a hand-written
+    /// [`QueryEngine::execute`] loop.
+    #[default]
+    Sequential,
+    /// Route the batch's range plans through the index's
+    /// [`RangeBatchKernel`] when it advertises one
+    /// ([`SpatialIndex::range_batch_kernel`]), falling back to the
+    /// sequential loop otherwise. Answers are identical to
+    /// [`BatchStrategy::Sequential`]; pages relevant to several queries are
+    /// scanned once per batch instead of once per query.
+    Fused,
+}
+
+/// Executes typed [`Query`] plans against a borrowed [`SpatialIndex`].
+///
+/// Construction is builder-style (see the module example): [`QueryEngine::new`]
+/// picks the sequential default and [`QueryEngine::with_strategy`] opts into
+/// fused batching.
+pub struct QueryEngine<'a> {
+    index: &'a dyn SpatialIndex,
+    strategy: BatchStrategy,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `index` with the default
+    /// [`BatchStrategy::Sequential`].
+    pub fn new(index: &'a dyn SpatialIndex) -> Self {
+        Self {
+            index,
+            strategy: BatchStrategy::default(),
+        }
+    }
+
+    /// Sets the batch scheduling strategy (builder-style).
+    pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured batch strategy.
+    pub fn strategy(&self) -> BatchStrategy {
+        self.strategy
+    }
+
+    /// The index this engine executes against.
+    pub fn index(&self) -> &dyn SpatialIndex {
+        self.index
+    }
+
+    /// Executes one query plan, owning the stats bookkeeping.
+    ///
+    /// [`RangeMode::Stream`] plans executed through this entry point count
+    /// and drop the matches (the non-materializing measurement mode); use
+    /// [`QueryEngine::execute_streaming`] to receive them.
+    pub fn execute(&self, query: &Query) -> Result<QueryReport, EngineError> {
+        self.execute_with_sink(query, &mut |_| {})
+    }
+
+    /// Executes one query plan, delivering the matches of a
+    /// [`RangeMode::Stream`] range plan to `sink` as they are found. For
+    /// every other plan this behaves exactly like [`QueryEngine::execute`]
+    /// (`sink` is never called).
+    pub fn execute_streaming(
+        &self,
+        query: &Query,
+        sink: &mut dyn FnMut(&Point),
+    ) -> Result<QueryReport, EngineError> {
+        self.execute_with_sink(query, sink)
+    }
+
+    fn execute_with_sink(
+        &self,
+        query: &Query,
+        sink: &mut dyn FnMut(&Point),
+    ) -> Result<QueryReport, EngineError> {
+        query.validate()?;
+        let mut stats = ExecStats::default();
+        let start = Instant::now();
+        let output = match query {
+            Query::Range { rect, mode } => match mode {
+                RangeMode::Collect => QueryOutput::Points(self.index.range_query(rect, &mut stats)),
+                RangeMode::Count => QueryOutput::Count(self.index.range_count(rect, &mut stats)),
+                RangeMode::Stream => {
+                    let mut streamed = 0u64;
+                    self.index.range_for_each(rect, &mut stats, &mut |p| {
+                        streamed += 1;
+                        sink(p);
+                    });
+                    QueryOutput::Streamed(streamed)
+                }
+            },
+            Query::Point(p) => QueryOutput::Found(self.index.point_query(p, &mut stats)),
+            Query::Knn { q, k } => QueryOutput::Neighbors(self.index.knn(q, *k, &mut stats)),
+        };
+        Ok(QueryReport {
+            output,
+            stats,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Executes a batch of query plans, answering in input order.
+    ///
+    /// Every plan is validated before anything executes, so an invalid
+    /// query rejects the whole batch without partial work.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<BatchReport, EngineError> {
+        for query in queries {
+            query.validate()?;
+        }
+        let start = Instant::now();
+        let kernel = match self.strategy {
+            BatchStrategy::Fused => self.index.range_batch_kernel(),
+            BatchStrategy::Sequential => None,
+        };
+        let mut report = match kernel {
+            Some(kernel) if queries.iter().filter(|q| q.is_range()).count() >= 2 => {
+                self.execute_batch_fused(queries, kernel)?
+            }
+            _ => self.execute_batch_sequential(queries)?,
+        };
+        report.latency_ns = start.elapsed().as_nanos() as u64;
+        Ok(report)
+    }
+
+    fn execute_batch_sequential(&self, queries: &[Query]) -> Result<BatchReport, EngineError> {
+        let mut reports = Vec::with_capacity(queries.len());
+        for query in queries {
+            reports.push(self.execute(query)?);
+        }
+        Ok(BatchReport {
+            reports,
+            shared_stats: ExecStats::default(),
+            latency_ns: 0,
+            fused_queries: 0,
+        })
+    }
+
+    /// The fused path: range plans go through the kernel in one pass,
+    /// everything else runs sequentially, and the answers are reassembled
+    /// into input order.
+    fn execute_batch_fused(
+        &self,
+        queries: &[Query],
+        kernel: &dyn RangeBatchKernel,
+    ) -> Result<BatchReport, EngineError> {
+        let mut range_positions = Vec::new();
+        let mut requests = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            if let Query::Range { rect, mode } = query {
+                range_positions.push(i);
+                requests.push(RangeBatchRequest {
+                    rect: *rect,
+                    collect: *mode == RangeMode::Collect,
+                });
+            }
+        }
+        let response = kernel.run_range_batch(&requests);
+        debug_assert_eq!(response.outputs.len(), requests.len());
+        debug_assert_eq!(response.per_query.len(), requests.len());
+
+        let mut slots: Vec<Option<QueryReport>> = (0..queries.len()).map(|_| None).collect();
+        for ((&position, output), stats) in range_positions
+            .iter()
+            .zip(response.outputs)
+            .zip(response.per_query)
+        {
+            let mode = match &queries[position] {
+                Query::Range { mode, .. } => *mode,
+                _ => unreachable!("range positions only index range plans"),
+            };
+            let output = match (output, mode) {
+                (RangeBatchOutput::Points(points), _) => QueryOutput::Points(points),
+                (RangeBatchOutput::Count(n), RangeMode::Stream) => QueryOutput::Streamed(n),
+                (RangeBatchOutput::Count(n), _) => QueryOutput::Count(n),
+            };
+            slots[position] = Some(QueryReport {
+                output,
+                stats,
+                latency_ns: 0,
+            });
+        }
+        for (slot, query) in slots.iter_mut().zip(queries) {
+            if slot.is_none() {
+                *slot = Some(self.execute(query)?);
+            }
+        }
+        let fused_queries = range_positions.len();
+        Ok(BatchReport {
+            reports: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled above"))
+                .collect(),
+            shared_stats: response.shared,
+            latency_ns: 0,
+            fused_queries,
+        })
+    }
+}

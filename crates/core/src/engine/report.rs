@@ -1,0 +1,109 @@
+//! Execution reports: what the engine hands back alongside every answer.
+
+use crate::engine::QueryOutput;
+use wazi_storage::ExecStats;
+
+/// The result of executing one [`crate::engine::Query`]: the answer itself,
+/// the work counters and phase timings the index charged while producing it,
+/// and the end-to-end wall-clock latency observed by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// The answer, variant-matched to the executed plan.
+    pub output: QueryOutput,
+    /// Work counters and projection/scan phase timings (Figures 9 and 13).
+    pub stats: ExecStats,
+    /// End-to-end wall-clock latency in nanoseconds, measured by the engine
+    /// around the index call. Zero for range queries executed through the
+    /// fused batch kernel, whose wall clock is only attributable to the
+    /// batch as a whole ([`BatchReport::latency_ns`]).
+    pub latency_ns: u64,
+}
+
+/// The result of executing a batch of queries.
+///
+/// Per-query answers keep their input order regardless of how the engine
+/// scheduled them internally. Work accounting is split into two levels:
+/// every report carries the counters attributable to its own query, while
+/// `shared_stats` holds work the fused kernel performed once on behalf of
+/// several queries (page visits of shared pages, batch-level skipping). On
+/// the sequential path `shared_stats` is zero and [`BatchReport::merged_stats`]
+/// equals the merge of the per-query stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One report per input query, in input order.
+    pub reports: Vec<QueryReport>,
+    /// Work charged to the batch as a whole rather than to any single query
+    /// (only the fused kernel produces nonzero shared stats).
+    pub shared_stats: ExecStats,
+    /// Wall-clock latency of the whole batch in nanoseconds.
+    pub latency_ns: u64,
+    /// Number of range queries that were executed through the fused
+    /// batch kernel (zero on the sequential path).
+    pub fused_queries: usize,
+}
+
+impl BatchReport {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Sound aggregate of the batch's work: the per-query counters merged
+    /// component-wise ([`ExecStats::merge`]) plus the batch-level shared
+    /// work. Comparing this quantity between the sequential and the fused
+    /// strategy shows exactly what fusion saves (shared pages scanned once).
+    pub fn merged_stats(&self) -> ExecStats {
+        let mut merged = self.shared_stats;
+        for report in &self.reports {
+            merged.merge(&report.stats);
+        }
+        merged
+    }
+
+    /// Total result points across the batch.
+    pub fn total_results(&self) -> u64 {
+        self.reports.iter().map(|r| r.output.result_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryOutput;
+
+    fn report(results: u64, pages: u64) -> QueryReport {
+        QueryReport {
+            output: QueryOutput::Count(results),
+            stats: ExecStats {
+                results,
+                pages_scanned: pages,
+                ..Default::default()
+            },
+            latency_ns: 10,
+        }
+    }
+
+    #[test]
+    fn merged_stats_include_shared_work() {
+        let batch = BatchReport {
+            reports: vec![report(3, 2), report(5, 1)],
+            shared_stats: ExecStats {
+                pages_scanned: 4,
+                ..Default::default()
+            },
+            latency_ns: 100,
+            fused_queries: 2,
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let merged = batch.merged_stats();
+        assert_eq!(merged.pages_scanned, 7);
+        assert_eq!(merged.results, 8);
+        assert_eq!(batch.total_results(), 8);
+    }
+}

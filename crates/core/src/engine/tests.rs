@@ -1,0 +1,353 @@
+//! Engine unit tests: plan execution against the trait, batch equivalence,
+//! fused-kernel sharing and error paths.
+
+use crate::engine::{BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, RangeMode};
+use crate::index::{IndexError, SpatialIndex};
+use crate::zindex::ZIndex;
+use wazi_geom::{Point, Rect};
+use wazi_storage::ExecStats;
+
+/// A deterministic clustered dataset: a jittered grid with a dense corner.
+fn dataset() -> Vec<Point> {
+    let mut points = Vec::new();
+    for i in 0..60 {
+        for j in 0..60 {
+            let x = i as f64 / 60.0 + ((i * 31 + j * 17) % 7) as f64 * 1e-4;
+            let y = j as f64 / 60.0 + ((i * 13 + j * 29) % 5) as f64 * 1e-4;
+            points.push(Point::new(x, y));
+        }
+    }
+    // Dense hotspot: extra points in the lower-left quarter.
+    for k in 0..900 {
+        let x = (k % 30) as f64 / 120.0;
+        let y = (k / 30) as f64 / 120.0;
+        points.push(Point::new(x + 2e-5, y + 3e-5));
+    }
+    points
+}
+
+/// An overlapping range workload concentrated on the hotspot.
+fn overlapping_rects() -> Vec<Rect> {
+    let mut rects = Vec::new();
+    for k in 0..12 {
+        let shift = k as f64 * 0.01;
+        rects.push(Rect::from_coords(
+            0.02 + shift,
+            0.03 + shift,
+            0.22 + shift,
+            0.21 + shift,
+        ));
+    }
+    // Two byte-identical queries guarantee page sharing.
+    rects.push(Rect::from_coords(0.05, 0.05, 0.2, 0.2));
+    rects.push(Rect::from_coords(0.05, 0.05, 0.2, 0.2));
+    rects
+}
+
+fn wazi_index() -> ZIndex {
+    let train: Vec<Rect> = overlapping_rects();
+    ZIndex::build_wazi(dataset(), &train)
+}
+
+#[test]
+fn execute_agrees_with_the_raw_trait_calls() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index);
+    let rect = Rect::from_coords(0.1, 0.1, 0.35, 0.3);
+
+    let mut stats = ExecStats::default();
+    let expected = index.range_query(&rect, &mut stats);
+    let report = engine.execute(&Query::range(rect)).unwrap();
+    assert_eq!(report.output, QueryOutput::Points(expected.clone()));
+    assert_eq!(report.stats.results, stats.results);
+    assert_eq!(report.stats.points_scanned, stats.points_scanned);
+    assert_eq!(report.output.result_count(), expected.len() as u64);
+
+    let count = engine.execute(&Query::range_count(rect)).unwrap();
+    assert_eq!(count.output, QueryOutput::Count(expected.len() as u64));
+
+    let streamed = engine.execute(&Query::range_stream(rect)).unwrap();
+    assert_eq!(
+        streamed.output,
+        QueryOutput::Streamed(expected.len() as u64)
+    );
+
+    let probe = expected[0];
+    let found = engine.execute(&Query::point(probe)).unwrap();
+    assert_eq!(found.output, QueryOutput::Found(true));
+    let missed = engine
+        .execute(&Query::point(Point::new(0.987, 0.003)))
+        .unwrap();
+    assert_eq!(missed.output, QueryOutput::Found(false));
+
+    let mut stats = ExecStats::default();
+    let expected_knn = index.knn(&Point::new(0.2, 0.2), 5, &mut stats);
+    let knn = engine
+        .execute(&Query::knn(Point::new(0.2, 0.2), 5))
+        .unwrap();
+    assert_eq!(knn.output, QueryOutput::Neighbors(expected_knn));
+}
+
+#[test]
+fn execute_streaming_delivers_the_collected_points() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index);
+    let rect = Rect::from_coords(0.05, 0.05, 0.3, 0.25);
+    let collected = match engine.execute(&Query::range(rect)).unwrap().output {
+        QueryOutput::Points(points) => points,
+        other => panic!("unexpected output {other:?}"),
+    };
+    let mut sunk = Vec::new();
+    let report = engine
+        .execute_streaming(&Query::range_stream(rect), &mut |p| sunk.push(*p))
+        .unwrap();
+    assert_eq!(report.output, QueryOutput::Streamed(collected.len() as u64));
+    assert_eq!(sunk, collected);
+}
+
+/// The default batch path must be indistinguishable from a hand-written
+/// per-query loop: same outputs, same per-query stats, zero shared stats.
+#[test]
+fn sequential_batch_equals_the_per_query_loop() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index);
+    let mut batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rect)| match i % 3 {
+            0 => Query::range(rect),
+            1 => Query::range_count(rect),
+            _ => Query::range_stream(rect),
+        })
+        .collect();
+    batch.push(Query::point(Point::new(0.1, 0.1)));
+    batch.push(Query::knn(Point::new(0.15, 0.12), 4));
+
+    let report = engine.execute_batch(&batch).unwrap();
+    assert_eq!(report.len(), batch.len());
+    assert_eq!(report.fused_queries, 0);
+    assert_eq!(report.shared_stats, ExecStats::default());
+    let mut merged = ExecStats::default();
+    for (query, got) in batch.iter().zip(&report.reports) {
+        let expected = engine.execute(query).unwrap();
+        assert_eq!(got.output, expected.output);
+        assert_eq!(got.stats, {
+            // Phase timings are wall-clock and never reproducible; compare
+            // the deterministic counters only.
+            let mut s = expected.stats;
+            s.projection_ns = got.stats.projection_ns;
+            s.scan_ns = got.stats.scan_ns;
+            s
+        });
+        merged.merge(&got.stats);
+    }
+    assert_eq!(report.merged_stats(), merged);
+}
+
+/// The fused strategy returns byte-identical outputs and scans shared pages
+/// once per batch: merged `pages_scanned` drops strictly below the
+/// sequential loop's on an overlapping batch.
+#[test]
+fn fused_batch_matches_sequential_and_shares_pages() {
+    let index = wazi_index();
+    let sequential = QueryEngine::new(&index);
+    let fused = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
+    assert_eq!(fused.strategy(), BatchStrategy::Fused);
+
+    let mut batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rect)| match i % 3 {
+            0 => Query::range(rect),
+            1 => Query::range_count(rect),
+            _ => Query::range_stream(rect),
+        })
+        .collect();
+    batch.push(Query::point(Point::new(0.07, 0.04)));
+    batch.push(Query::knn(Point::new(0.3, 0.3), 3));
+
+    let seq_report = sequential.execute_batch(&batch).unwrap();
+    let fused_report = fused.execute_batch(&batch).unwrap();
+    assert_eq!(fused_report.fused_queries, batch.len() - 2);
+    assert_eq!(fused_report.len(), seq_report.len());
+    for (a, b) in seq_report.reports.iter().zip(&fused_report.reports) {
+        assert_eq!(a.output, b.output);
+    }
+    // Point comparisons and results are attributed per query either way.
+    assert_eq!(
+        fused_report.merged_stats().results,
+        seq_report.merged_stats().results
+    );
+    assert!(
+        fused_report.merged_stats().pages_scanned < seq_report.merged_stats().pages_scanned,
+        "fused: {} pages, sequential: {} pages",
+        fused_report.merged_stats().pages_scanned,
+        seq_report.merged_stats().pages_scanned
+    );
+}
+
+/// Fusion is an optimization, never a requirement: an index without a batch
+/// kernel executes a fused-strategy batch sequentially.
+#[test]
+fn fused_strategy_falls_back_without_a_kernel() {
+    struct Scan(Vec<Point>);
+    impl SpatialIndex for Scan {
+        fn name(&self) -> &'static str {
+            "Scan"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn data_bounds(&self) -> Rect {
+            Rect::bounding(&self.0)
+        }
+        fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+            stats.points_scanned += self.0.len() as u64;
+            let out: Vec<Point> = self
+                .0
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect();
+            stats.results += out.len() as u64;
+            out
+        }
+        fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+            stats.points_scanned += self.0.len() as u64;
+            self.0.contains(p)
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+    let scan = Scan(dataset());
+    assert!(scan.range_batch_kernel().is_none());
+    let engine = QueryEngine::new(&scan).with_strategy(BatchStrategy::Fused);
+    let batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let report = engine.execute_batch(&batch).unwrap();
+    assert_eq!(report.fused_queries, 0);
+    assert_eq!(report.len(), batch.len());
+}
+
+/// A fused batch with fewer than two range plans gains nothing from the
+/// kernel and runs sequentially.
+#[test]
+fn fused_strategy_needs_at_least_two_range_plans() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
+    let batch = vec![
+        Query::range_count(Rect::from_coords(0.1, 0.1, 0.2, 0.2)),
+        Query::point(Point::new(0.5, 0.5)),
+    ];
+    let report = engine.execute_batch(&batch).unwrap();
+    assert_eq!(report.fused_queries, 0);
+}
+
+#[test]
+fn invalid_plans_reject_the_whole_batch_before_any_work() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index);
+    assert!(matches!(
+        engine.execute(&Query::point(Point::new(f64::NAN, 0.5))),
+        Err(EngineError::InvalidQuery(_))
+    ));
+    let batch = vec![
+        Query::range_count(Rect::from_coords(0.1, 0.1, 0.2, 0.2)),
+        Query::range(Rect::EMPTY),
+    ];
+    assert!(matches!(
+        engine.execute_batch(&batch),
+        Err(EngineError::InvalidQuery(_))
+    ));
+}
+
+#[test]
+fn engine_error_wraps_index_errors_and_displays() {
+    let err: EngineError = IndexError::Unsupported("insert").into();
+    assert_eq!(err, EngineError::Index(IndexError::Unsupported("insert")));
+    assert!(err.to_string().contains("operation not supported"));
+    assert!(std::error::Error::source(&err).is_some());
+    let invalid = EngineError::InvalidQuery("nan".into());
+    assert!(invalid.to_string().contains("invalid query"));
+    assert!(std::error::Error::source(&invalid).is_none());
+}
+
+/// The fused path preserves input order across interleaved plan kinds.
+#[test]
+fn fused_batch_preserves_input_order() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
+    let batch = vec![
+        Query::point(Point::new(0.11, 0.14)),
+        Query::range_count(Rect::from_coords(0.0, 0.0, 0.3, 0.3)),
+        Query::knn(Point::new(0.5, 0.5), 2),
+        Query::range(Rect::from_coords(0.1, 0.1, 0.25, 0.25)),
+        Query::range_stream(Rect::from_coords(0.05, 0.0, 0.3, 0.2)),
+    ];
+    let report = engine.execute_batch(&batch).unwrap();
+    assert!(matches!(report.reports[0].output, QueryOutput::Found(_)));
+    assert!(matches!(report.reports[1].output, QueryOutput::Count(_)));
+    assert!(matches!(
+        report.reports[2].output,
+        QueryOutput::Neighbors(_)
+    ));
+    assert!(matches!(report.reports[3].output, QueryOutput::Points(_)));
+    assert!(matches!(report.reports[4].output, QueryOutput::Streamed(_)));
+}
+
+/// An empty batch is legal and produces an empty report.
+#[test]
+fn empty_batch_is_a_no_op() {
+    let index = wazi_index();
+    for strategy in [BatchStrategy::Sequential, BatchStrategy::Fused] {
+        let engine = QueryEngine::new(&index).with_strategy(strategy);
+        let report = engine.execute_batch(&[]).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.merged_stats(), ExecStats::default());
+        assert_eq!(report.total_results(), 0);
+    }
+}
+
+/// `RangeMode::Stream` dropped into a fused batch behaves like the
+/// sequential measurement mode: counts match the collect mode's sizes.
+#[test]
+fn stream_counts_agree_across_modes_and_strategies() {
+    let index = wazi_index();
+    let rects = overlapping_rects();
+    for strategy in [BatchStrategy::Sequential, BatchStrategy::Fused] {
+        let engine = QueryEngine::new(&index).with_strategy(strategy);
+        let collect: Vec<Query> = rects.iter().copied().map(Query::range).collect();
+        let stream: Vec<Query> = rects.iter().copied().map(Query::range_stream).collect();
+        let collected = engine.execute_batch(&collect).unwrap();
+        let streamed = engine.execute_batch(&stream).unwrap();
+        for (c, s) in collected.reports.iter().zip(&streamed.reports) {
+            assert_eq!(
+                c.output.result_count(),
+                s.output.result_count(),
+                "{:?} vs {:?}",
+                c.output,
+                s.output
+            );
+            assert!(matches!(s.output, QueryOutput::Streamed(_)));
+        }
+    }
+}
+
+/// `RangeMode` round-trips through `Query` constructors.
+#[test]
+fn range_mode_is_exposed_on_the_plan() {
+    let rect = Rect::from_coords(0.0, 0.0, 0.5, 0.5);
+    for (query, mode) in [
+        (Query::range(rect), RangeMode::Collect),
+        (Query::range_count(rect), RangeMode::Count),
+        (Query::range_stream(rect), RangeMode::Stream),
+    ] {
+        match query {
+            Query::Range { mode: m, .. } => assert_eq!(m, mode),
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+}

@@ -1,10 +1,16 @@
 //! The `SpatialIndex` trait implemented by every index in the evaluation.
 
+use crate::engine::RangeBatchKernel;
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
 /// Errors returned by index operations.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates must keep a wildcard
+/// arm when matching, so adding error variants is not a breaking change.
+/// [`crate::engine::EngineError`] wraps it via `From` for engine callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IndexError {
     /// The index does not support the requested operation (e.g. inserts into
     /// a statically packed index such as STR).
@@ -115,6 +121,17 @@ pub trait SpatialIndex {
     fn knn(&self, q: &Point, k: usize, stats: &mut ExecStats) -> Vec<Point> {
         knn_by_range_queries(self, q, k, stats)
     }
+
+    /// Fused batch-range capability hook for the query engine.
+    ///
+    /// Indexes that can execute many range queries in one pass (sharing
+    /// page visits between overlapping queries) return themselves here;
+    /// the default advertises nothing, and
+    /// [`crate::QueryEngine::execute_batch`] under
+    /// [`crate::BatchStrategy::Fused`] falls back to the sequential loop.
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        None
+    }
 }
 
 /// kNN by repeated range queries with a doubling search radius.
@@ -136,10 +153,20 @@ pub(crate) fn knn_by_range_queries<I: SpatialIndex + ?Sized>(
     }
     let k = k.min(index.len());
     let bounds = index.data_bounds();
-    // Initial radius guess: assume a roughly uniform unit-square density so
-    // that the first box is expected to contain about k points; the loop
-    // doubles it until the answer is provably complete.
-    let mut radius = (k as f64 / index.len().max(1) as f64).sqrt().max(1e-6);
+    // Initial radius guess: assume a roughly uniform density over the
+    // *actual* data bounds, so that the first box is expected to contain
+    // about k points whatever the dataset's extent. (Guessing against a
+    // unit square mis-sizes the first box on non-unit datasets and wastes
+    // doubling rounds.) Degenerate bounds — a single point, collinear data —
+    // have zero area; the tiny floor radius keeps the loop progressing and
+    // the doubling converges as before.
+    let area = bounds.area();
+    let mut radius = if area.is_finite() && area > 0.0 {
+        (k as f64 * area / index.len().max(1) as f64).sqrt()
+    } else {
+        0.0
+    }
+    .max(1e-6);
     loop {
         let query = Rect::from_coords(q.x - radius, q.y - radius, q.x + radius, q.y + radius);
         // Once the search box swallows the data bounds, clamp the sweep to
@@ -279,6 +306,53 @@ mod tests {
         assert_eq!(result.len(), 3);
         // The closest grid point to a far top-right query is (0.9, 0.9).
         assert_eq!(result[0], Point::new(0.9, 0.9));
+    }
+
+    /// The initial-radius guess scales with the data bounds: on a non-unit
+    /// dataset the first box already has the right order of magnitude, so
+    /// the doubling loop finishes within a couple of sweeps instead of
+    /// warming up from a unit-square-sized box.
+    #[test]
+    fn knn_initial_radius_scales_with_data_bounds() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                points.push(Point::new(i as f64 * 100.0, j as f64 * 100.0));
+            }
+        }
+        let idx = ScanIndex { points };
+        let mut stats = ExecStats::default();
+        let q = Point::new(420.0, 420.0);
+        let result = idx.knn(&q, 4, &mut stats);
+        assert_eq!(result.len(), 4);
+        assert_eq!(result[0], Point::new(400.0, 400.0));
+        // Every range-query sweep of this brute-force index compares all 100
+        // points; a well-sized initial box needs at most a few sweeps. The
+        // old unit-square guess started at radius 0.2 and needed ~13
+        // doublings (> 1000 points scanned) before reaching the data.
+        assert!(
+            stats.points_scanned <= 500,
+            "too many doubling rounds: {} points scanned",
+            stats.points_scanned
+        );
+    }
+
+    /// Degenerate data bounds (all points collinear: zero area) fall back to
+    /// the floor radius and still terminate with the right answer.
+    #[test]
+    fn knn_handles_zero_area_data_bounds() {
+        let points: Vec<Point> = (0..50).map(|i| Point::new(i as f64, 5.0)).collect();
+        let idx = ScanIndex { points };
+        let mut stats = ExecStats::default();
+        let result = idx.knn(&Point::new(10.2, 5.0), 3, &mut stats);
+        assert_eq!(
+            result,
+            vec![
+                Point::new(10.0, 5.0),
+                Point::new(11.0, 5.0),
+                Point::new(9.0, 5.0)
+            ]
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 mod build;
 mod config;
 pub mod cost;
+pub mod engine;
 mod index;
 mod lookahead;
 mod node;
@@ -59,6 +60,10 @@ mod zindex;
 
 pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
+pub use engine::{
+    BatchReport, BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, QueryReport,
+    RangeMode,
+};
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};
 pub use zindex::ZIndex;

@@ -20,6 +20,7 @@ mod update;
 
 use crate::build::BuildReport;
 use crate::config::ZIndexConfig;
+use crate::engine::RangeBatchKernel;
 use crate::index::{IndexError, SpatialIndex};
 use crate::node::{InternalNode, Leaf, NodeRef};
 use wazi_geom::{Point, Rect};
@@ -134,5 +135,9 @@ impl SpatialIndex for ZIndex {
 
     fn size_bytes(&self) -> usize {
         self.structure_size_bytes()
+    }
+
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        Some(self)
     }
 }

@@ -16,10 +16,17 @@
 //! per-match work differs.
 
 use super::ZIndex;
+use crate::engine::{RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse};
 use crate::node::{NodeRef, LOOKAHEAD_END};
 use std::time::Instant;
 use wazi_geom::{Point, Rect};
 use wazi_storage::{ExecStats, Page};
+
+impl RangeBatchKernel for ZIndex {
+    fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        self.execute_range_batch(requests)
+    }
+}
 
 /// A consumer of the scan kernel: receives every page whose leaf bounding
 /// box overlaps the query, in leaf order.
@@ -162,6 +169,144 @@ impl ZIndex {
         let mut visitor = StreamVisitor { visit, matched: 0 };
         self.scan_range(query, stats, &mut visitor);
         stats.results += visitor.matched;
+    }
+
+    /// The fused batch kernel: executes every range request of a batch in
+    /// one pass over the leaf interval their Z-address intervals span.
+    ///
+    /// Algorithm: project every request's corners once (Algorithm 1 per
+    /// request, charged to its own stats), sort the resulting leaf
+    /// intervals by start address, then sweep the leaf list once with an
+    /// active set. At each leaf every active request pays its own
+    /// bounding-box check; when at least one request overlaps the leaf, the
+    /// page is scanned **once** and each stored point is compared against
+    /// every overlapping request — so a page relevant to `m` overlapping
+    /// queries is visited once instead of `m` times. When no active request
+    /// overlaps, the sweep follows the look-ahead pointers (Section 5) as
+    /// far as *all* active requests allow: the jump target is the minimum
+    /// of the per-request skip targets, clamped to the next interval start.
+    ///
+    /// Work accounting: corner projections, bounding-box checks, point
+    /// comparisons and results are charged per request (their totals match
+    /// the sequential path's totals for comparisons and results); shared
+    /// page visits, batch-level skips and the kernel's phase timings are
+    /// charged to the response's `shared` stats, since they are not
+    /// attributable to any single request.
+    pub(crate) fn execute_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        let mut outputs: Vec<RangeBatchOutput> = requests
+            .iter()
+            .map(|r| {
+                if r.collect {
+                    RangeBatchOutput::Points(Vec::new())
+                } else {
+                    RangeBatchOutput::Count(0)
+                }
+            })
+            .collect();
+        let mut per_query = vec![ExecStats::default(); requests.len()];
+        let mut shared = ExecStats::default();
+        if requests.is_empty() || self.leaves.is_empty() {
+            return RangeBatchResponse {
+                outputs,
+                per_query,
+                shared,
+            };
+        }
+        let kernel_start = Instant::now();
+        let mut scan_ns = 0u64;
+
+        // Project every request's corners once (charged per request, exactly
+        // as the sequential kernel would), then sort the Z-address intervals.
+        let mut intervals: Vec<(u32, u32, usize)> = Vec::with_capacity(requests.len());
+        for (qi, request) in requests.iter().enumerate() {
+            let low = self.locate_leaf(&request.rect.bl(), &mut per_query[qi]);
+            let high = self.locate_leaf(&request.rect.tr(), &mut per_query[qi]);
+            debug_assert!(low <= high, "monotone orderings visit BL before TR");
+            intervals.push((low, high, qi));
+        }
+        intervals.sort_unstable_by_key(|&(low, high, _)| (low, high));
+
+        let skipping = self.skipping_enabled();
+        let leaf_end = self.leaves.len() as u32;
+        // Active set of (interval end, request index); small batches keep it
+        // tiny, so linear scans beat any priority structure.
+        let mut active: Vec<(u32, usize)> = Vec::new();
+        let mut needing: Vec<usize> = Vec::new();
+        let mut next_interval = 0usize;
+        let mut i = intervals[0].0;
+        loop {
+            while next_interval < intervals.len() && intervals[next_interval].0 <= i {
+                let (_, high, qi) = intervals[next_interval];
+                active.push((high, qi));
+                next_interval += 1;
+            }
+            active.retain(|&(high, _)| high >= i);
+            if active.is_empty() {
+                match intervals.get(next_interval) {
+                    Some(&(low, _, _)) => {
+                        i = low;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let leaf = &self.leaves[i as usize];
+            needing.clear();
+            for &(_, qi) in &active {
+                per_query[qi].bbs_checked += 1;
+                if !leaf.bbox.is_empty() && leaf.bbox.overlaps(&requests[qi].rect) {
+                    needing.push(qi);
+                }
+            }
+            if needing.is_empty() {
+                // Irrelevant to every active request: jump as far as they
+                // all allow, but never past the next interval's start.
+                let mut jump = u32::MAX;
+                for &(_, qi) in &active {
+                    let mut target = i + 1;
+                    if skipping {
+                        if let Some(lookahead) = leaf.lookahead {
+                            for criterion in leaf.irrelevancy_criteria(&requests[qi].rect) {
+                                let t = lookahead.get(criterion);
+                                let t = if t == LOOKAHEAD_END { leaf_end } else { t };
+                                target = target.max(t);
+                            }
+                        }
+                    }
+                    jump = jump.min(target);
+                }
+                if let Some(&(low, _, _)) = intervals.get(next_interval) {
+                    jump = jump.min(low);
+                }
+                shared.leaves_skipped += u64::from(jump - (i + 1));
+                i = jump;
+                continue;
+            }
+            // One pass over the page on behalf of every overlapping request.
+            let scan_start = Instant::now();
+            shared.pages_scanned += 1;
+            let page = self.store.page(leaf.page);
+            for p in page.points() {
+                for &qi in &needing {
+                    per_query[qi].points_scanned += 1;
+                    if requests[qi].rect.contains(p) {
+                        per_query[qi].results += 1;
+                        match &mut outputs[qi] {
+                            RangeBatchOutput::Points(out) => out.push(*p),
+                            RangeBatchOutput::Count(n) => *n += 1,
+                        }
+                    }
+                }
+            }
+            scan_ns += scan_start.elapsed().as_nanos() as u64;
+            i += 1;
+        }
+        shared.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+        RangeBatchResponse {
+            outputs,
+            per_query,
+            shared,
+        }
     }
 
     /// Point query: locate the owning leaf (Algorithm 1), then probe its

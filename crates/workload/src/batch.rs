@@ -1,0 +1,195 @@
+//! Mixed query-batch generation for the query engine.
+//!
+//! The paper evaluates indexes under *workloads* — mixes of range, point and
+//! kNN queries — and the engine's [`wazi_core::QueryEngine::execute_batch`]
+//! consumes exactly such mixes as `Vec<Query>`. This module generates them
+//! deterministically: range-query rectangles follow the region's skewed
+//! check-in profile (like [`crate::generate_queries`]), point probes and kNN
+//! centres follow the region's *data* profile, and the kind of every batch
+//! slot is drawn from a configurable [`BatchMix`].
+
+use crate::dataset::sample_mixture;
+use crate::region::Region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wazi_core::{Query, RangeMode};
+use wazi_geom::Rect;
+
+/// Relative weights of the query kinds within a generated batch.
+///
+/// The weights need not sum to one; they are normalised internally. Range
+/// queries are split evenly across the three [`RangeMode`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMix {
+    /// Weight of range queries (all three execution modes).
+    pub range: f64,
+    /// Weight of exact-match point probes.
+    pub point: f64,
+    /// Weight of kNN queries.
+    pub knn: f64,
+    /// `k` used by generated kNN queries.
+    pub knn_k: usize,
+}
+
+impl Default for BatchMix {
+    /// The evaluation default: range-heavy with occasional probes and kNN,
+    /// matching the paper's emphasis on range queries (Section 6).
+    fn default() -> Self {
+        Self {
+            range: 0.7,
+            point: 0.2,
+            knn: 0.1,
+            knn_k: 8,
+        }
+    }
+}
+
+/// Generates a deterministic mixed batch of `count` typed query plans for a
+/// region at the given range-query selectivity.
+///
+/// Equal seeds produce equal batches; the batch is independent of the batch
+/// generated for any other `(region, seed)` pair. Range rectangles are
+/// sampled exactly like [`crate::generate_queries_with_seed`] samples them
+/// (skewed check-in centres, selectivity as a fraction of the data space),
+/// so batches overlap the same hot pages the paper's range workloads hit.
+pub fn generate_mixed_batch(
+    region: Region,
+    count: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<Query> {
+    generate_mixed_batch_with_mix(region, count, selectivity, seed, BatchMix::default())
+}
+
+/// Like [`generate_mixed_batch`] with an explicit [`BatchMix`].
+pub fn generate_mixed_batch_with_mix(
+    region: Region,
+    count: usize,
+    selectivity: f64,
+    seed: u64,
+    mix: BatchMix,
+) -> Vec<Query> {
+    assert!(selectivity > 0.0, "selectivity must be positive");
+    let total_mix = mix.range + mix.point + mix.knn;
+    assert!(
+        total_mix > 0.0 && mix.range >= 0.0 && mix.point >= 0.0 && mix.knn >= 0.0,
+        "mix weights must be non-negative and not all zero"
+    );
+    let query_clusters = region.query_clusters();
+    let query_weight: f64 = query_clusters.iter().map(|c| c.weight).sum();
+    let data_clusters = region.data_clusters();
+    let data_weight: f64 = data_clusters.iter().map(|c| c.weight).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let pick = rng.gen::<f64>() * total_mix;
+            if pick < mix.range {
+                let center = sample_mixture(&query_clusters, query_weight, &mut rng);
+                let aspect = rng.gen_range(0.5..2.0);
+                let rect = Rect::query_box(&Rect::UNIT, center, selectivity, aspect);
+                let mode = match rng.gen_range(0..3u32) {
+                    0 => RangeMode::Collect,
+                    1 => RangeMode::Count,
+                    _ => RangeMode::Stream,
+                };
+                Query::Range { rect, mode }
+            } else if pick < mix.range + mix.point {
+                Query::point(sample_mixture(&data_clusters, data_weight, &mut rng))
+            } else {
+                Query::knn(
+                    sample_mixture(&data_clusters, data_weight, &mut rng),
+                    mix.knn_k,
+                )
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazi_core::Query;
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let a = generate_mixed_batch(Region::NewYork, 200, 0.001, 42);
+        let b = generate_mixed_batch(Region::NewYork, 200, 0.001, 42);
+        assert_eq!(a, b);
+        let c = generate_mixed_batch(Region::NewYork, 200, 0.001, 43);
+        assert_ne!(a, c, "different seeds must change the batch");
+    }
+
+    #[test]
+    fn default_mix_contains_every_kind_and_every_range_mode() {
+        let batch = generate_mixed_batch(Region::Japan, 500, 0.001, 7);
+        assert_eq!(batch.len(), 500);
+        let ranges = batch.iter().filter(|q| q.is_range()).count();
+        let points = batch
+            .iter()
+            .filter(|q| matches!(q, Query::Point(_)))
+            .count();
+        let knns = batch
+            .iter()
+            .filter(|q| matches!(q, Query::Knn { .. }))
+            .count();
+        assert_eq!(ranges + points + knns, 500);
+        // The 70/20/10 default mix at 500 draws: each kind must appear.
+        assert!(ranges > 250 && points > 30 && knns > 10);
+        for mode in [RangeMode::Collect, RangeMode::Count, RangeMode::Stream] {
+            assert!(
+                batch
+                    .iter()
+                    .any(|q| matches!(q, Query::Range { mode: m, .. } if *m == mode)),
+                "missing range mode {mode:?}"
+            );
+        }
+        // Every generated plan must pass engine validation.
+        for query in &batch {
+            query.validate().expect("generated plans are valid");
+        }
+    }
+
+    #[test]
+    fn range_rectangles_have_the_requested_selectivity() {
+        let batch = generate_mixed_batch(Region::Iberia, 300, 0.0005, 11);
+        for query in &batch {
+            if let Query::Range { rect, .. } = query {
+                assert!(Rect::UNIT.contains_rect(rect));
+                assert!((rect.area() - 0.0005).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_mix_weights_are_respected() {
+        let only_points = BatchMix {
+            range: 0.0,
+            point: 1.0,
+            knn: 0.0,
+            knn_k: 3,
+        };
+        let batch = generate_mixed_batch_with_mix(Region::CaliNev, 100, 0.001, 5, only_points);
+        assert!(batch.iter().all(|q| matches!(q, Query::Point(_))));
+
+        let knn_heavy = BatchMix {
+            range: 0.0,
+            point: 0.0,
+            knn: 1.0,
+            knn_k: 5,
+        };
+        let batch = generate_mixed_batch_with_mix(Region::CaliNev, 50, 0.001, 5, knn_heavy);
+        assert!(batch.iter().all(|q| matches!(q, Query::Knn { k: 5, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "mix weights")]
+    fn all_zero_mix_is_rejected() {
+        let zero = BatchMix {
+            range: 0.0,
+            point: 0.0,
+            knn: 0.0,
+            knn_k: 1,
+        };
+        let _ = generate_mixed_batch_with_mix(Region::Japan, 1, 0.001, 1, zero);
+    }
+}

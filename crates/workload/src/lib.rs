@@ -13,7 +13,10 @@
 //! * [`uniform_queries`] / [`drift_workload`] — the workload-change
 //!   machinery of Figure 12;
 //! * [`uniform_dataset`] / [`sample_point_queries`] — inputs for the insert
-//!   (Figure 11) and point-query (Figure 10) experiments.
+//!   (Figure 11) and point-query (Figure 10) experiments;
+//! * [`generate_mixed_batch`] — deterministic mixed batches of typed
+//!   [`wazi_core::Query`] plans (range/point/kNN) for the query engine's
+//!   batch executor.
 //!
 //! All generators are deterministic given their seeds, so every experiment
 //! in `wazi-bench` is reproducible bit-for-bit.
@@ -21,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod dataset;
 mod queries;
 mod region;
 
+pub use batch::{generate_mixed_batch, generate_mixed_batch_with_mix, BatchMix};
 pub use dataset::{
     generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,
     uniform_dataset, SkewSummary,

@@ -6,7 +6,7 @@
 //! cargo run --release -p wazi-bench --example quickstart
 //! ```
 
-use wazi_core::{SpatialIndex, ZIndex};
+use wazi_core::{Query, QueryEngine, QueryOutput, SpatialIndex, ZIndex};
 use wazi_geom::Point;
 use wazi_storage::ExecStats;
 use wazi_workload::{generate_dataset, generate_queries, Region, SELECTIVITIES};
@@ -40,32 +40,36 @@ fn main() {
         index.acbd_fraction() * 100.0
     );
 
-    // 3. Range query: the result plus the work the index performed.
+    // 3. Queries go through the typed query-plan engine: describe the
+    //    operation as a `Query`, get back a report carrying the output, the
+    //    work counters and the wall-clock latency — no ExecStats threading.
+    let engine = QueryEngine::new(&index);
     let query = workload[0];
-    let mut stats = ExecStats::default();
-    let result = index.range_query(&query, &mut stats);
+    let report = engine.execute(&Query::range(query)).expect("finite query");
     println!(
         "range query {query}: {} results, {} bounding boxes checked, {} pages scanned, {} points compared, {} leaves skipped",
-        result.len(),
-        stats.bbs_checked,
-        stats.pages_scanned,
-        stats.points_scanned,
-        stats.leaves_skipped
+        report.output.result_count(),
+        report.stats.bbs_checked,
+        report.stats.pages_scanned,
+        report.stats.points_scanned,
+        report.stats.leaves_skipped
     );
 
-    // 4. Point query and kNN (kNN is answered by growing range queries, the
-    //    strategy the paper describes for non-specialised spatial indexes).
+    // 4. Point query and kNN are plans too (kNN is answered by growing range
+    //    queries, the strategy the paper describes for non-specialised
+    //    spatial indexes).
     let probe = points[12_345];
-    let mut stats = ExecStats::default();
-    println!(
-        "point query {probe}: found = {}",
-        index.point_query(&probe, &mut stats)
-    );
+    let found = engine.execute(&Query::point(probe)).expect("finite probe");
+    println!("point query {probe}: {:?}", found.output);
     let center = Point::new(0.5, 0.5);
-    let neighbours = index.knn(&center, 5, &mut stats);
-    println!("5 nearest neighbours of {center}:");
-    for n in &neighbours {
-        println!("  {n} (distance {:.4})", n.distance(&center));
+    let knn = engine
+        .execute(&Query::knn(center, 5))
+        .expect("finite centre");
+    if let QueryOutput::Neighbors(neighbours) = &knn.output {
+        println!("5 nearest neighbours of {center}:");
+        for n in neighbours {
+            println!("  {n} (distance {:.4})", n.distance(&center));
+        }
     }
 
     // 5. The index remains updatable: inserts go to the leaf whose cell

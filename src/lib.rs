@@ -11,11 +11,15 @@
 //! * [`storage`] — clustered pages with visitor-based scan primitives and
 //!   the [`storage::ExecStats`] work counters;
 //! * [`density`] — RFDE cardinality estimation used during construction;
-//! * [`core`] — the generalized Z-index (Base and WaZI) and the
-//!   [`core::SpatialIndex`] trait with its layered query-execution engine;
+//! * [`core`] — the generalized Z-index (Base and WaZI), the
+//!   [`core::SpatialIndex`] trait with its layered query-execution engine,
+//!   and the typed query-plan [`core::QueryEngine`] with sequential and
+//!   fused batch execution;
 //! * [`baselines`] — the six competitor indexes of the evaluation;
 //! * [`workload`] — deterministic dataset and query-workload generators;
-//! * [`bench`] — the experiment harness reproducing every table and figure.
+//! * [`mod@bench`] — the experiment harness reproducing every table and
+//!   figure, including the `batch` experiment comparing sequential vs fused
+//!   batch execution (`BENCH_batch.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,9 @@ pub use wazi_storage as storage;
 pub use wazi_workload as workload;
 
 // The types almost every consumer needs, flattened to the crate root.
-pub use wazi_core::{SpatialIndex, ZIndex, ZIndexBuilder, ZIndexConfig};
+pub use wazi_core::{
+    BatchReport, BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, QueryReport,
+    RangeMode, SpatialIndex, ZIndex, ZIndexBuilder, ZIndexConfig,
+};
 pub use wazi_geom::{Point, Rect};
 pub use wazi_storage::ExecStats;

@@ -7,15 +7,20 @@
 //! With the layered query-execution engine, "the same answers" spans three
 //! execution modes: the materializing `range_query`, the counting
 //! `range_count` and the streaming `range_for_each` must agree for every
-//! index on every query.
+//! index on every query. With the typed query-plan engine on top, the same
+//! guarantee extends to batch execution: `execute_batch` must be output-
+//! and counter-equivalent to the per-query loop on every index, whatever
+//! scheduling strategy the engine picks internally.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wazi_bench::{build_index, IndexKind};
+use wazi_core::{BatchStrategy, QueryEngine};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 use wazi_workload::{
-    generate_dataset, generate_queries, sample_point_queries, Region, SELECTIVITIES,
+    generate_dataset, generate_mixed_batch, generate_queries, sample_point_queries, Region,
+    SELECTIVITIES,
 };
 
 fn sorted(mut points: Vec<Point>) -> Vec<Point> {
@@ -193,6 +198,83 @@ fn knn_from_far_outside_the_data_space_agrees_across_indexes() {
         let mut stats = ExecStats::default();
         let got = built.index.knn(&q, 5, &mut stats);
         assert_eq!(got, expected, "{kind} far-query kNN disagrees");
+    }
+}
+
+/// The batch-equivalence guarantee of the query engine: for all seven
+/// indexes, `execute_batch` over a mixed 200-query batch (range queries in
+/// all three modes, point probes, kNN) returns byte-identical outputs and
+/// identical merged `ExecStats` counters vs. the per-query `execute` loop.
+#[test]
+fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 5_000);
+    let train = generate_queries(region, 150, SELECTIVITIES[1]);
+    let batch = generate_mixed_batch(region, 200, SELECTIVITIES[2], 0xBEEF);
+    assert_eq!(batch.len(), 200);
+
+    for kind in all_kinds() {
+        let built = build_index(kind, &points, &train, 128);
+        let engine = QueryEngine::new(built.index.as_ref());
+        let mut loop_outputs = Vec::with_capacity(batch.len());
+        let mut loop_stats = ExecStats::default();
+        for query in &batch {
+            let report = engine.execute(query).expect("generated plans are valid");
+            loop_stats.merge(&report.stats);
+            loop_outputs.push(report.output);
+        }
+
+        let batch_report = engine.execute_batch(&batch).expect("batch executes");
+        assert_eq!(batch_report.len(), batch.len(), "{kind}");
+        assert_eq!(
+            batch_report.fused_queries, 0,
+            "{kind}: default is sequential"
+        );
+        for (i, (got, expected)) in batch_report.reports.iter().zip(&loop_outputs).enumerate() {
+            assert_eq!(&got.output, expected, "{kind}: output {i} differs");
+        }
+        // Identical merged work counters (timings are wall-clock noise).
+        let merged = batch_report.merged_stats();
+        for (label, a, b) in [
+            (
+                "points_scanned",
+                merged.points_scanned,
+                loop_stats.points_scanned,
+            ),
+            (
+                "pages_scanned",
+                merged.pages_scanned,
+                loop_stats.pages_scanned,
+            ),
+            ("bbs_checked", merged.bbs_checked, loop_stats.bbs_checked),
+            (
+                "nodes_visited",
+                merged.nodes_visited,
+                loop_stats.nodes_visited,
+            ),
+            (
+                "leaves_skipped",
+                merged.leaves_skipped,
+                loop_stats.leaves_skipped,
+            ),
+            ("results", merged.results, loop_stats.results),
+        ] {
+            assert_eq!(a, b, "{kind}: merged {label} differs from the loop's");
+        }
+
+        // The fused strategy must change scheduling only, never answers.
+        let fused = QueryEngine::new(built.index.as_ref())
+            .with_strategy(BatchStrategy::Fused)
+            .execute_batch(&batch)
+            .expect("fused batch executes");
+        for (i, (got, expected)) in fused.reports.iter().zip(&loop_outputs).enumerate() {
+            assert_eq!(&got.output, expected, "{kind}: fused output {i} differs");
+        }
+        assert_eq!(
+            fused.merged_stats().results,
+            loop_stats.results,
+            "{kind}: fused results counter differs"
+        );
     }
 }
 

@@ -9,7 +9,11 @@
 //! number of columns is chosen by measuring candidate layouts on a sub-sample
 //! of the training workload and keeping the cheapest one.
 
-use wazi_core::{IndexError, SpatialIndex};
+use wazi_core::{
+    run_full_sweep, BatchProjection, IndexError, RangeBatchKernel, RangeBatchOutput,
+    RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel, SpatialIndex,
+    SweepInterval,
+};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
@@ -245,6 +249,160 @@ impl SpatialIndex for FloodIndex {
         std::mem::size_of::<Self>()
             + self.boundaries.len() * std::mem::size_of::<f64>()
             + self.columns.len() * std::mem::size_of::<Vec<Point>>()
+    }
+
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        Some(self)
+    }
+}
+
+impl RangeBatchKernel for FloodIndex {
+    fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        run_full_sweep(self, requests, self.columns.len() as u32)
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        Some(self)
+    }
+}
+
+/// Flood's fused batch kernel: the sweep address space is the column grid.
+///
+/// Overlapping queries share their *column visits* — at every column the
+/// sweep serves all requests whose x extent covers it, so a column touched
+/// by `m` overlapping queries is fetched once per batch instead of once per
+/// query (the grid-cell sharing of the ROADMAP's cross-index fusion item).
+/// Per-request work is unchanged vs. the sequential path: every request
+/// still pays one bounding-box (column) check per column of its range and
+/// one y-run binary search, so fused counters never exceed sequential ones.
+impl ShardedRangeBatchKernel for FloodIndex {
+    /// Maps every request onto its column interval. Column location is the
+    /// same clamped binary search the sequential path uses and charges
+    /// nothing, matching the sequential scan's accounting.
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection {
+        let start = std::time::Instant::now();
+        let intervals = requests
+            .iter()
+            .map(|request| {
+                let (first, last) = self.column_range(request.rect.lo.x, request.rect.hi.x);
+                SweepInterval {
+                    lo: first as u32,
+                    hi: last as u32,
+                }
+            })
+            .collect();
+        BatchProjection {
+            intervals,
+            per_query: vec![ExecStats::default(); requests.len()],
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Sweeps one contiguous slice of the column grid. Requests enter the
+    /// active set at their first column and leave after their last; there
+    /// is no skipping machinery (Flood's relevance test *is* the column
+    /// interval), so the active set is a dense vector. Per column, every
+    /// active request binary-searches its y-run (projection phase, charged
+    /// as a bounding-box check like the sequential scan) and filters the
+    /// run by x (scan phase, charged per request); the column itself counts
+    /// as one shared page visit however many requests read it.
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse {
+        let mut response = RangeBatchResponse::zeroed(requests);
+        let columns = self.columns.len() as u32;
+        if bounds.start >= bounds.end || bounds.start >= columns {
+            return response;
+        }
+        let last = bounds.end.min(columns) - 1;
+        let mut entries: Vec<(u32, u32, usize)> = Vec::new();
+        for (qi, interval) in projection.intervals.iter().enumerate() {
+            let lo = interval.lo.max(bounds.start);
+            let hi = interval.hi.min(last);
+            if lo <= hi {
+                entries.push((lo, hi, qi));
+            }
+        }
+        if entries.is_empty() {
+            return response;
+        }
+        entries.sort_unstable();
+
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
+        let mut active: Vec<(u32, usize)> = Vec::new();
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut next_entry = 0usize;
+        let mut column = entries[0].0;
+        loop {
+            while next_entry < entries.len() && entries[next_entry].0 <= column {
+                let (_, hi, qi) = entries[next_entry];
+                active.push((hi, qi));
+                next_entry += 1;
+            }
+            active.retain(|&(hi, _)| hi >= column);
+            if active.is_empty() {
+                match entries.get(next_entry) {
+                    Some(&(lo, _, _)) => {
+                        column = lo;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let points = &self.columns[column as usize];
+            runs.clear();
+            for &(_, qi) in &active {
+                let rect = &requests[qi].rect;
+                response.per_query[qi].bbs_checked += 1;
+                let start = points.partition_point(|p| p.y < rect.lo.y);
+                let end = points.partition_point(|p| p.y <= rect.hi.y);
+                if start < end {
+                    runs.push((qi, start, end));
+                }
+            }
+            if !runs.is_empty() {
+                let scan_start = std::time::Instant::now();
+                response.shared.pages_scanned += 1;
+                for &(qi, start, end) in &runs {
+                    // Copy the filter bounds into locals: the hot loop must
+                    // not reload them through the request slice, which the
+                    // optimiser cannot prove disjoint from the output it
+                    // writes.
+                    let (lo_x, hi_x) = (requests[qi].rect.lo.x, requests[qi].rect.hi.x);
+                    let stats = &mut response.per_query[qi];
+                    stats.points_scanned += (end - start) as u64;
+                    let run = &points[start..end];
+                    match &mut response.outputs[qi] {
+                        RangeBatchOutput::Points(out) => {
+                            let before = out.len();
+                            out.extend(run.iter().filter(|p| p.x >= lo_x && p.x <= hi_x));
+                            stats.results += (out.len() - before) as u64;
+                        }
+                        RangeBatchOutput::Count(count) => {
+                            let mut matches = 0u64;
+                            for p in run {
+                                matches += u64::from(p.x >= lo_x && p.x <= hi_x);
+                            }
+                            *count += matches;
+                            stats.results += matches;
+                        }
+                    }
+                }
+                scan_ns += scan_start.elapsed().as_nanos() as u64;
+            }
+            if column == last {
+                break;
+            }
+            column += 1;
+        }
+        response
+            .shared
+            .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+        response
     }
 }
 

@@ -1,14 +1,25 @@
 //! Criterion benchmark behind the `batch` experiment: one overlapping range
-//! batch executed through the query engine, sequential vs fused, plus the
-//! heterogeneous mixed batch the engine schedules across plan kinds.
+//! batch executed through the query engine — sequential vs fused vs
+//! parallel-fused — plus the heterogeneous mixed batch the engine schedules
+//! across plan kinds and a shard-count sweep over a large overlapping
+//! batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use wazi_bench::{build_index, IndexKind};
 use wazi_core::{BatchStrategy, Query, QueryEngine};
 use wazi_workload::{
-    generate_dataset, generate_mixed_batch, generate_queries, Region, SELECTIVITIES,
+    generate_dataset, generate_mixed_batch, generate_overlapping_batch, generate_queries, Region,
+    SELECTIVITIES,
 };
+
+fn strategy_label(strategy: BatchStrategy) -> String {
+    match strategy {
+        BatchStrategy::Sequential => "sequential".into(),
+        BatchStrategy::Fused => "fused".into(),
+        BatchStrategy::FusedParallel { shards } => format!("fused-parallel-{shards}"),
+    }
+}
 
 fn bench_batch_queries(c: &mut Criterion) {
     let points = generate_dataset(Region::NewYork, 50_000);
@@ -25,11 +36,12 @@ fn bench_batch_queries(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for kind in [IndexKind::Wazi, IndexKind::Base] {
         let built = build_index(kind, &points, &train, 256);
-        for strategy in [BatchStrategy::Sequential, BatchStrategy::Fused] {
-            let label = match strategy {
-                BatchStrategy::Sequential => "sequential",
-                BatchStrategy::Fused => "fused",
-            };
+        for strategy in [
+            BatchStrategy::Sequential,
+            BatchStrategy::Fused,
+            BatchStrategy::FusedParallel { shards: 4 },
+        ] {
+            let label = strategy_label(strategy);
             group.bench_with_input(
                 BenchmarkId::new(format!("range/{label}"), kind.name()),
                 &built,
@@ -44,6 +56,29 @@ fn bench_batch_queries(c: &mut Criterion) {
                 |b, built| {
                     let engine = QueryEngine::new(built.index.as_ref()).with_strategy(strategy);
                     b.iter(|| std::hint::black_box(engine.execute_batch(&mixed_batch).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Shard scaling on the workload the parallel sweep exists for: a large,
+    // heavily overlapping batch against the sharded kernels.
+    let overlapping = generate_overlapping_batch(Region::NewYork, 2_000, SELECTIVITIES[3], 7);
+    let mut group = c.benchmark_group("batch_query/shards");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for kind in [IndexKind::Wazi, IndexKind::Flood] {
+        let built = build_index(kind, &points, &train, 256);
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("overlap/{shards}"), kind.name()),
+                &built,
+                |b, built| {
+                    let engine = QueryEngine::new(built.index.as_ref())
+                        .with_strategy(BatchStrategy::FusedParallel { shards });
+                    b.iter(|| std::hint::black_box(engine.execute_batch(&overlapping).unwrap()));
                 },
             );
         }

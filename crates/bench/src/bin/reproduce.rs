@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N]
-//!           [--leaf N] [--json PATH] [--list]
+//!           [--leaf N] [--shards N] [--json PATH] [--list]
 //!
 //! EXPERIMENT   one or more of the identifiers printed by --list
 //!              (default: all)
@@ -10,6 +10,8 @@
 //! --queries N  evaluation/training workload size (default 2000)
 //! --points N   number of point queries (default 5000)
 //! --leaf N     leaf capacity L (default 256)
+//! --shards N   shard count for the batch experiment's FusedParallel rows
+//!              (default 4)
 //! --json PATH  also write all reports as a JSON array to PATH
 //! --list       print the available experiments and exit
 //! ```
@@ -35,6 +37,7 @@ fn main() {
             }
             "--points" => ctx.point_queries = parse_number(iter.next(), "--points"),
             "--leaf" => ctx.leaf_capacity = parse_number(iter.next(), "--leaf"),
+            "--shards" => ctx.batch_shards = parse_number(iter.next(), "--shards"),
             "--json" => json_path = iter.next(),
             "--list" => list_only = true,
             "--help" | "-h" => {
@@ -100,6 +103,6 @@ fn parse_number(value: Option<String>, flag: &str) -> usize {
 
 fn print_usage() {
     println!(
-        "usage: reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N] [--leaf N] [--json PATH] [--list]"
+        "usage: reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N] [--leaf N] [--shards N] [--json PATH] [--list]"
     );
 }

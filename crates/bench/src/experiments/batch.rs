@@ -2,26 +2,40 @@
 //!
 //! The paper evaluates queries one at a time; production workloads arrive
 //! in batches. This experiment drives every index through the typed query
-//! engine's batch executor and compares the default sequential schedule
-//! against the fused strategy, which routes a batch's range plans through
-//! WaZI's batched leaf-interval kernel so pages shared by overlapping
-//! queries are scanned once per batch. Besides the usual reports, the
-//! experiment emits its tables as `BENCH_batch.json` in the working
-//! directory, the machine-readable artifact CI and regression tooling
-//! consume.
+//! engine's batch executor and compares three schedules: the default
+//! sequential loop, the fused strategy (a batch's range plans share one
+//! sweep through the index's batched kernel, so pages relevant to several
+//! overlapping queries are scanned once per batch) and the parallel fused
+//! strategy (the sweep's address span is partitioned into work-balanced
+//! shards swept on worker threads). A dedicated shard-scaling table sweeps
+//! the shard count on a large overlapping batch for every index with a
+//! sharded kernel. Besides the usual reports, the experiment emits its
+//! tables as `BENCH_batch.json` in the working directory — the
+//! machine-readable artifact CI and regression tooling consume — unless
+//! the context disables artifact emission (test contexts do, so tiny smoke
+//! runs never clobber the committed file).
 
 use super::{workload_setup, ExperimentContext};
 use crate::measure::{format_ns, measure_query_batch, BatchMeasurement};
 use crate::report::Report;
 use crate::suite::{build_index, IndexKind};
-use wazi_core::{BatchStrategy, Query};
-use wazi_workload::{generate_mixed_batch, Region, SELECTIVITIES};
+use wazi_core::{BatchStrategy, Query, SpatialIndex};
+use wazi_workload::{generate_mixed_batch, generate_overlapping_batch, Region, SELECTIVITIES};
 
 /// The overlapping-range workload: the highest selectivity of Table 2 over
 /// the most concentrated query profile, so consecutive queries hit shared
 /// pages — the case batching exists for.
 const BATCH_REGION: Region = Region::NewYork;
 const BATCH_SELECTIVITY: f64 = SELECTIVITIES[3];
+
+/// Shard counts swept by the shard-scaling table (1 = the single-threaded
+/// fused sweep the parallel rows are judged against).
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum size of the overlapping batch used by the shard-scaling table:
+/// parallel sweeps need enough stacked work to amortize thread spawning,
+/// whatever the context's workload size is.
+const MIN_PARALLEL_BATCH: usize = 2_000;
 
 /// File the experiment's reports are serialised to (JSON array, same format
 /// as the `reproduce` binary's `--json` output).
@@ -39,9 +53,22 @@ fn pages_row(kind: IndexKind, m: &BatchMeasurement, strategy: &str) -> Vec<Strin
     ]
 }
 
-/// The batch experiment: sequential vs fused execution of an overlapping
-/// range batch on every primary index, plus a mixed range/point/kNN batch
-/// exercising the heterogeneous path.
+/// Measures one batch twice and keeps the second run, so every strategy is
+/// compared on warm caches instead of paying first-touch page faults in
+/// whatever strategy happens to run first.
+fn measure_warm(
+    index: &dyn SpatialIndex,
+    batch: &[Query],
+    strategy: BatchStrategy,
+) -> BatchMeasurement {
+    let _ = measure_query_batch(index, batch, strategy);
+    measure_query_batch(index, batch, strategy)
+}
+
+/// The batch experiment: sequential vs fused vs parallel-fused execution of
+/// an overlapping range batch on every primary index, a mixed
+/// range/point/kNN batch exercising the heterogeneous path, and a
+/// shard-count sweep on a large overlapping batch for the sharded kernels.
 pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
     let (points, train, eval) =
         workload_setup(ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
@@ -52,10 +79,26 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         BATCH_SELECTIVITY,
         ctx.seed ^ 0xBA7C,
     );
+    let parallel_batch = generate_overlapping_batch(
+        BATCH_REGION,
+        ctx.workload_size.max(MIN_PARALLEL_BATCH),
+        BATCH_SELECTIVITY,
+        ctx.seed ^ 0x5AAD,
+    );
+    let strategies = [
+        ("sequential".to_string(), BatchStrategy::Sequential),
+        ("fused".to_string(), BatchStrategy::Fused),
+        (
+            format!("fused-parallel/{}", ctx.batch_shards),
+            BatchStrategy::FusedParallel {
+                shards: ctx.batch_shards,
+            },
+        ),
+    ];
 
     let mut overlap = Report::new(
         "batch-range",
-        "Sequential vs fused execution of an overlapping range batch",
+        "Sequential vs fused vs parallel execution of an overlapping range batch",
     )
     .with_headers(&[
         "Index",
@@ -78,28 +121,69 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "Pages scanned",
         "Batch latency",
     ]);
+    let mut scaling = Report::new(
+        "batch-shards",
+        "Parallel fused sweep over a large overlapping batch: shard-count scaling",
+    )
+    .with_headers(&[
+        "Index",
+        "Shards",
+        "Pages scanned",
+        "BBs checked",
+        "Results",
+        "Batch latency",
+        "Speedup vs 1 shard",
+    ]);
 
     for &kind in &IndexKind::PRIMARY {
         let built = build_index(kind, &points, &train, ctx.leaf_capacity);
         let index = built.index.as_ref();
-        let sequential = measure_query_batch(index, &range_batch, BatchStrategy::Sequential);
-        let fused = measure_query_batch(index, &range_batch, BatchStrategy::Fused);
-        debug_assert_eq!(sequential.total_results, fused.total_results);
-        overlap.push_row(pages_row(kind, &sequential, "sequential"));
-        overlap.push_row(pages_row(kind, &fused, "fused"));
+        let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
+        for (label, strategy) in &strategies {
+            let m = measure_warm(index, &range_batch, *strategy);
+            debug_assert_eq!(baseline.total_results, m.total_results);
+            overlap.push_row(pages_row(kind, &m, label));
+        }
 
-        let mixed_sequential = measure_query_batch(index, &mixed_batch, BatchStrategy::Sequential);
-        let mixed_fused = measure_query_batch(index, &mixed_batch, BatchStrategy::Fused);
-        debug_assert_eq!(mixed_sequential.total_results, mixed_fused.total_results);
-        for (m, strategy) in [(&mixed_sequential, "sequential"), (&mixed_fused, "fused")] {
+        let mut mixed_reference = None;
+        for (label, strategy) in strategies.iter().take(2) {
+            let m = measure_warm(index, &mixed_batch, *strategy);
+            let reference = *mixed_reference.get_or_insert(m.total_results);
+            debug_assert_eq!(m.total_results, reference);
             mixed.push_row(vec![
                 kind.name().to_string(),
-                strategy.to_string(),
+                label.clone(),
                 m.fused_queries.to_string(),
                 m.total_results.to_string(),
                 m.totals.pages_scanned.to_string(),
                 format_ns(m.batch_latency_ns as f64),
             ]);
+        }
+
+        // Shard scaling only means something for indexes whose kernel can
+        // actually split its sweep.
+        if index
+            .range_batch_kernel()
+            .is_some_and(|k| k.sharded().is_some())
+        {
+            let mut one_shard_ns = None;
+            for shards in SHARD_SWEEP {
+                let m = measure_warm(
+                    index,
+                    &parallel_batch,
+                    BatchStrategy::FusedParallel { shards },
+                );
+                let base = *one_shard_ns.get_or_insert(m.batch_latency_ns.max(1));
+                scaling.push_row(vec![
+                    kind.name().to_string(),
+                    shards.to_string(),
+                    m.totals.pages_scanned.to_string(),
+                    m.totals.bbs_checked.to_string(),
+                    m.total_results.to_string(),
+                    format_ns(m.batch_latency_ns as f64),
+                    format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
+                ]);
+            }
         }
     }
     overlap.push_note(format!(
@@ -109,18 +193,33 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         ctx.dataset_size
     ));
     overlap.push_note(
-        "expected shape: WaZI fused scans strictly fewer pages than WaZI sequential; \
-         indexes without a batch kernel show identical rows for both strategies",
+        "expected shape: WaZI fused scans strictly fewer pages than WaZI sequential at \
+         lower latency, with BB checks never above the sequential count; indexes \
+         without a batch kernel show identical rows for both strategies",
     );
     mixed.push_note(
         "fused queries counts the range plans routed through the batched kernel; \
          point and kNN plans always execute sequentially",
     );
+    scaling.push_note(format!(
+        "{} heavily overlapping counting queries (generate_overlapping_batch), shard \
+         bounds planned work-balanced over the batch's sweep span; shards = 1 is the \
+         single-threaded fused sweep",
+        parallel_batch.len()
+    ));
+    scaling.push_note(format!(
+        "host available_parallelism = {}: parallel speedup requires hardware threads; \
+         on a single-core host the engine sweeps the planned shards inline, so >1-shard \
+         rows measure sharding overhead only",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
 
-    let reports = vec![overlap, mixed];
-    match emit_batch_json(&reports, BATCH_JSON_PATH) {
-        Ok(()) => eprintln!("   wrote {BATCH_JSON_PATH}"),
-        Err(e) => eprintln!("   could not write {BATCH_JSON_PATH}: {e}"),
+    let reports = vec![overlap, mixed, scaling];
+    if ctx.emit_artifacts {
+        match emit_batch_json(&reports, BATCH_JSON_PATH) {
+            Ok(()) => eprintln!("   wrote {BATCH_JSON_PATH}"),
+            Err(e) => eprintln!("   could not write {BATCH_JSON_PATH}: {e}"),
+        }
     }
     reports
 }
@@ -134,10 +233,12 @@ pub fn emit_batch_json(reports: &[Report], path: &str) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wazi_storage::ExecStats;
 
     /// The acceptance property behind `BENCH_batch.json`: on an overlapping
     /// range batch, WaZI's fused kernel visits fewer pages than
-    /// query-at-a-time execution, at identical results.
+    /// query-at-a-time execution — and never checks more bounding boxes —
+    /// at identical results.
     #[test]
     fn fused_wazi_scans_fewer_pages_than_sequential() {
         let ctx = ExperimentContext::smoke_test();
@@ -156,21 +257,62 @@ mod tests {
             fused.totals.pages_scanned,
             sequential.totals.pages_scanned
         );
+        assert!(
+            fused.totals.bbs_checked <= sequential.totals.bbs_checked,
+            "fused {} bbs vs sequential {}",
+            fused.totals.bbs_checked,
+            sequential.totals.bbs_checked
+        );
+    }
+
+    /// The parallel acceptance shape (counters only — wall-clock belongs to
+    /// the real benchmark run): every shard count returns identical
+    /// answers and point comparisons over the big overlapping batch.
+    #[test]
+    fn shard_sweep_preserves_answers_on_the_overlapping_batch() {
+        let ctx = ExperimentContext::smoke_test();
+        let (points, train, _) =
+            workload_setup(&ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
+        let batch = generate_overlapping_batch(BATCH_REGION, 500, BATCH_SELECTIVITY, 3);
+        let built = build_index(IndexKind::Wazi, &points, &train, ctx.leaf_capacity);
+        let mut reference: Option<(u64, ExecStats)> = None;
+        for shards in SHARD_SWEEP {
+            let m = measure_query_batch(
+                built.index.as_ref(),
+                &batch,
+                BatchStrategy::FusedParallel { shards },
+            );
+            assert!(m.shards_used >= 1, "{shards} shards: kernel path not taken");
+            assert!(m.shards_used <= shards.max(1));
+            match &reference {
+                Some((results, totals)) => {
+                    assert_eq!(m.total_results, *results, "{shards} shards");
+                    assert_eq!(m.totals.points_scanned, totals.points_scanned);
+                    assert_eq!(m.totals.pages_scanned, totals.pages_scanned);
+                }
+                None => reference = Some((m.total_results, m.totals)),
+            }
+        }
     }
 
     #[test]
     fn batch_experiment_produces_rows_for_every_primary_index() {
         let ctx = ExperimentContext::smoke_test();
         let reports = batch(&ctx);
-        assert_eq!(reports.len(), 2);
-        for report in &reports {
-            assert_eq!(report.rows.len(), IndexKind::PRIMARY.len() * 2);
-        }
-        // Every index appears with both strategies.
+        assert_eq!(reports.len(), 3);
+        let [overlap, mixed, scaling] = &reports[..] else {
+            panic!("expected three reports");
+        };
+        assert_eq!(overlap.rows.len(), IndexKind::PRIMARY.len() * 3);
+        assert_eq!(mixed.rows.len(), IndexKind::PRIMARY.len() * 2);
+        // Base, WaZI (both Z-indexes) and Flood have sharded kernels today;
+        // the scaling table has one row per swept shard count for each.
+        assert_eq!(scaling.rows.len(), 3 * SHARD_SWEEP.len());
+        // Every index appears with every strategy.
         for kind in IndexKind::PRIMARY {
-            for strategy in ["sequential", "fused"] {
+            for strategy in ["sequential", "fused", "fused-parallel/4"] {
                 assert!(
-                    reports[0]
+                    overlap
                         .rows
                         .iter()
                         .any(|r| r[0] == kind.name() && r[1] == strategy),

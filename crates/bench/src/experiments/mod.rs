@@ -33,6 +33,13 @@ pub struct ExperimentContext {
     pub leaf_capacity: usize,
     /// Base seed mixed into every generator.
     pub seed: u64,
+    /// Shard count used by the batch experiment's `FusedParallel` rows
+    /// (the `reproduce --shards N` flag).
+    pub batch_shards: usize,
+    /// Whether experiments may write machine-readable artifacts
+    /// (`BENCH_batch.json`) into the working directory. Test contexts turn
+    /// this off so tiny smoke runs never clobber the committed artifacts.
+    pub emit_artifacts: bool,
 }
 
 impl Default for ExperimentContext {
@@ -44,6 +51,8 @@ impl Default for ExperimentContext {
             point_queries: 5_000,
             leaf_capacity: 256,
             seed: 7,
+            batch_shards: 4,
+            emit_artifacts: true,
         }
     }
 }
@@ -58,6 +67,8 @@ impl ExperimentContext {
             point_queries: 200,
             leaf_capacity: 64,
             seed: 7,
+            batch_shards: 4,
+            emit_artifacts: false,
         }
     }
 
@@ -192,8 +203,8 @@ pub fn registry() -> Vec<ExperimentSpec> {
         },
         ExperimentSpec {
             id: "batch",
-            description:
-                "Sequential vs fused batched query execution through the engine (BENCH_batch.json)",
+            description: "Sequential vs fused vs parallel batched execution through the engine, \
+                 with a shard-count sweep (BENCH_batch.json)",
             run: batch::batch,
         },
     ]

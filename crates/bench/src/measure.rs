@@ -148,6 +148,9 @@ pub struct BatchMeasurement {
     pub queries: usize,
     /// Number of range queries executed through the fused batch kernel.
     pub fused_queries: usize,
+    /// Number of sweep shards the fused kernel ran on (zero when the batch
+    /// executed sequentially, one for the single-threaded fused sweep).
+    pub shards_used: usize,
     /// Wall-clock latency of the whole batch in nanoseconds.
     pub batch_latency_ns: u64,
     /// Total result points across the batch.
@@ -170,6 +173,7 @@ pub fn measure_query_batch(
     BatchMeasurement {
         queries: report.len(),
         fused_queries: report.fused_queries,
+        shards_used: report.shards_used,
         batch_latency_ns: report.latency_ns,
         total_results: report.total_results(),
         totals: report.merged_stats(),

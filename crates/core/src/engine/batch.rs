@@ -9,6 +9,19 @@
 //! plan of a batch through the kernel and falls back to the sequential loop
 //! for indexes without one, so fusion is purely an optimization: answers
 //! are identical either way.
+//!
+//! On top of the plain kernel sits the *sharded* capability
+//! ([`ShardedRangeBatchKernel`]): a kernel that can split its fused sweep
+//! into two phases — projecting every request onto a one-dimensional sweep
+//! address space ([`RangeBatchKernel::project_batch`] is not a thing; see
+//! [`ShardedRangeBatchKernel::project_batch`]) and sweeping any contiguous
+//! slice of that space independently
+//! ([`ShardedRangeBatchKernel::sweep_shard`]). Because shards are disjoint
+//! slices of the address space, the engine can sweep them on worker threads
+//! and merge the partial responses deterministically
+//! ([`merge_shard_responses`]): point outputs concatenate in shard order
+//! (which is sweep order), counts and counters sum. For WaZI the address
+//! space is the leaf list; for Flood it is the column grid.
 
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
@@ -48,11 +61,22 @@ pub struct RangeBatchResponse {
 }
 
 impl RangeBatchResponse {
-    /// An empty response (no requests).
-    pub fn empty() -> Self {
+    /// A zero-work response shaped for `requests`: empty point vectors for
+    /// collecting requests, zero counts otherwise, default stats. Kernels
+    /// and the shard merger start from this shape and fill it in.
+    pub fn zeroed(requests: &[RangeBatchRequest]) -> Self {
         Self {
-            outputs: Vec::new(),
-            per_query: Vec::new(),
+            outputs: requests
+                .iter()
+                .map(|r| {
+                    if r.collect {
+                        RangeBatchOutput::Points(Vec::new())
+                    } else {
+                        RangeBatchOutput::Count(0)
+                    }
+                })
+                .collect(),
+            per_query: vec![ExecStats::default(); requests.len()],
             shared: ExecStats::default(),
         }
     }
@@ -67,8 +91,343 @@ impl RangeBatchResponse {
 /// [`crate::SpatialIndex::range_count`] path returns — same points, same
 /// order — while being free to share physical work (page visits) between
 /// requests and to account that shared work in
-/// [`RangeBatchResponse::shared`] rather than per query.
+/// [`RangeBatchResponse::shared`] rather than per query. Per-request
+/// bounding-box checks and point comparisons must not exceed what the
+/// sequential path would charge: fusion shares work, it never adds any.
 pub trait RangeBatchKernel {
     /// Executes all `requests` in one fused pass.
     fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse;
+
+    /// The kernel's sharded capability, when it has one.
+    ///
+    /// Returning `Some` promises that
+    /// [`ShardedRangeBatchKernel::sweep_shard`] over any disjoint partition
+    /// of the projected span, merged with [`merge_shard_responses`], is
+    /// output-equivalent to [`RangeBatchKernel::run_range_batch`]. The
+    /// default advertises nothing, and
+    /// [`crate::BatchStrategy::FusedParallel`] falls back to the
+    /// single-threaded fused sweep.
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        None
+    }
+}
+
+/// Inclusive interval of sweep addresses a request's fused scan covers
+/// (leaf indices for the Z-index, grid columns for Flood).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepInterval {
+    /// First address the request's sweep may touch.
+    pub lo: u32,
+    /// Last address the request's sweep may touch (inclusive).
+    pub hi: u32,
+}
+
+/// A contiguous half-open slice `[start, end)` of a kernel's sweep address
+/// space, assigned to one worker by the engine's shard planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBounds {
+    /// First address of the shard.
+    pub start: u32,
+    /// One past the last address of the shard.
+    pub end: u32,
+}
+
+/// The projection phase of a sharded fused batch: every request mapped onto
+/// the kernel's sweep address space, with the work that mapping cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProjection {
+    /// One sweep interval per request, in request order.
+    pub intervals: Vec<SweepInterval>,
+    /// Per-request projection work (e.g. WaZI's Algorithm-1 descents),
+    /// charged exactly as the sequential path would charge it.
+    pub per_query: Vec<ExecStats>,
+    /// Wall-clock time the projection took, in nanoseconds; merged into the
+    /// response's shared projection-phase time.
+    pub elapsed_ns: u64,
+}
+
+/// A fused kernel whose sweep can be split into disjoint address-space
+/// shards and run on worker threads (`Sync` because shard sweeps execute
+/// concurrently against the same index).
+///
+/// The engine drives the protocol: one [`project_batch`] call, a shard plan
+/// over the projected intervals ([`plan_shard_bounds`]), one
+/// [`sweep_shard`] call per shard (possibly concurrent), and a
+/// deterministic merge ([`merge_shard_responses`]). Shard sweeps must not
+/// depend on each other: a request whose interval crosses a shard boundary
+/// is resumed from scratch at the next shard's first address, which may
+/// cost it a bounding-box re-check a single sweep would have skipped over —
+/// answers and point comparisons are unaffected.
+///
+/// [`project_batch`]: ShardedRangeBatchKernel::project_batch
+/// [`sweep_shard`]: ShardedRangeBatchKernel::sweep_shard
+pub trait ShardedRangeBatchKernel: RangeBatchKernel + Sync {
+    /// Maps every request onto the sweep address space, charging the
+    /// projection work per request. Called once per batch, before any
+    /// shard sweeps.
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection;
+
+    /// Runs the fused sweep restricted to `bounds`. Requests whose
+    /// intervals do not intersect the bounds contribute nothing; the
+    /// returned response holds partial outputs and counters for exactly
+    /// the work performed inside the shard.
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse;
+}
+
+/// Plans up to `shards` disjoint, contiguous, work-balanced shard bounds
+/// covering the hull of the projected intervals.
+///
+/// Work is estimated as interval coverage: every (request, address) pair
+/// with the address inside the request's interval counts one unit. The
+/// planner cuts the hull so each shard carries roughly `total / shards`
+/// units, which balances overlapping batches far better than equal-width
+/// cuts (hot spans where many intervals stack are split, cold spans are
+/// merged). Returns fewer bounds than requested when the hull has fewer
+/// addresses than shards; returns an empty plan for an empty batch.
+pub fn plan_shard_bounds(intervals: &[SweepInterval], shards: usize) -> Vec<ShardBounds> {
+    let Some(first) = intervals.first() else {
+        return Vec::new();
+    };
+    let mut lo = first.lo;
+    let mut hi = first.hi;
+    for interval in &intervals[1..] {
+        lo = lo.min(interval.lo);
+        hi = hi.max(interval.hi);
+    }
+    let span = (hi - lo + 1) as usize;
+    let shards = shards.clamp(1, span);
+    if shards == 1 {
+        return vec![ShardBounds {
+            start: lo,
+            end: hi + 1,
+        }];
+    }
+    // Coverage histogram over the hull via a difference array.
+    let mut diff = vec![0i64; span + 1];
+    for interval in intervals {
+        diff[(interval.lo - lo) as usize] += 1;
+        diff[(interval.hi - lo) as usize + 1] -= 1;
+    }
+    let mut total: i64 = 0;
+    let mut coverage = 0i64;
+    let mut weights = Vec::with_capacity(span);
+    for d in &diff[..span] {
+        coverage += d;
+        // Every address carries at least one unit so zero-coverage gaps
+        // still advance the cuts and no shard degenerates to zero width.
+        weights.push(coverage.max(1));
+        total += coverage.max(1);
+    }
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut carried = 0i64;
+    let mut remaining = total;
+    for (position, &weight) in weights.iter().enumerate() {
+        carried += weight;
+        remaining -= weight;
+        let shards_left = shards - bounds.len();
+        let is_last_shard = shards_left == 1;
+        // Cut when this shard has its fair share of the remaining work and
+        // enough addresses remain to give every later shard at least one.
+        let fair = (carried * shards_left as i64) >= (carried + remaining);
+        let room_left = span - (position + 1) >= shards_left - 1;
+        if !is_last_shard && fair && room_left {
+            bounds.push(ShardBounds {
+                start: lo + start as u32,
+                end: lo + position as u32 + 1,
+            });
+            start = position + 1;
+            carried = 0;
+        }
+    }
+    bounds.push(ShardBounds {
+        start: lo + start as u32,
+        end: hi + 1,
+    });
+    debug_assert!(bounds.len() <= shards);
+    bounds
+}
+
+/// Runs a sharded kernel's full protocol as one unsharded sweep: project
+/// the batch, sweep the whole address space `[0, span_end)` on the calling
+/// thread, and fold the projection in.
+///
+/// This is the canonical [`RangeBatchKernel::run_range_batch`] body for
+/// kernels that implement [`ShardedRangeBatchKernel`] — every such kernel
+/// shares it instead of restating the project/sweep/merge boilerplate.
+pub fn run_full_sweep(
+    kernel: &dyn ShardedRangeBatchKernel,
+    requests: &[RangeBatchRequest],
+    span_end: u32,
+) -> RangeBatchResponse {
+    if requests.is_empty() {
+        return RangeBatchResponse::zeroed(requests);
+    }
+    let projection = kernel.project_batch(requests);
+    let full_span = ShardBounds {
+        start: 0,
+        end: span_end,
+    };
+    let swept = kernel.sweep_shard(requests, &projection, full_span);
+    merge_shard_responses(requests, &projection, vec![swept])
+}
+
+/// Deterministically merges per-shard partial responses (in ascending shard
+/// order) with the batch's projection into one [`RangeBatchResponse`].
+///
+/// Point outputs concatenate in shard order — shards partition the sweep
+/// address space in ascending order, so concatenation reproduces the single
+/// sweep's scan order exactly. Counts, per-query counters and shared
+/// counters sum; the projection's per-request work and wall-clock are
+/// folded in so the merged response accounts for the whole fused execution.
+pub fn merge_shard_responses(
+    requests: &[RangeBatchRequest],
+    projection: &BatchProjection,
+    responses: Vec<RangeBatchResponse>,
+) -> RangeBatchResponse {
+    let mut merged = RangeBatchResponse::zeroed(requests);
+    merged.per_query.clone_from_slice(&projection.per_query);
+    merged.shared.projection_ns += projection.elapsed_ns;
+    for response in responses {
+        debug_assert_eq!(response.outputs.len(), requests.len());
+        for (into, from) in merged.outputs.iter_mut().zip(response.outputs) {
+            match (into, from) {
+                (RangeBatchOutput::Points(all), RangeBatchOutput::Points(part)) => {
+                    all.extend(part);
+                }
+                (RangeBatchOutput::Count(all), RangeBatchOutput::Count(part)) => {
+                    *all += part;
+                }
+                _ => unreachable!("shard outputs are shaped by the same requests"),
+            }
+        }
+        for (into, from) in merged.per_query.iter_mut().zip(&response.per_query) {
+            into.merge(from);
+        }
+        merged.shared.merge(&response.shared);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(lo: u32, hi: u32) -> SweepInterval {
+        SweepInterval { lo, hi }
+    }
+
+    #[test]
+    fn empty_batch_has_no_shards() {
+        assert!(plan_shard_bounds(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn single_shard_covers_the_hull() {
+        let plan = plan_shard_bounds(&[interval(3, 9), interval(5, 20)], 1);
+        assert_eq!(plan, vec![ShardBounds { start: 3, end: 21 }]);
+    }
+
+    #[test]
+    fn shards_partition_the_hull_without_gaps() {
+        let intervals = [
+            interval(0, 10),
+            interval(4, 30),
+            interval(8, 12),
+            interval(25, 63),
+        ];
+        for shards in [2, 3, 4, 8] {
+            let plan = plan_shard_bounds(&intervals, shards);
+            assert!(!plan.is_empty() && plan.len() <= shards);
+            assert_eq!(plan.first().unwrap().start, 0);
+            assert_eq!(plan.last().unwrap().end, 64);
+            for pair in plan.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap or overlap in {plan:?}");
+                assert!(pair[0].start < pair[0].end);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_the_span() {
+        let plan = plan_shard_bounds(&[interval(7, 9)], 16);
+        assert!(plan.len() <= 3, "3-address span cannot feed 16 shards");
+        assert_eq!(plan.first().unwrap().start, 7);
+        assert_eq!(plan.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn balanced_cuts_split_the_hot_span() {
+        // Ten stacked intervals over [0, 9], one lone interval over [10, 99]:
+        // a work-balanced 2-shard plan cuts well before the midpoint 50.
+        let mut intervals = vec![interval(10, 99)];
+        intervals.extend((0..10).map(|_| interval(0, 9)));
+        let plan = plan_shard_bounds(&intervals, 2);
+        assert_eq!(plan.len(), 2);
+        assert!(
+            plan[0].end <= 30,
+            "first cut at {} ignores the hot span",
+            plan[0].end
+        );
+    }
+
+    #[test]
+    fn merge_concatenates_points_and_sums_counts() {
+        let requests = [
+            RangeBatchRequest {
+                rect: Rect::UNIT,
+                collect: true,
+            },
+            RangeBatchRequest {
+                rect: Rect::UNIT,
+                collect: false,
+            },
+        ];
+        let projection = BatchProjection {
+            intervals: vec![interval(0, 3), interval(0, 3)],
+            per_query: vec![
+                ExecStats {
+                    nodes_visited: 2,
+                    ..Default::default()
+                };
+                2
+            ],
+            elapsed_ns: 5,
+        };
+        let shard = |points: Vec<Point>, count: u64, pages: u64| RangeBatchResponse {
+            outputs: vec![
+                RangeBatchOutput::Points(points),
+                RangeBatchOutput::Count(count),
+            ],
+            per_query: vec![
+                ExecStats {
+                    points_scanned: 4,
+                    ..Default::default()
+                };
+                2
+            ],
+            shared: ExecStats {
+                pages_scanned: pages,
+                ..Default::default()
+            },
+        };
+        let a = Point::new(0.1, 0.1);
+        let b = Point::new(0.9, 0.9);
+        let merged = merge_shard_responses(
+            &requests,
+            &projection,
+            vec![shard(vec![a], 2, 1), shard(vec![b], 3, 2)],
+        );
+        assert_eq!(merged.outputs[0], RangeBatchOutput::Points(vec![a, b]));
+        assert_eq!(merged.outputs[1], RangeBatchOutput::Count(5));
+        assert_eq!(merged.per_query[0].nodes_visited, 2);
+        assert_eq!(merged.per_query[0].points_scanned, 8);
+        assert_eq!(merged.shared.pages_scanned, 3);
+        assert_eq!(merged.shared.projection_ns, 5);
+    }
 }

@@ -46,14 +46,18 @@ mod report;
 #[cfg(test)]
 mod tests;
 
-pub use batch::{RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse};
+pub use batch::{
+    merge_shard_responses, plan_shard_bounds, run_full_sweep, BatchProjection, RangeBatchKernel,
+    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel,
+    SweepInterval,
+};
 pub use plan::{Query, QueryOutput, RangeMode};
 pub use report::{BatchReport, QueryReport};
 
 use crate::index::{IndexError, SpatialIndex};
 use std::time::Instant;
 use wazi_geom::Point;
-use wazi_storage::ExecStats;
+use wazi_storage::{ExecStats, StatsCollector};
 
 /// Errors returned by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +94,27 @@ impl std::error::Error for EngineError {
 }
 
 /// How [`QueryEngine::execute_batch`] schedules a batch.
+///
+/// All three strategies return identical answers; they differ only in how
+/// the physical work is scheduled, so picking one is purely a performance
+/// decision:
+///
+/// * [`BatchStrategy::Sequential`] wins on batches whose queries barely
+///   overlap — there is no shared work to exploit, and the per-query loop
+///   has the least bookkeeping.
+/// * [`BatchStrategy::Fused`] wins on overlapping batches: one sweep over
+///   the index serves every range plan, pages relevant to several queries
+///   are scanned once per batch, and pages are visited in layout order
+///   (cache-friendly) instead of once per query in arrival order. The win
+///   is largest for counting/streaming plans; materializing
+///   ([`RangeMode::Collect`]) plans gain less because result
+///   materialization, which fusion cannot share, dominates their cost.
+/// * [`BatchStrategy::FusedParallel`] wins when a fused batch has enough
+///   total work to amortize thread spawning (thousands of overlapping
+///   queries, large datasets): the sweep's address span is partitioned
+///   into disjoint work-balanced shards swept concurrently. On small
+///   batches the spawn overhead makes it slower than [`BatchStrategy::Fused`]
+///   — prefer plain fusion below a few hundred microseconds of batch work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BatchStrategy {
     /// Execute queries one at a time in input order. The default: results,
@@ -102,8 +127,24 @@ pub enum BatchStrategy {
     /// ([`SpatialIndex::range_batch_kernel`]), falling back to the
     /// sequential loop otherwise. Answers are identical to
     /// [`BatchStrategy::Sequential`]; pages relevant to several queries are
-    /// scanned once per batch instead of once per query.
+    /// scanned once per batch instead of once per query, and per-query
+    /// bounding-box checks never exceed the sequential walk's.
     Fused,
+    /// Like [`BatchStrategy::Fused`], but the fused sweep is split into up
+    /// to `shards` disjoint slices of the index's sweep address space
+    /// (leaf intervals for the Z-index) and swept on scoped worker
+    /// threads, one per shard. Shard bounds are planned work-balanced from
+    /// the batch's projected intervals; partial results merge
+    /// deterministically in sweep order, so outputs are bit-identical to
+    /// the other strategies regardless of thread scheduling. Falls back to
+    /// [`BatchStrategy::Fused`] when the index has no sharded kernel
+    /// ([`RangeBatchKernel::sharded`]), when `shards <= 1`, or when the
+    /// batch's span is too narrow to split.
+    FusedParallel {
+        /// Upper bound on the number of concurrently swept shards (clamped
+        /// to the batch's address span; `0` is treated as `1`).
+        shards: usize,
+    },
 }
 
 /// Executes typed [`Query`] plans against a borrowed [`SpatialIndex`].
@@ -204,7 +245,9 @@ impl<'a> QueryEngine<'a> {
         }
         let start = Instant::now();
         let kernel = match self.strategy {
-            BatchStrategy::Fused => self.index.range_batch_kernel(),
+            BatchStrategy::Fused | BatchStrategy::FusedParallel { .. } => {
+                self.index.range_batch_kernel()
+            }
             BatchStrategy::Sequential => None,
         };
         let mut report = match kernel {
@@ -227,12 +270,14 @@ impl<'a> QueryEngine<'a> {
             shared_stats: ExecStats::default(),
             latency_ns: 0,
             fused_queries: 0,
+            shards_used: 0,
         })
     }
 
-    /// The fused path: range plans go through the kernel in one pass,
-    /// everything else runs sequentially, and the answers are reassembled
-    /// into input order.
+    /// The fused path: range plans go through the kernel in one pass
+    /// (sharded onto worker threads under
+    /// [`BatchStrategy::FusedParallel`]), everything else runs
+    /// sequentially, and the answers are reassembled into input order.
     fn execute_batch_fused(
         &self,
         queries: &[Query],
@@ -249,7 +294,16 @@ impl<'a> QueryEngine<'a> {
                 });
             }
         }
-        let response = kernel.run_range_batch(&requests);
+        let sharded = match self.strategy {
+            BatchStrategy::FusedParallel { shards } if shards > 1 => {
+                kernel.sharded().map(|sharded| (sharded, shards))
+            }
+            _ => None,
+        };
+        let (response, shards_used) = match sharded {
+            Some((sharded, shards)) => Self::run_sharded_batch(sharded, &requests, shards),
+            None => (kernel.run_range_batch(&requests), 1),
+        };
         debug_assert_eq!(response.outputs.len(), requests.len());
         debug_assert_eq!(response.per_query.len(), requests.len());
 
@@ -288,6 +342,98 @@ impl<'a> QueryEngine<'a> {
             shared_stats: response.shared,
             latency_ns: 0,
             fused_queries,
+            shards_used,
         })
     }
+
+    /// The parallel fused sweep: project once, plan work-balanced shard
+    /// bounds over the batch's sweep span, sweep every shard on its own
+    /// scoped worker thread, and merge the partial responses
+    /// deterministically in shard order. Per-shard shared stats flow
+    /// through a thread-safe [`StatsCollector`]; per-query outputs and
+    /// counters merge from the ordered responses, so the result is
+    /// bit-identical across runs whatever the thread interleaving.
+    ///
+    /// Oversubscription guard: spawned workers are capped at the host's
+    /// [`std::thread::available_parallelism`] — extra threads for CPU-bound
+    /// sweeps can only add scheduling overhead. The shard *plan* itself is
+    /// never host-dependent (shard bounds, and therefore all deterministic
+    /// counters, are identical whatever machine executes the batch); when
+    /// there are more shards than workers, each worker sweeps a contiguous
+    /// run of shards, and on a single-core host every shard is swept inline
+    /// on the calling thread — same shards, same merge, no threads.
+    ///
+    /// Returns the merged response and the number of shards actually swept
+    /// (the planner may produce fewer than requested on narrow spans; a
+    /// single-shard plan is swept inline without spawning).
+    fn run_sharded_batch(
+        sharded: &dyn ShardedRangeBatchKernel,
+        requests: &[RangeBatchRequest],
+        shards: usize,
+    ) -> (RangeBatchResponse, usize) {
+        let projection = sharded.project_batch(requests);
+        debug_assert_eq!(projection.intervals.len(), requests.len());
+        let plan = plan_shard_bounds(&projection.intervals, shards);
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(plan.len());
+        let responses: Vec<RangeBatchResponse> = if plan.len() <= 1 || workers <= 1 {
+            plan.iter()
+                .map(|&bounds| sharded.sweep_shard(requests, &projection, bounds))
+                .collect()
+        } else {
+            sweep_shards_threaded(sharded, requests, &projection, &plan, workers)
+        };
+        let shards_used = responses.len().max(1);
+        (
+            merge_shard_responses(requests, &projection, responses),
+            shards_used,
+        )
+    }
+}
+
+/// Sweeps the planned shards on at most `workers` scoped worker threads —
+/// each worker takes a contiguous run of shards and sweeps them in order —
+/// returning the partial responses in plan (= shard) order however the
+/// workers were scheduled. Each worker also records its shards' shared
+/// stats into a [`StatsCollector`] as it finishes them — an arrival-order
+/// aggregation that debug builds check against the ordered merge, pinning
+/// the claim that thread scheduling cannot leak into the counters.
+pub(crate) fn sweep_shards_threaded(
+    sharded: &dyn ShardedRangeBatchKernel,
+    requests: &[RangeBatchRequest],
+    projection: &BatchProjection,
+    plan: &[ShardBounds],
+    workers: usize,
+) -> Vec<RangeBatchResponse> {
+    let chunk_size = plan.len().div_ceil(workers.max(1));
+    let collector = StatsCollector::new();
+    let partials: Vec<RangeBatchResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let collector = collector.clone();
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&bounds| {
+                            let partial = sharded.sweep_shard(requests, projection, bounds);
+                            collector.record(&partial.shared);
+                            partial
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("shard worker must not panic"))
+            .collect()
+    });
+    debug_assert_eq!(
+        collector.summary().totals.pages_scanned,
+        partials.iter().map(|p| p.shared.pages_scanned).sum::<u64>(),
+        "arrival-order aggregation must agree with the ordered merge"
+    );
+    partials
 }

@@ -40,6 +40,11 @@ pub struct BatchReport {
     /// Number of range queries that were executed through the fused
     /// batch kernel (zero on the sequential path).
     pub fused_queries: usize,
+    /// Number of disjoint sweep shards the fused kernel ran on (zero on
+    /// the sequential path, one for the single-threaded fused sweep,
+    /// the planned shard count under
+    /// [`crate::BatchStrategy::FusedParallel`]).
+    pub shards_used: usize,
 }
 
 impl BatchReport {
@@ -68,6 +73,19 @@ impl BatchReport {
     /// Total result points across the batch.
     pub fn total_results(&self) -> u64 {
         self.reports.iter().map(|r| r.output.result_count()).sum()
+    }
+
+    /// Total bounding boxes checked while executing the batch, per-query
+    /// and shared work combined.
+    ///
+    /// This is the invariant quantity for comparing strategies: a fused
+    /// kernel shares page *visits* but must never make any query check more
+    /// bounding boxes than its own sequential walk would, so for
+    /// [`crate::BatchStrategy::Fused`] this total is at most the
+    /// [`crate::BatchStrategy::Sequential`] total on the same batch
+    /// (asserted cross-index by the facade test-suite).
+    pub fn bbs_checked(&self) -> u64 {
+        self.merged_stats().bbs_checked
     }
 }
 
@@ -98,6 +116,7 @@ mod tests {
             },
             latency_ns: 100,
             fused_queries: 2,
+            shards_used: 1,
         };
         assert_eq!(batch.len(), 2);
         assert!(!batch.is_empty());

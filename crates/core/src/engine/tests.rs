@@ -336,6 +336,273 @@ fn stream_counts_agree_across_modes_and_strategies() {
     }
 }
 
+/// The active-set sweep gives every request its own skip cursor, so the
+/// fused kernel replicates each query's sequential walk bounding-box for
+/// bounding-box: merged fused BB checks equal the sequential loop's (and
+/// so do point comparisons and per-query skips).
+#[test]
+fn fused_bb_checks_equal_the_sequential_walks() {
+    let index = wazi_index();
+    let batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let fused = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Fused)
+        .execute_batch(&batch)
+        .unwrap();
+    assert_eq!(fused.bbs_checked(), sequential.bbs_checked());
+    assert_eq!(
+        fused.merged_stats().points_scanned,
+        sequential.merged_stats().points_scanned
+    );
+    assert_eq!(
+        fused.merged_stats().leaves_skipped,
+        sequential.merged_stats().leaves_skipped
+    );
+    // Per-query attribution matches the sequential walk too, not just the
+    // totals.
+    for (f, s) in fused.reports.iter().zip(&sequential.reports) {
+        assert_eq!(f.stats.bbs_checked, s.stats.bbs_checked);
+        assert_eq!(f.stats.points_scanned, s.stats.points_scanned);
+        assert_eq!(f.stats.leaves_skipped, s.stats.leaves_skipped);
+        assert_eq!(f.stats.results, s.stats.results);
+    }
+}
+
+/// `FusedParallel` is output- and counter-deterministic for every shard
+/// count: answers are byte-identical to the sequential loop and the
+/// physical-work counters match, however the span is partitioned.
+#[test]
+fn fused_parallel_matches_sequential_for_every_shard_count() {
+    let index = wazi_index();
+    let mut batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rect)| match i % 3 {
+            0 => Query::range(rect),
+            1 => Query::range_count(rect),
+            _ => Query::range_stream(rect),
+        })
+        .collect();
+    batch.push(Query::point(Point::new(0.07, 0.04)));
+    batch.push(Query::knn(Point::new(0.3, 0.3), 3));
+    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    for shards in [0, 1, 2, 4, 8, 64] {
+        let parallel = QueryEngine::new(&index)
+            .with_strategy(BatchStrategy::FusedParallel { shards })
+            .execute_batch(&batch)
+            .unwrap();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.reports.iter().zip(&sequential.reports) {
+            assert_eq!(p.output, s.output, "{shards} shards");
+        }
+        let p = parallel.merged_stats();
+        let s = sequential.merged_stats();
+        assert_eq!(p.points_scanned, s.points_scanned, "{shards} shards");
+        assert_eq!(p.results, s.results, "{shards} shards");
+        assert_eq!(p.nodes_visited, s.nodes_visited, "{shards} shards");
+        assert!(
+            p.pages_scanned <= s.pages_scanned,
+            "{shards} shards: {} pages vs sequential {}",
+            p.pages_scanned,
+            s.pages_scanned
+        );
+        assert!(parallel.shards_used >= 1 && parallel.shards_used <= shards.max(1));
+        assert_eq!(parallel.fused_queries, batch.len() - 2);
+    }
+}
+
+/// Shard boundaries may force a request to re-check one bounding box per
+/// crossed shard (a skip cannot jump between workers), but never to
+/// re-scan points: parallel BB checks are bounded by the single sweep's
+/// plus one per query per extra shard.
+#[test]
+fn fused_parallel_bb_overhead_is_bounded_by_shard_crossings() {
+    let index = wazi_index();
+    let batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let fused = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Fused)
+        .execute_batch(&batch)
+        .unwrap();
+    for shards in [2, 4, 8] {
+        let parallel = QueryEngine::new(&index)
+            .with_strategy(BatchStrategy::FusedParallel { shards })
+            .execute_batch(&batch)
+            .unwrap();
+        let bound = fused.bbs_checked() + (batch.len() * (parallel.shards_used - 1)) as u64;
+        assert!(
+            parallel.bbs_checked() <= bound,
+            "{shards} shards: {} bbs exceeds bound {bound}",
+            parallel.bbs_checked()
+        );
+    }
+}
+
+/// Degenerate parallel batches: empty, single-plan and smaller than the
+/// shard count — all legal, all equivalent to sequential execution.
+#[test]
+fn fused_parallel_handles_degenerate_batches() {
+    let index = wazi_index();
+    let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::FusedParallel { shards: 8 });
+
+    let empty = engine.execute_batch(&[]).unwrap();
+    assert!(empty.is_empty());
+    assert_eq!(empty.merged_stats(), ExecStats::default());
+
+    let single = vec![Query::range_count(Rect::from_coords(0.1, 0.1, 0.2, 0.2))];
+    let report = engine.execute_batch(&single).unwrap();
+    assert_eq!(report.fused_queries, 0, "one range plan runs sequentially");
+    let expected = QueryEngine::new(&index).execute_batch(&single).unwrap();
+    assert_eq!(report.reports[0].output, expected.reports[0].output);
+
+    let three: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .take(3)
+        .map(Query::range)
+        .collect();
+    let report = engine.execute_batch(&three).unwrap();
+    let expected = QueryEngine::new(&index).execute_batch(&three).unwrap();
+    for (got, want) in report.reports.iter().zip(&expected.reports) {
+        assert_eq!(got.output, want.output);
+    }
+    assert_eq!(report.fused_queries, 3);
+}
+
+/// The parallel strategy on an index without a kernel falls back to the
+/// sequential loop, exactly like the plain fused strategy does.
+#[test]
+fn fused_parallel_falls_back_without_a_kernel() {
+    struct Scan(Vec<Point>);
+    impl SpatialIndex for Scan {
+        fn name(&self) -> &'static str {
+            "Scan"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn data_bounds(&self) -> Rect {
+            Rect::bounding(&self.0)
+        }
+        fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+            stats.points_scanned += self.0.len() as u64;
+            self.0
+                .iter()
+                .copied()
+                .filter(|p| query.contains(p))
+                .collect()
+        }
+        fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+            stats.points_scanned += self.0.len() as u64;
+            self.0.contains(p)
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+    let scan = Scan(dataset());
+    let engine = QueryEngine::new(&scan).with_strategy(BatchStrategy::FusedParallel { shards: 4 });
+    let batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let report = engine.execute_batch(&batch).unwrap();
+    assert_eq!(report.fused_queries, 0);
+    assert_eq!(report.shards_used, 0);
+    assert_eq!(report.len(), batch.len());
+}
+
+/// Driving the sharded kernel by hand: any disjoint partition of the
+/// projected span, swept in any order and merged in shard order,
+/// reproduces the single fused sweep bit for bit (outputs *and* shared
+/// page accounting).
+#[test]
+fn manual_shard_partition_reproduces_the_full_sweep() {
+    use crate::engine::{
+        merge_shard_responses, plan_shard_bounds, RangeBatchKernel, RangeBatchRequest,
+    };
+    let index = wazi_index();
+    let requests: Vec<RangeBatchRequest> = overlapping_rects()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rect)| RangeBatchRequest {
+            rect,
+            collect: i % 2 == 0,
+        })
+        .collect();
+    let kernel: &dyn RangeBatchKernel = &index;
+    let single = kernel.run_range_batch(&requests);
+    let sharded = kernel.sharded().expect("ZIndex kernel is sharded");
+    let projection = sharded.project_batch(&requests);
+    for shards in [2, 3, 5] {
+        let plan = plan_shard_bounds(&projection.intervals, shards);
+        // Sweep in reverse order to prove order-independence of the work…
+        let mut partials: Vec<_> = plan
+            .iter()
+            .rev()
+            .map(|&bounds| sharded.sweep_shard(&requests, &projection, bounds))
+            .collect();
+        // …then merge in shard order, as the engine does.
+        partials.reverse();
+        let merged = merge_shard_responses(&requests, &projection, partials);
+        assert_eq!(merged.outputs, single.outputs, "{shards} shards");
+        assert_eq!(
+            merged.shared.pages_scanned, single.shared.pages_scanned,
+            "{shards} shards: a page lives in exactly one shard"
+        );
+        for (m, s) in merged.per_query.iter().zip(&single.per_query) {
+            assert_eq!(m.points_scanned, s.points_scanned);
+            assert_eq!(m.results, s.results);
+            assert_eq!(m.nodes_visited, s.nodes_visited);
+        }
+    }
+}
+
+/// The scoped-thread fan-out itself (exercised directly, so single-core
+/// hosts — where the engine's oversubscription guard sweeps inline — still
+/// test the spawning path): threaded shard sweeps return the same partials
+/// as inline sweeps, in plan order.
+#[test]
+fn threaded_fan_out_matches_inline_sweeps() {
+    use crate::engine::{plan_shard_bounds, sweep_shards_threaded, RangeBatchRequest};
+    let index = wazi_index();
+    let requests: Vec<RangeBatchRequest> = overlapping_rects()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rect)| RangeBatchRequest {
+            rect,
+            collect: i % 2 == 0,
+        })
+        .collect();
+    let sharded = crate::engine::RangeBatchKernel::sharded(&index).expect("sharded kernel");
+    let projection = sharded.project_batch(&requests);
+    let plan = plan_shard_bounds(&projection.intervals, 4);
+    assert!(plan.len() >= 2, "need a real multi-shard plan");
+    let inline: Vec<_> = plan
+        .iter()
+        .map(|&bounds| sharded.sweep_shard(&requests, &projection, bounds))
+        .collect();
+    // More workers than shards and fewer workers than shards (chunked runs)
+    // must both reproduce the inline partials in plan order.
+    for workers in [2, plan.len(), plan.len() + 3] {
+        let threaded = sweep_shards_threaded(sharded, &requests, &projection, &plan, workers);
+        assert_eq!(threaded.len(), inline.len(), "{workers} workers");
+        for (t, i) in threaded.iter().zip(&inline) {
+            assert_eq!(t.outputs, i.outputs);
+            assert_eq!(t.shared.pages_scanned, i.shared.pages_scanned);
+            for (a, b) in t.per_query.iter().zip(&i.per_query) {
+                assert_eq!(a.points_scanned, b.points_scanned);
+                assert_eq!(a.bbs_checked, b.bbs_checked);
+                assert_eq!(a.results, b.results);
+            }
+        }
+    }
+}
+
 /// `RangeMode` round-trips through `Query` constructors.
 #[test]
 fn range_mode_is_exposed_on_the_plan() {

@@ -61,8 +61,10 @@ mod zindex;
 pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
 pub use engine::{
-    BatchReport, BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, QueryReport,
-    RangeMode,
+    merge_shard_responses, plan_shard_bounds, run_full_sweep, BatchProjection, BatchReport,
+    BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, QueryReport, RangeBatchKernel,
+    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, RangeMode, ShardBounds,
+    ShardedRangeBatchKernel, SweepInterval,
 };
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};

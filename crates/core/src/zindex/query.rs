@@ -16,15 +16,233 @@
 //! per-match work differs.
 
 use super::ZIndex;
-use crate::engine::{RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse};
+use crate::engine::{
+    run_full_sweep, BatchProjection, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
+    RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel, SweepInterval,
+};
 use crate::node::{NodeRef, LOOKAHEAD_END};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 use wazi_geom::{Point, Rect};
 use wazi_storage::{ExecStats, Page};
 
 impl RangeBatchKernel for ZIndex {
     fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
-        self.execute_range_batch(requests)
+        if self.leaves.is_empty() {
+            return RangeBatchResponse::zeroed(requests);
+        }
+        run_full_sweep(self, requests, self.leaves.len() as u32)
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        if self.leaves.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+impl ShardedRangeBatchKernel for ZIndex {
+    /// Projects every request's corners once (Algorithm 1 per corner,
+    /// charged to the request exactly as the sequential kernel charges its
+    /// own projections), yielding the leaf interval `[leaf(BL) : leaf(TR)]`
+    /// each request's sweep covers.
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection {
+        let start = Instant::now();
+        let mut per_query = vec![ExecStats::default(); requests.len()];
+        let intervals = requests
+            .iter()
+            .zip(&mut per_query)
+            .map(|(request, stats)| {
+                let lo = self.locate_leaf(&request.rect.bl(), stats);
+                let hi = self.locate_leaf(&request.rect.tr(), stats);
+                debug_assert!(lo <= hi, "monotone orderings visit BL before TR");
+                SweepInterval { lo, hi }
+            })
+            .collect();
+        BatchProjection {
+            intervals,
+            per_query,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// The fused sweep over one contiguous slice of the leaf list.
+    ///
+    /// The sweep maintains the batch's active set *incrementally*: requests
+    /// enter at their interval's first leaf and exit when their cursor runs
+    /// past its last — there is no per-leaf re-filtering of the whole set.
+    /// Each active request carries its own **skip cursor**: the next leaf at
+    /// which the request must perform a bounding-box check. A request whose
+    /// cursor jumped ahead (its look-ahead pointers proved a run of leaves
+    /// irrelevant, Section 5) pays nothing while the sweep serves requests
+    /// still inside that run — so per-request bounding-box checks and skip
+    /// counts replicate the sequential walk exactly, leaf for leaf.
+    ///
+    /// Requests due at the current leaf live in a dense `hot` vector (in the
+    /// common case an overlapping request re-arms for the very next leaf);
+    /// requests parked at a future leaf wait in a min-heap keyed on their
+    /// cursor, so a leaf costs only its due requests plus `O(log n)` per
+    /// actual skip — never a scan over the whole active set.
+    ///
+    /// When at least one due request overlaps the leaf, its page is scanned
+    /// **once** (charged to the shared stats); every overlapping request
+    /// then filters the page's points with its own rectangle, charged per
+    /// request, so comparison counts match the sequential path's.
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse {
+        let mut response = RangeBatchResponse::zeroed(requests);
+        let leaf_count = self.leaves.len() as u32;
+        if bounds.start >= bounds.end || bounds.start >= leaf_count {
+            return response;
+        }
+        let last = bounds.end.min(leaf_count) - 1;
+        // Admission list: (clamped interval start, request index), sorted so
+        // requests enter the sweep in address order. `high[qi]` is the
+        // request's exit leaf within this shard.
+        let mut high = vec![0u32; requests.len()];
+        let mut entries: Vec<(u32, usize)> = Vec::new();
+        for (qi, interval) in projection.intervals.iter().enumerate() {
+            let lo = interval.lo.max(bounds.start);
+            let hi = interval.hi.min(last);
+            if lo > hi {
+                continue;
+            }
+            high[qi] = hi;
+            entries.push((lo, qi));
+        }
+        if entries.is_empty() {
+            return response;
+        }
+        entries.sort_unstable();
+
+        let kernel_start = Instant::now();
+        let mut scan_ns = 0u64;
+        let skipping = self.skipping_enabled();
+        // `hot`: requests whose cursor equals the current sweep position.
+        // `parked`: requests whose cursor points at a later leaf.
+        let mut hot: Vec<usize> = Vec::new();
+        let mut rearmed: Vec<usize> = Vec::new();
+        let mut needing: Vec<usize> = Vec::new();
+        let mut parked: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+        let mut next_entry = 0usize;
+        let mut i = entries[0].0;
+        loop {
+            while next_entry < entries.len() && entries[next_entry].0 <= i {
+                hot.push(entries[next_entry].1);
+                next_entry += 1;
+            }
+            while let Some(&Reverse((cursor, qi))) = parked.peek() {
+                if cursor > i {
+                    break;
+                }
+                parked.pop();
+                hot.push(qi);
+            }
+            if hot.is_empty() {
+                // Nobody is due here: jump straight to the next admission
+                // or the earliest parked cursor.
+                let next_lo = entries.get(next_entry).map(|&(lo, _)| lo);
+                let next_cursor = parked.peek().map(|&Reverse((cursor, _))| cursor);
+                match (next_lo, next_cursor) {
+                    (Some(a), Some(b)) => i = a.min(b),
+                    (Some(a), None) => i = a,
+                    (None, Some(b)) => i = b,
+                    (None, None) => break,
+                }
+                continue;
+            }
+            let leaf = &self.leaves[i as usize];
+            needing.clear();
+            rearmed.clear();
+            for &qi in &hot {
+                let rect = &requests[qi].rect;
+                let stats = &mut response.per_query[qi];
+                stats.bbs_checked += 1;
+                if !leaf.bbox.is_empty() && leaf.bbox.overlaps(rect) {
+                    needing.push(qi);
+                    if i < high[qi] {
+                        rearmed.push(qi);
+                    }
+                    continue;
+                }
+                // Irrelevant to this request: follow its own look-ahead
+                // pointers as far as they allow, exactly like the
+                // sequential walk (the jump target is per request, never
+                // clamped by other members of the batch).
+                let mut target = i + 1;
+                if skipping {
+                    if let Some(lookahead) = leaf.lookahead {
+                        for criterion in leaf.irrelevancy_criteria(rect) {
+                            let t = lookahead.get(criterion);
+                            let t = if t == LOOKAHEAD_END { high[qi] + 1 } else { t };
+                            target = target.max(t);
+                        }
+                    }
+                }
+                // Skips are only charged up to the shard end: a jump that
+                // crosses into the next shard is resumed (and re-charged)
+                // there, so clamping keeps the merged counter free of
+                // double counts. A full-span sweep never clamps — every
+                // target is at most the leaf count — so the fused counter
+                // stays identical to the sequential walk's.
+                stats.leaves_skipped += u64::from(target.min(last + 1) - (i + 1));
+                if target == i + 1 && i < high[qi] {
+                    rearmed.push(qi);
+                } else if target <= high[qi] {
+                    parked.push(Reverse((target, qi)));
+                }
+            }
+            if !needing.is_empty() {
+                // One pass over the page on behalf of every overlapping
+                // request: the page visit is shared work, the point
+                // comparisons stay attributed per request.
+                let scan_start = Instant::now();
+                response.shared.pages_scanned += 1;
+                let points = self.store.page(leaf.page).points();
+                for &qi in &needing {
+                    // Copy the rectangle into a local: the hot filter loop
+                    // must not reload its bounds through the request slice,
+                    // which the optimiser cannot prove disjoint from the
+                    // output it writes.
+                    let rect = requests[qi].rect;
+                    let stats = &mut response.per_query[qi];
+                    stats.points_scanned += points.len() as u64;
+                    match &mut response.outputs[qi] {
+                        RangeBatchOutput::Points(out) => {
+                            let before = out.len();
+                            for p in points {
+                                if rect.contains(p) {
+                                    out.push(*p);
+                                }
+                            }
+                            stats.results += (out.len() - before) as u64;
+                        }
+                        RangeBatchOutput::Count(count) => {
+                            let mut matches = 0u64;
+                            for p in points {
+                                matches += u64::from(rect.contains(p));
+                            }
+                            *count += matches;
+                            stats.results += matches;
+                        }
+                    }
+                }
+                scan_ns += scan_start.elapsed().as_nanos() as u64;
+            }
+            std::mem::swap(&mut hot, &mut rearmed);
+            i += 1;
+        }
+        response
+            .shared
+            .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+        response
     }
 }
 
@@ -169,144 +387,6 @@ impl ZIndex {
         let mut visitor = StreamVisitor { visit, matched: 0 };
         self.scan_range(query, stats, &mut visitor);
         stats.results += visitor.matched;
-    }
-
-    /// The fused batch kernel: executes every range request of a batch in
-    /// one pass over the leaf interval their Z-address intervals span.
-    ///
-    /// Algorithm: project every request's corners once (Algorithm 1 per
-    /// request, charged to its own stats), sort the resulting leaf
-    /// intervals by start address, then sweep the leaf list once with an
-    /// active set. At each leaf every active request pays its own
-    /// bounding-box check; when at least one request overlaps the leaf, the
-    /// page is scanned **once** and each stored point is compared against
-    /// every overlapping request — so a page relevant to `m` overlapping
-    /// queries is visited once instead of `m` times. When no active request
-    /// overlaps, the sweep follows the look-ahead pointers (Section 5) as
-    /// far as *all* active requests allow: the jump target is the minimum
-    /// of the per-request skip targets, clamped to the next interval start.
-    ///
-    /// Work accounting: corner projections, bounding-box checks, point
-    /// comparisons and results are charged per request (their totals match
-    /// the sequential path's totals for comparisons and results); shared
-    /// page visits, batch-level skips and the kernel's phase timings are
-    /// charged to the response's `shared` stats, since they are not
-    /// attributable to any single request.
-    pub(crate) fn execute_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
-        let mut outputs: Vec<RangeBatchOutput> = requests
-            .iter()
-            .map(|r| {
-                if r.collect {
-                    RangeBatchOutput::Points(Vec::new())
-                } else {
-                    RangeBatchOutput::Count(0)
-                }
-            })
-            .collect();
-        let mut per_query = vec![ExecStats::default(); requests.len()];
-        let mut shared = ExecStats::default();
-        if requests.is_empty() || self.leaves.is_empty() {
-            return RangeBatchResponse {
-                outputs,
-                per_query,
-                shared,
-            };
-        }
-        let kernel_start = Instant::now();
-        let mut scan_ns = 0u64;
-
-        // Project every request's corners once (charged per request, exactly
-        // as the sequential kernel would), then sort the Z-address intervals.
-        let mut intervals: Vec<(u32, u32, usize)> = Vec::with_capacity(requests.len());
-        for (qi, request) in requests.iter().enumerate() {
-            let low = self.locate_leaf(&request.rect.bl(), &mut per_query[qi]);
-            let high = self.locate_leaf(&request.rect.tr(), &mut per_query[qi]);
-            debug_assert!(low <= high, "monotone orderings visit BL before TR");
-            intervals.push((low, high, qi));
-        }
-        intervals.sort_unstable_by_key(|&(low, high, _)| (low, high));
-
-        let skipping = self.skipping_enabled();
-        let leaf_end = self.leaves.len() as u32;
-        // Active set of (interval end, request index); small batches keep it
-        // tiny, so linear scans beat any priority structure.
-        let mut active: Vec<(u32, usize)> = Vec::new();
-        let mut needing: Vec<usize> = Vec::new();
-        let mut next_interval = 0usize;
-        let mut i = intervals[0].0;
-        loop {
-            while next_interval < intervals.len() && intervals[next_interval].0 <= i {
-                let (_, high, qi) = intervals[next_interval];
-                active.push((high, qi));
-                next_interval += 1;
-            }
-            active.retain(|&(high, _)| high >= i);
-            if active.is_empty() {
-                match intervals.get(next_interval) {
-                    Some(&(low, _, _)) => {
-                        i = low;
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-            let leaf = &self.leaves[i as usize];
-            needing.clear();
-            for &(_, qi) in &active {
-                per_query[qi].bbs_checked += 1;
-                if !leaf.bbox.is_empty() && leaf.bbox.overlaps(&requests[qi].rect) {
-                    needing.push(qi);
-                }
-            }
-            if needing.is_empty() {
-                // Irrelevant to every active request: jump as far as they
-                // all allow, but never past the next interval's start.
-                let mut jump = u32::MAX;
-                for &(_, qi) in &active {
-                    let mut target = i + 1;
-                    if skipping {
-                        if let Some(lookahead) = leaf.lookahead {
-                            for criterion in leaf.irrelevancy_criteria(&requests[qi].rect) {
-                                let t = lookahead.get(criterion);
-                                let t = if t == LOOKAHEAD_END { leaf_end } else { t };
-                                target = target.max(t);
-                            }
-                        }
-                    }
-                    jump = jump.min(target);
-                }
-                if let Some(&(low, _, _)) = intervals.get(next_interval) {
-                    jump = jump.min(low);
-                }
-                shared.leaves_skipped += u64::from(jump - (i + 1));
-                i = jump;
-                continue;
-            }
-            // One pass over the page on behalf of every overlapping request.
-            let scan_start = Instant::now();
-            shared.pages_scanned += 1;
-            let page = self.store.page(leaf.page);
-            for p in page.points() {
-                for &qi in &needing {
-                    per_query[qi].points_scanned += 1;
-                    if requests[qi].rect.contains(p) {
-                        per_query[qi].results += 1;
-                        match &mut outputs[qi] {
-                            RangeBatchOutput::Points(out) => out.push(*p),
-                            RangeBatchOutput::Count(n) => *n += 1,
-                        }
-                    }
-                }
-            }
-            scan_ns += scan_start.elapsed().as_nanos() as u64;
-            i += 1;
-        }
-        shared.charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
-        RangeBatchResponse {
-            outputs,
-            per_query,
-            shared,
-        }
     }
 
     /// Point query: locate the owning leaf (Algorithm 1), then probe its

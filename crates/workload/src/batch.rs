@@ -105,9 +105,50 @@ pub fn generate_mixed_batch_with_mix(
         .collect()
 }
 
+/// Fraction the query-cluster spreads are shrunk by when generating an
+/// overlapping batch: centres concentrate four times harder around the
+/// region's hotspots than a regular workload, so thousands of queries stack
+/// on the same pages.
+const OVERLAP_CONCENTRATION: f64 = 0.25;
+
+/// Generates a deterministic batch of heavily *overlapping* counting range
+/// queries: the workload shape fused and parallel batch execution exist
+/// for.
+///
+/// Centres follow the region's check-in profile like
+/// [`crate::generate_queries`], but with every cluster's spread shrunk
+/// four-fold, so a large batch revisits the same hot pages
+/// thousands of times — giving a fused sweep pages to share and a sharded
+/// sweep enough stacked work per leaf interval to keep every worker busy.
+/// All plans use the counting mode (the non-materializing measurement
+/// path). Equal seeds produce equal batches.
+pub fn generate_overlapping_batch(
+    region: Region,
+    count: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(selectivity > 0.0, "selectivity must be positive");
+    let mut clusters = region.query_clusters();
+    for cluster in &mut clusters {
+        cluster.spread_x *= OVERLAP_CONCENTRATION;
+        cluster.spread_y *= OVERLAP_CONCENTRATION;
+    }
+    let total_weight: f64 = clusters.iter().map(|c| c.weight).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let center = sample_mixture(&clusters, total_weight, &mut rng);
+            let aspect = rng.gen_range(0.5..2.0);
+            Query::range_count(Rect::query_box(&Rect::UNIT, center, selectivity, aspect))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generate_queries;
     use wazi_core::Query;
 
     #[test]
@@ -179,6 +220,50 @@ mod tests {
         };
         let batch = generate_mixed_batch_with_mix(Region::CaliNev, 50, 0.001, 5, knn_heavy);
         assert!(batch.iter().all(|q| matches!(q, Query::Knn { k: 5, .. })));
+    }
+
+    #[test]
+    fn overlapping_batches_are_deterministic_and_concentrated() {
+        let batch = generate_overlapping_batch(Region::NewYork, 400, 0.001, 9);
+        assert_eq!(batch.len(), 400);
+        assert_eq!(
+            batch,
+            generate_overlapping_batch(Region::NewYork, 400, 0.001, 9)
+        );
+        let rects: Vec<Rect> = batch
+            .iter()
+            .map(|q| match q {
+                Query::Range { rect, mode } => {
+                    assert_eq!(*mode, RangeMode::Count, "overlap batches count");
+                    *rect
+                }
+                other => panic!("unexpected plan {other:?}"),
+            })
+            .collect();
+        for rect in &rects {
+            assert!(Rect::UNIT.contains_rect(rect));
+            assert!((rect.area() - 0.001).abs() < 1e-9);
+        }
+        // Concentration: queries must overlap far more than a regular
+        // workload of the same size and selectivity would. Count
+        // overlapping pairs on a sample.
+        let regular: Vec<Rect> = generate_queries(Region::NewYork, 400, 0.001);
+        let overlap_pairs = |rects: &[Rect]| -> usize {
+            let mut pairs = 0;
+            for (i, a) in rects.iter().enumerate().take(100) {
+                for b in rects.iter().skip(i + 1).take(100) {
+                    pairs += usize::from(a.overlaps(b));
+                }
+            }
+            pairs
+        };
+        let concentrated = overlap_pairs(&rects);
+        let baseline = overlap_pairs(&regular);
+        assert!(
+            concentrated * 2 > baseline * 3,
+            "overlapping batch ({concentrated} pairs) is not denser than the \
+             regular workload ({baseline} pairs)"
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ mod dataset;
 mod queries;
 mod region;
 
-pub use batch::{generate_mixed_batch, generate_mixed_batch_with_mix, BatchMix};
+pub use batch::{
+    generate_mixed_batch, generate_mixed_batch_with_mix, generate_overlapping_batch, BatchMix,
+};
 pub use dataset::{
     generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,
     uniform_dataset, SkewSummary,

@@ -1,6 +1,7 @@
 //! Quickstart for the typed query-plan engine: describe a workload as
 //! `Query` values, execute it as one batch, and compare the sequential
-//! schedule against WaZI's fused batch kernel.
+//! schedule against WaZI's fused batch kernel — single-threaded and
+//! sharded across worker threads.
 //!
 //! Run with:
 //! ```text
@@ -9,7 +10,8 @@
 
 use wazi_core::{BatchStrategy, QueryEngine, QueryOutput, ZIndex};
 use wazi_workload::{
-    generate_dataset, generate_mixed_batch, generate_queries, Region, SELECTIVITIES,
+    generate_dataset, generate_mixed_batch, generate_overlapping_batch, generate_queries, Region,
+    SELECTIVITIES,
 };
 
 fn main() {
@@ -61,7 +63,33 @@ fn main() {
         100.0 * saved as f64 / sequential.merged_stats().pages_scanned.max(1) as f64
     );
 
-    // 5. Per-query reports keep their input order, so answers pair up with
+    // 5. When an overlapping batch is large enough to amortize thread
+    //    spawning, FusedParallel partitions the fused sweep's leaf span
+    //    into work-balanced shards and sweeps them concurrently. Answers
+    //    stay bit-identical — shards are disjoint slices of the leaf list,
+    //    merged deterministically in sweep order.
+    let big_batch = generate_overlapping_batch(region, 4_000, SELECTIVITIES[3], 7);
+    let fused_one = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Fused)
+        .execute_batch(&big_batch)
+        .expect("valid batch");
+    for shards in [2usize, 4, 8] {
+        let parallel = QueryEngine::new(&index)
+            .with_strategy(BatchStrategy::FusedParallel { shards })
+            .execute_batch(&big_batch)
+            .expect("valid batch");
+        assert_eq!(parallel.total_results(), fused_one.total_results());
+        println!(
+            "fused sweep of {} overlapping queries on {} shard(s): {:.2} ms \
+             ({:.2}x vs one shard)",
+            big_batch.len(),
+            parallel.shards_used,
+            parallel.latency_ns as f64 / 1e6,
+            fused_one.latency_ns as f64 / parallel.latency_ns.max(1) as f64
+        );
+    }
+
+    // 6. Per-query reports keep their input order, so answers pair up with
     //    their plans without bookkeeping.
     for (query, report) in batch.iter().zip(&fused.reports).take(5) {
         let answer = match &report.output {

@@ -19,8 +19,8 @@ use wazi_core::{BatchStrategy, QueryEngine};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 use wazi_workload::{
-    generate_dataset, generate_mixed_batch, generate_queries, sample_point_queries, Region,
-    SELECTIVITIES,
+    generate_dataset, generate_mixed_batch, generate_overlapping_batch, generate_queries,
+    sample_point_queries, Region, SELECTIVITIES,
 };
 
 fn sorted(mut points: Vec<Point>) -> Vec<Point> {
@@ -275,6 +275,141 @@ fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
             loop_stats.results,
             "{kind}: fused results counter differs"
         );
+    }
+}
+
+/// The fused-work invariant across the whole suite: fusion shares physical
+/// work, it never adds any. On every index that advertises a batch kernel,
+/// the fused strategy must check at most as many bounding boxes as the
+/// sequential loop on the same overlapping batch (each query keeps its own
+/// skip cursor, so its walk replicates the sequential one), while scanning
+/// no more pages and exactly the same points. Indexes without a kernel
+/// trivially tie.
+#[test]
+fn fused_bb_checks_never_exceed_sequential_on_any_index() {
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 5_000);
+    let train = generate_queries(region, 150, SELECTIVITIES[1]);
+    let batch: Vec<_> = generate_queries(region, 120, SELECTIVITIES[3])
+        .into_iter()
+        .map(wazi_core::Query::range_count)
+        .collect();
+    let mut kernels_seen = 0;
+    for kind in all_kinds() {
+        let built = build_index(kind, &points, &train, 128);
+        let sequential = QueryEngine::new(built.index.as_ref())
+            .execute_batch(&batch)
+            .expect("sequential batch executes");
+        let fused = QueryEngine::new(built.index.as_ref())
+            .with_strategy(BatchStrategy::Fused)
+            .execute_batch(&batch)
+            .expect("fused batch executes");
+        kernels_seen += usize::from(built.index.range_batch_kernel().is_some());
+        assert!(
+            fused.bbs_checked() <= sequential.bbs_checked(),
+            "{kind}: fused checks {} bounding boxes, sequential {}",
+            fused.bbs_checked(),
+            sequential.bbs_checked()
+        );
+        assert!(
+            fused.merged_stats().pages_scanned <= sequential.merged_stats().pages_scanned,
+            "{kind}: fused scans more pages than sequential"
+        );
+        assert_eq!(
+            fused.merged_stats().points_scanned,
+            sequential.merged_stats().points_scanned,
+            "{kind}: fusion changed the points compared"
+        );
+        assert_eq!(
+            fused.merged_stats().results,
+            sequential.merged_stats().results,
+            "{kind}: fusion changed the answers"
+        );
+    }
+    assert!(
+        kernels_seen >= 4,
+        "expected batch kernels on Base/WaZI variants and Flood, saw {kernels_seen}"
+    );
+}
+
+/// The parallel-determinism property of `BatchStrategy::FusedParallel`:
+/// for every index and every shard count — including more shards than
+/// queries and empty batches — parallel execution is output- and
+/// counter-equivalent to the sequential loop, whatever the thread
+/// interleaving: identical answers in input order, identical point
+/// comparisons and result counts, never more page visits.
+#[test]
+fn fused_parallel_is_equivalent_to_sequential_for_every_index_and_shard_count() {
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 5_000);
+    let train = generate_queries(region, 150, SELECTIVITIES[1]);
+    let batches: Vec<(&str, Vec<wazi_core::Query>)> = vec![
+        ("empty", Vec::new()),
+        (
+            "smaller-than-shard-count",
+            generate_overlapping_batch(region, 3, SELECTIVITIES[2], 5),
+        ),
+        (
+            "overlapping-200",
+            generate_overlapping_batch(region, 200, SELECTIVITIES[3], 11),
+        ),
+        (
+            "mixed-120",
+            generate_mixed_batch(region, 120, SELECTIVITIES[2], 0xD1CE),
+        ),
+    ];
+    for kind in all_kinds() {
+        let built = build_index(kind, &points, &train, 128);
+        for (label, batch) in &batches {
+            let sequential = QueryEngine::new(built.index.as_ref())
+                .execute_batch(batch)
+                .expect("sequential batch executes");
+            for shards in [1usize, 2, 4, 8] {
+                let parallel = QueryEngine::new(built.index.as_ref())
+                    .with_strategy(BatchStrategy::FusedParallel { shards })
+                    .execute_batch(batch)
+                    .expect("parallel batch executes");
+                assert_eq!(parallel.len(), sequential.len(), "{kind}/{label}/{shards}");
+                for (i, (p, s)) in parallel.reports.iter().zip(&sequential.reports).enumerate() {
+                    assert_eq!(
+                        p.output, s.output,
+                        "{kind}/{label}/{shards} shards: output {i} differs"
+                    );
+                }
+                let p = parallel.merged_stats();
+                let s = sequential.merged_stats();
+                assert_eq!(
+                    p.points_scanned, s.points_scanned,
+                    "{kind}/{label}/{shards} shards: points_scanned differs"
+                );
+                assert_eq!(
+                    p.results, s.results,
+                    "{kind}/{label}/{shards} shards: results differ"
+                );
+                assert!(
+                    p.pages_scanned <= s.pages_scanned,
+                    "{kind}/{label}/{shards} shards: parallel scans more pages"
+                );
+                // Determinism across repeated parallel runs: thread
+                // scheduling must never leak into outputs or counters.
+                let again = QueryEngine::new(built.index.as_ref())
+                    .with_strategy(BatchStrategy::FusedParallel { shards })
+                    .execute_batch(batch)
+                    .expect("parallel batch executes twice");
+                for (a, b) in parallel.reports.iter().zip(&again.reports) {
+                    assert_eq!(
+                        a.output, b.output,
+                        "{kind}/{label}/{shards}: nondeterminism"
+                    );
+                    assert_eq!(a.stats, {
+                        let mut stats = b.stats;
+                        stats.projection_ns = a.stats.projection_ns;
+                        stats.scan_ns = a.stats.scan_ns;
+                        stats
+                    });
+                }
+            }
+        }
     }
 }
 

@@ -14,6 +14,10 @@ fn every_registered_experiment_runs_and_produces_rows() {
         point_queries: 100,
         leaf_capacity: 64,
         seed: 7,
+        batch_shards: 4,
+        // Smoke runs must never overwrite the committed BENCH_batch.json
+        // (it is regenerated at full scale by `reproduce batch`).
+        emit_artifacts: false,
     };
     for spec in registry() {
         let reports = (spec.run)(&ctx);

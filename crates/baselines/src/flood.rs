@@ -10,9 +10,9 @@
 //! of the training workload and keeping the cheapest one.
 
 use wazi_core::{
-    run_full_sweep, BatchProjection, IndexError, RangeBatchKernel, RangeBatchOutput,
-    RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel, SpatialIndex,
-    SweepInterval,
+    run_full_sweep, BatchProjection, IndexError, PointBatchKernel, PointBatchResponse,
+    RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds,
+    ShardedRangeBatchKernel, SpatialIndex, SweepInterval,
 };
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
@@ -254,6 +254,10 @@ impl SpatialIndex for FloodIndex {
     fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
         Some(self)
     }
+
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        Some(self)
+    }
 }
 
 impl RangeBatchKernel for FloodIndex {
@@ -298,14 +302,18 @@ impl ShardedRangeBatchKernel for FloodIndex {
         }
     }
 
-    /// Sweeps one contiguous slice of the column grid. Requests enter the
-    /// active set at their first column and leave after their last; there
-    /// is no skipping machinery (Flood's relevance test *is* the column
-    /// interval), so the active set is a dense vector. Per column, every
-    /// active request binary-searches its y-run (projection phase, charged
-    /// as a bounding-box check like the sequential scan) and filters the
-    /// run by x (scan phase, charged per request); the column itself counts
-    /// as one shared page visit however many requests read it.
+    /// Sweeps the requests owned by one shard of the column grid
+    /// (owner-based sharding: a request belongs to the shard containing its
+    /// first column and is swept over its whole column interval here, so
+    /// its per-column work is identical to its solo scan whatever the shard
+    /// plan). Requests enter the active set at their first column and leave
+    /// after their last; there is no skipping machinery (Flood's relevance
+    /// test *is* the column interval), so the active set is a dense vector.
+    /// Per column, every active request binary-searches its y-run
+    /// (projection phase, charged as a bounding-box check like the
+    /// sequential scan) and filters the run by x (scan phase, charged per
+    /// request); the column itself counts as one shared page visit however
+    /// many of the shard's requests read it.
     fn sweep_shard(
         &self,
         requests: &[RangeBatchRequest],
@@ -317,14 +325,12 @@ impl ShardedRangeBatchKernel for FloodIndex {
         if bounds.start >= bounds.end || bounds.start >= columns {
             return response;
         }
-        let last = bounds.end.min(columns) - 1;
         let mut entries: Vec<(u32, u32, usize)> = Vec::new();
         for (qi, interval) in projection.intervals.iter().enumerate() {
-            let lo = interval.lo.max(bounds.start);
-            let hi = interval.hi.min(last);
-            if lo <= hi {
-                entries.push((lo, hi, qi));
+            if interval.lo < bounds.start || interval.lo >= bounds.end {
+                continue;
             }
+            entries.push((interval.lo, interval.hi.min(columns - 1), qi));
         }
         if entries.is_empty() {
             return response;
@@ -394,15 +400,62 @@ impl ShardedRangeBatchKernel for FloodIndex {
                 }
                 scan_ns += scan_start.elapsed().as_nanos() as u64;
             }
-            if column == last {
-                break;
-            }
+            // Advance; the sweep ends naturally when every owned request's
+            // interval is exhausted (the active set drains and no
+            // admissions remain), which may be past the shard's own end.
             column += 1;
         }
         response
             .shared
             .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
         response
+    }
+
+    /// Points per column, in grid order: the scan-work weights the engine's
+    /// work-weighted shard planner balances.
+    fn address_counts(&self) -> Option<Vec<u64>> {
+        Some(self.columns.iter().map(|c| c.len() as u64).collect())
+    }
+}
+
+/// Flood's fused point-probe kernel: the owning-page address is the grid
+/// column (the same clamped binary search the sequential probe performs,
+/// which charges nothing), so a column shared by several probes is fetched
+/// once per batch while every probe still pays its own y-run scan.
+impl PointBatchKernel for FloodIndex {
+    fn locate_probes(&self, probes: &[Point], _per_query: &mut [ExecStats]) -> Vec<u64> {
+        probes
+            .iter()
+            .map(|p| column_of(&self.boundaries, p.x) as u64)
+            .collect()
+    }
+
+    fn probe_page(
+        &self,
+        address: u64,
+        group: &[(usize, Point)],
+        response: &mut PointBatchResponse,
+    ) {
+        let points = &self.columns[address as usize];
+        for &(slot, p) in group {
+            let stats = &mut response.per_query[slot];
+            let from = points.partition_point(|q| q.y < p.y);
+            let mut found = false;
+            for q in &points[from..] {
+                if q.y > p.y {
+                    break;
+                }
+                stats.points_scanned += 1;
+                if *q == p {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                stats.results += 1;
+                response.found[slot] = true;
+            }
+        }
     }
 }
 

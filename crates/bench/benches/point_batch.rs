@@ -1,0 +1,69 @@
+//! Criterion benchmark for the fused point-probe and kNN batch kernels:
+//! a hot-key probe batch (leaf-grouped, one page visit per owning page)
+//! and a co-located kNN batch (grouped expanding-ring sweeps over the
+//! fused range kernel), each compared against the sequential per-query
+//! loop and the sharded parallel path on every kernel-backed index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wazi_bench::{build_index, IndexKind};
+use wazi_core::{BatchStrategy, QueryEngine};
+use wazi_workload::{
+    generate_dataset, generate_knn_batch, generate_point_batch, generate_queries, Region,
+    SELECTIVITIES,
+};
+
+fn strategy_label(strategy: BatchStrategy) -> String {
+    match strategy {
+        BatchStrategy::Sequential => "sequential".into(),
+        BatchStrategy::Fused => "fused".into(),
+        BatchStrategy::FusedParallel { shards } => format!("fused-parallel-{shards}"),
+    }
+}
+
+fn bench_point_and_knn_batches(c: &mut Criterion) {
+    let points = generate_dataset(Region::NewYork, 50_000);
+    let train = generate_queries(Region::NewYork, 1_000, SELECTIVITIES[3]);
+    let point_batch = generate_point_batch(Region::NewYork, 512, 11);
+    let knn_batch = generate_knn_batch(Region::NewYork, 96, 8, 13);
+
+    let mut group = c.benchmark_group("point_batch/engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for kind in [
+        IndexKind::Wazi,
+        IndexKind::Base,
+        IndexKind::Flood,
+        IndexKind::Zpgm,
+    ] {
+        let built = build_index(kind, &points, &train, 256);
+        for strategy in [
+            BatchStrategy::Sequential,
+            BatchStrategy::Fused,
+            BatchStrategy::FusedParallel { shards: 4 },
+        ] {
+            let label = strategy_label(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("points/{label}"), kind.name()),
+                &built,
+                |b, built| {
+                    let engine = QueryEngine::new(built.index.as_ref()).with_strategy(strategy);
+                    b.iter(|| std::hint::black_box(engine.execute_batch(&point_batch).unwrap()));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("knn/{label}"), kind.name()),
+                &built,
+                |b, built| {
+                    let engine = QueryEngine::new(built.index.as_ref()).with_strategy(strategy);
+                    b.iter(|| std::hint::black_box(engine.execute_batch(&knn_batch).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_and_knn_batches);
+criterion_main!(benches);

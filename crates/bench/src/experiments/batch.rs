@@ -116,9 +116,10 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
     .with_headers(&[
         "Index",
         "Strategy",
-        "Fused queries",
+        "Fused r/p/k",
         "Results",
-        "Pages scanned",
+        "Pages r/p/k",
+        "Time r/p/k",
         "Batch latency",
     ]);
     let mut scaling = Report::new(
@@ -135,57 +136,109 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "Speedup vs 1 shard",
     ]);
 
-    for &kind in &IndexKind::PRIMARY {
+    // One pass over the overview suite, each index built exactly once:
+    // OVERVIEW is PRIMARY plus Zpgm, so the primary-only tables (overlap,
+    // shard scaling) run for the PRIMARY kinds and the mixed table for all.
+    for &kind in &IndexKind::OVERVIEW {
         let built = build_index(kind, &points, &train, ctx.leaf_capacity);
         let index = built.index.as_ref();
-        let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
-        for (label, strategy) in &strategies {
-            let m = measure_warm(index, &range_batch, *strategy);
-            debug_assert_eq!(baseline.total_results, m.total_results);
-            overlap.push_row(pages_row(kind, &m, label));
+        if IndexKind::PRIMARY.contains(&kind) {
+            let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
+            for (label, strategy) in &strategies {
+                let m = measure_warm(index, &range_batch, *strategy);
+                debug_assert_eq!(baseline.total_results, m.total_results);
+                overlap.push_row(pages_row(kind, &m, label));
+            }
+
+            // Shard scaling only means something for indexes whose kernel
+            // can actually split its sweep.
+            if index
+                .range_batch_kernel()
+                .is_some_and(|k| k.sharded().is_some())
+            {
+                let mut one_shard_ns = None;
+                for shards in SHARD_SWEEP {
+                    let m = measure_warm(
+                        index,
+                        &parallel_batch,
+                        BatchStrategy::FusedParallel { shards },
+                    );
+                    let base = *one_shard_ns.get_or_insert(m.batch_latency_ns.max(1));
+                    scaling.push_row(vec![
+                        kind.name().to_string(),
+                        shards.to_string(),
+                        m.totals.pages_scanned.to_string(),
+                        m.totals.bbs_checked.to_string(),
+                        m.total_results.to_string(),
+                        format_ns(m.batch_latency_ns as f64),
+                        format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
+                    ]);
+                }
+            }
         }
 
-        let mut mixed_reference = None;
-        for (label, strategy) in strategies.iter().take(2) {
+        // The mixed batch runs on every overview index — Zpgm included,
+        // since its point and range kernels joined the fused path — and the
+        // experiment *asserts* the engine's equivalence contract on every
+        // row: fused and fused-parallel mixed execution must produce
+        // exactly the sequential loop's result counts (overall and per plan
+        // type), and the fused strategies must never scan more pages than
+        // sequential on any partition of a kernel-backed index. CI runs
+        // this experiment at 1 and 4 shards on every push, so a divergence
+        // fails the build.
+        let mut sequential_reference: Option<BatchMeasurement> = None;
+        for (label, strategy) in &strategies {
             let m = measure_warm(index, &mixed_batch, *strategy);
-            let reference = *mixed_reference.get_or_insert(m.total_results);
-            debug_assert_eq!(m.total_results, reference);
+            match &sequential_reference {
+                None => sequential_reference = Some(m),
+                Some(reference) => {
+                    assert_eq!(
+                        m.total_results, reference.total_results,
+                        "{kind}/{label}: fused mixed-batch results diverge from sequential"
+                    );
+                    for (plan, fused_kind, sequential_kind) in [
+                        ("range", &m.range_kind, &reference.range_kind),
+                        ("point", &m.point_kind, &reference.point_kind),
+                        ("knn", &m.knn_kind, &reference.knn_kind),
+                    ] {
+                        assert_eq!(
+                            fused_kind.results, sequential_kind.results,
+                            "{kind}/{label}: {plan} partition results diverge"
+                        );
+                        if index.range_batch_kernel().is_some() {
+                            assert!(
+                                fused_kind.pages_scanned <= sequential_kind.pages_scanned,
+                                "{kind}/{label}: {plan} partition pages regressed \
+                                 ({} fused vs {} sequential)",
+                                fused_kind.pages_scanned,
+                                sequential_kind.pages_scanned
+                            );
+                        }
+                    }
+                }
+            }
             mixed.push_row(vec![
                 kind.name().to_string(),
                 label.clone(),
-                m.fused_queries.to_string(),
+                format!("{}/{}/{}", m.fused_queries, m.fused_points, m.fused_knn),
                 m.total_results.to_string(),
-                m.totals.pages_scanned.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    m.range_kind.pages_scanned,
+                    m.point_kind.pages_scanned,
+                    m.knn_kind.pages_scanned
+                ),
+                format!(
+                    "{} / {} / {}",
+                    format_ns(m.range_kind.time_ns as f64),
+                    format_ns(m.point_kind.time_ns as f64),
+                    format_ns(m.knn_kind.time_ns as f64)
+                ),
                 format_ns(m.batch_latency_ns as f64),
             ]);
         }
-
-        // Shard scaling only means something for indexes whose kernel can
-        // actually split its sweep.
-        if index
-            .range_batch_kernel()
-            .is_some_and(|k| k.sharded().is_some())
-        {
-            let mut one_shard_ns = None;
-            for shards in SHARD_SWEEP {
-                let m = measure_warm(
-                    index,
-                    &parallel_batch,
-                    BatchStrategy::FusedParallel { shards },
-                );
-                let base = *one_shard_ns.get_or_insert(m.batch_latency_ns.max(1));
-                scaling.push_row(vec![
-                    kind.name().to_string(),
-                    shards.to_string(),
-                    m.totals.pages_scanned.to_string(),
-                    m.totals.bbs_checked.to_string(),
-                    m.total_results.to_string(),
-                    format_ns(m.batch_latency_ns as f64),
-                    format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
-                ]);
-            }
-        }
     }
+
     overlap.push_note(format!(
         "region {BATCH_REGION}, selectivity {:.4}%, {} queries per batch, {} points",
         BATCH_SELECTIVITY * 100.0,
@@ -198,13 +251,25 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
          without a batch kernel show identical rows for both strategies",
     );
     mixed.push_note(
-        "fused queries counts the range plans routed through the batched kernel; \
-         point and kNN plans always execute sequentially",
+        "r/p/k columns split each quantity by plan type (range / point probe / kNN); \
+         'Fused r/p/k' counts the plans routed through each fused kernel — range plans \
+         through the range kernel, point probes leaf-grouped through the point-batch \
+         kernel, kNN plans through grouped expanding-ring sweeps over the range kernel",
+    );
+    mixed.push_note(
+        "asserted per row: fused results (overall and per plan type) equal sequential, \
+         and no kernel-backed partition scans more pages fused than sequential — the \
+         point partition's fused pages drop below sequential wherever probes share \
+         owning pages",
     );
     scaling.push_note(format!(
         "{} heavily overlapping counting queries (generate_overlapping_batch), shard \
-         bounds planned work-balanced over the batch's sweep span; shards = 1 is the \
-         single-threaded fused sweep",
+         bounds planned work-weighted from per-leaf point counts over the batch's \
+         sweep span; shards = 1 is the single-threaded fused sweep. BB checks are \
+         shard-invariant (owner-based sharding executes every query's whole walk in \
+         one shard); pages may rise slightly with the shard count because a crossing \
+         query's tail refetches pages another shard also scans — still far below the \
+         sequential loop's count",
         parallel_batch.len()
     ));
     scaling.push_note(format!(
@@ -266,8 +331,11 @@ mod tests {
     }
 
     /// The parallel acceptance shape (counters only — wall-clock belongs to
-    /// the real benchmark run): every shard count returns identical
-    /// answers and point comparisons over the big overlapping batch.
+    /// the real benchmark run): every shard count returns identical answers
+    /// and point comparisons over the big overlapping batch, and — thanks
+    /// to owner-based sharding — exactly the single sweep's bounding-box
+    /// checks and skips, while page visits never exceed the sequential
+    /// loop's.
     #[test]
     fn shard_sweep_preserves_answers_on_the_overlapping_batch() {
         let ctx = ExperimentContext::smoke_test();
@@ -275,6 +343,8 @@ mod tests {
             workload_setup(&ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
         let batch = generate_overlapping_batch(BATCH_REGION, 500, BATCH_SELECTIVITY, 3);
         let built = build_index(IndexKind::Wazi, &points, &train, ctx.leaf_capacity);
+        let sequential =
+            measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Sequential);
         let mut reference: Option<(u64, ExecStats)> = None;
         for shards in SHARD_SWEEP {
             let m = measure_query_batch(
@@ -284,11 +354,18 @@ mod tests {
             );
             assert!(m.shards_used >= 1, "{shards} shards: kernel path not taken");
             assert!(m.shards_used <= shards.max(1));
+            assert!(
+                m.totals.pages_scanned <= sequential.totals.pages_scanned,
+                "{shards} shards: pages exceed the sequential loop"
+            );
             match &reference {
                 Some((results, totals)) => {
                     assert_eq!(m.total_results, *results, "{shards} shards");
                     assert_eq!(m.totals.points_scanned, totals.points_scanned);
-                    assert_eq!(m.totals.pages_scanned, totals.pages_scanned);
+                    // Owner-based sharding: every request's walk is its solo
+                    // walk, so check and skip counts are shard-invariant.
+                    assert_eq!(m.totals.bbs_checked, totals.bbs_checked);
+                    assert_eq!(m.totals.leaves_skipped, totals.leaves_skipped);
                 }
                 None => reference = Some((m.total_results, m.totals)),
             }
@@ -304,7 +381,9 @@ mod tests {
             panic!("expected three reports");
         };
         assert_eq!(overlap.rows.len(), IndexKind::PRIMARY.len() * 3);
-        assert_eq!(mixed.rows.len(), IndexKind::PRIMARY.len() * 2);
+        // The mixed table covers the whole overview suite (Zpgm included)
+        // under all three strategies.
+        assert_eq!(mixed.rows.len(), IndexKind::OVERVIEW.len() * 3);
         // Base, WaZI (both Z-indexes) and Flood have sharded kernels today;
         // the scaling table has one row per swept shard count for each.
         assert_eq!(scaling.rows.len(), 3 * SHARD_SWEEP.len());
@@ -320,5 +399,53 @@ mod tests {
                 );
             }
         }
+        // The fused mixed rows show nonzero fused point and kNN counts for
+        // every kernel-backed index of the acceptance list.
+        for kernel_backed in ["WaZI", "Base", "Flood", "Zpgm"] {
+            let row = mixed
+                .rows
+                .iter()
+                .find(|r| r[0] == kernel_backed && r[1] == "fused")
+                .unwrap_or_else(|| panic!("missing {kernel_backed}/fused mixed row"));
+            let fused_counts: Vec<u64> = row[2]
+                .split('/')
+                .map(|n| n.parse().expect("fused counts are numeric"))
+                .collect();
+            assert_eq!(fused_counts.len(), 3, "{kernel_backed}: r/p/k triple");
+            assert!(
+                fused_counts.iter().all(|&n| n > 0),
+                "{kernel_backed}: expected nonzero fused range/point/kNN counts, got {:?}",
+                fused_counts
+            );
+        }
+    }
+
+    /// The point-probe acceptance shape behind `BENCH_batch.json`: on a
+    /// probe batch with hot-key duplicates, WaZI's leaf-grouped point
+    /// kernel visits strictly fewer pages than the per-probe loop, at
+    /// identical answers.
+    #[test]
+    fn fused_point_partition_scans_fewer_pages_on_wazi() {
+        let ctx = ExperimentContext::smoke_test();
+        let (points, train, _) =
+            workload_setup(&ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
+        let batch = wazi_workload::generate_point_batch(BATCH_REGION, 400, 29);
+        let built = build_index(IndexKind::Wazi, &points, &train, ctx.leaf_capacity);
+        let sequential =
+            measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Sequential);
+        let fused = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Fused);
+        assert_eq!(fused.fused_points, batch.len());
+        assert_eq!(fused.total_results, sequential.total_results);
+        assert_eq!(fused.point_kind.results, sequential.point_kind.results);
+        assert!(
+            fused.point_kind.pages_scanned < sequential.point_kind.pages_scanned,
+            "duplicate probes must share page visits: fused {} vs sequential {}",
+            fused.point_kind.pages_scanned,
+            sequential.point_kind.pages_scanned
+        );
+        assert_eq!(
+            fused.totals.points_scanned, sequential.totals.points_scanned,
+            "fusion must not change the points compared"
+        );
     }
 }

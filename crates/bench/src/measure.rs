@@ -141,6 +141,31 @@ pub fn measure_inserts(index: &mut dyn SpatialIndex, points: &[Point]) -> Insert
     }
 }
 
+/// Work and time attributed to one plan type (range / point / kNN) of a
+/// mixed batch: the per-query counters of the type's plans plus the shared
+/// work its fused partition performed on their behalf.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanKindMeasurement {
+    /// Number of plans of this type in the batch.
+    pub queries: usize,
+    /// Pages scanned for this type (per-query plus partition-shared).
+    pub pages_scanned: u64,
+    /// Result points this type produced.
+    pub results: u64,
+    /// Instrumented projection + scan time for this type in nanoseconds
+    /// (comparable across strategies, unlike per-query wall clocks, which
+    /// the fused paths attribute to the batch as a whole).
+    pub time_ns: u64,
+}
+
+impl PlanKindMeasurement {
+    fn absorb(&mut self, stats: &ExecStats) {
+        self.pages_scanned += stats.pages_scanned;
+        self.results += stats.results;
+        self.time_ns += stats.total_ns();
+    }
+}
+
 /// Aggregate measurement of one typed query batch on one index.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchMeasurement {
@@ -148,6 +173,12 @@ pub struct BatchMeasurement {
     pub queries: usize,
     /// Number of range queries executed through the fused batch kernel.
     pub fused_queries: usize,
+    /// Number of point probes executed through the fused point-batch
+    /// kernel.
+    pub fused_points: usize,
+    /// Number of kNN plans executed through the shared expanding-ring
+    /// sweep.
+    pub fused_knn: usize,
     /// Number of sweep shards the fused kernel ran on (zero when the batch
     /// executed sequentially, one for the single-threaded fused sweep).
     pub shards_used: usize,
@@ -157,10 +188,17 @@ pub struct BatchMeasurement {
     pub total_results: u64,
     /// Merged work counters (per-query plus batch-shared work).
     pub totals: ExecStats,
+    /// Work attributed to the batch's range plans.
+    pub range_kind: PlanKindMeasurement,
+    /// Work attributed to the batch's point probes.
+    pub point_kind: PlanKindMeasurement,
+    /// Work attributed to the batch's kNN plans.
+    pub knn_kind: PlanKindMeasurement,
 }
 
 /// Executes one mixed batch through the engine under the given strategy and
-/// reduces the report to its aggregate work counters.
+/// reduces the report to its aggregate work counters, overall and per plan
+/// type.
 pub fn measure_query_batch(
     index: &dyn SpatialIndex,
     batch: &[Query],
@@ -170,13 +208,33 @@ pub fn measure_query_batch(
     let report = engine
         .execute_batch(batch)
         .expect("generated batches are valid");
+    let mut range_kind = PlanKindMeasurement::default();
+    let mut point_kind = PlanKindMeasurement::default();
+    let mut knn_kind = PlanKindMeasurement::default();
+    for (query, query_report) in batch.iter().zip(&report.reports) {
+        let kind = match query {
+            Query::Range { .. } => &mut range_kind,
+            Query::Point(_) => &mut point_kind,
+            Query::Knn { .. } => &mut knn_kind,
+        };
+        kind.queries += 1;
+        kind.absorb(&query_report.stats);
+    }
+    range_kind.absorb(&report.range_shared_stats);
+    point_kind.absorb(&report.point_shared_stats);
+    knn_kind.absorb(&report.knn_shared_stats);
     BatchMeasurement {
         queries: report.len(),
         fused_queries: report.fused_queries,
+        fused_points: report.fused_points,
+        fused_knn: report.fused_knn,
         shards_used: report.shards_used,
         batch_latency_ns: report.latency_ns,
         total_results: report.total_results(),
         totals: report.merged_stats(),
+        range_kind,
+        point_kind,
+        knn_kind,
     }
 }
 

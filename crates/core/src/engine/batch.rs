@@ -13,15 +13,17 @@
 //! On top of the plain kernel sits the *sharded* capability
 //! ([`ShardedRangeBatchKernel`]): a kernel that can split its fused sweep
 //! into two phases — projecting every request onto a one-dimensional sweep
-//! address space ([`RangeBatchKernel::project_batch`] is not a thing; see
-//! [`ShardedRangeBatchKernel::project_batch`]) and sweeping any contiguous
-//! slice of that space independently
-//! ([`ShardedRangeBatchKernel::sweep_shard`]). Because shards are disjoint
-//! slices of the address space, the engine can sweep them on worker threads
-//! and merge the partial responses deterministically
-//! ([`merge_shard_responses`]): point outputs concatenate in shard order
-//! (which is sweep order), counts and counters sum. For WaZI the address
-//! space is the leaf list; for Flood it is the column grid.
+//! address space ([`ShardedRangeBatchKernel::project_batch`]) and sweeping
+//! the requests owned by any contiguous slice of that space independently
+//! ([`ShardedRangeBatchKernel::sweep_shard`]). Ownership is by entry
+//! address: the shard containing a request's first address sweeps the
+//! request's whole interval, so every request's walk is its solo sequential
+//! walk and shards never exchange skip state. Because ownership partitions
+//! the requests, the engine can sweep shards on worker threads and merge
+//! the partial responses deterministically ([`merge_shard_responses`]):
+//! point outputs concatenate in shard order (each request's output comes
+//! wholly from its owning shard), counts and counters sum. For WaZI the
+//! address space is the leaf list; for Flood it is the column grid.
 
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
@@ -151,32 +153,109 @@ pub struct BatchProjection {
 /// concurrently against the same index).
 ///
 /// The engine drives the protocol: one [`project_batch`] call, a shard plan
-/// over the projected intervals ([`plan_shard_bounds`]), one
+/// over the projected intervals ([`plan_shard_bounds_weighted`] when the
+/// kernel exposes [`address_counts`], [`plan_shard_bounds`] otherwise), one
 /// [`sweep_shard`] call per shard (possibly concurrent), and a
-/// deterministic merge ([`merge_shard_responses`]). Shard sweeps must not
-/// depend on each other: a request whose interval crosses a shard boundary
-/// is resumed from scratch at the next shard's first address, which may
-/// cost it a bounding-box re-check a single sweep would have skipped over —
-/// answers and point comparisons are unaffected.
+/// deterministic merge ([`merge_shard_responses`]).
+///
+/// Sharding is **owner-based**: a request belongs to the one shard whose
+/// bounds contain its interval's *first* address, and that shard sweeps the
+/// request over its whole interval — intervals are never split across
+/// shards. Each request's walk is therefore exactly its solo sequential
+/// walk, look-ahead jumps included, so per-request bounding-box checks and
+/// skip counts are identical to the single fused sweep's whatever the shard
+/// count, and no skip-cursor state ever needs to be handed across a shard
+/// boundary (the zero-overhead cross-shard handoff). The price is that a
+/// page inside a crossing request's tail may be fetched by more than one
+/// shard; page visits remain bounded by the sequential loop's.
 ///
 /// [`project_batch`]: ShardedRangeBatchKernel::project_batch
 /// [`sweep_shard`]: ShardedRangeBatchKernel::sweep_shard
+/// [`address_counts`]: ShardedRangeBatchKernel::address_counts
 pub trait ShardedRangeBatchKernel: RangeBatchKernel + Sync {
     /// Maps every request onto the sweep address space, charging the
     /// projection work per request. Called once per batch, before any
     /// shard sweeps.
     fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection;
 
-    /// Runs the fused sweep restricted to `bounds`. Requests whose
-    /// intervals do not intersect the bounds contribute nothing; the
-    /// returned response holds partial outputs and counters for exactly
-    /// the work performed inside the shard.
+    /// Runs the fused sweep for every request whose interval *starts*
+    /// inside `bounds`, over the request's whole interval (owner-based
+    /// sharding — see the trait docs). Requests entering elsewhere
+    /// contribute nothing; the returned response holds outputs and counters
+    /// for exactly the requests this shard owns.
     fn sweep_shard(
         &self,
         requests: &[RangeBatchRequest],
         projection: &BatchProjection,
         bounds: ShardBounds,
     ) -> RangeBatchResponse;
+
+    /// Per-address point counts over the sweep address space (points per
+    /// leaf for the Z-index, per column for Flood), consumed by the
+    /// work-weighted shard planner ([`plan_shard_bounds_weighted`]): shards
+    /// then balance estimated *scan* work, not just interval coverage. The
+    /// default advertises nothing and the engine falls back to the
+    /// coverage-weighted planner.
+    fn address_counts(&self) -> Option<Vec<u64>> {
+        None
+    }
+}
+
+/// The hull `[lo, hi]` of a non-empty interval slice.
+fn interval_hull(intervals: &[SweepInterval]) -> Option<(u32, u32)> {
+    let first = intervals.first()?;
+    let mut lo = first.lo;
+    let mut hi = first.hi;
+    for interval in &intervals[1..] {
+        lo = lo.min(interval.lo);
+        hi = hi.max(interval.hi);
+    }
+    Some((lo, hi))
+}
+
+/// Cuts the hull `[lo, lo + weights.len())` into up to `shards` contiguous
+/// bounds so each carries roughly its fair share of the weight. Every
+/// weight must be at least one, so zero-work gaps still advance the cuts
+/// and no shard degenerates to zero width.
+///
+/// The cut decision looks one address ahead: a shard closes *before* an
+/// address whose weight would overshoot the fair share of the remaining
+/// work by more than stopping short undershoots it — so a single heavy
+/// address (a stack of walks entering one leaf) lands in the shard where it
+/// balances best instead of always being dragged into the current one.
+fn cut_balanced(lo: u32, weights: &[i64], shards: usize) -> Vec<ShardBounds> {
+    let span = weights.len();
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut carried = 0i64;
+    let mut remaining: i64 = weights.iter().sum();
+    for (position, &weight) in weights.iter().enumerate() {
+        let shards_left = shards - bounds.len();
+        // Cutting before this address must leave one address for each of
+        // the remaining shards.
+        let room_left = span - position >= shards_left - 1;
+        if shards_left > 1 && carried > 0 && room_left {
+            let target = (carried + remaining) / shards_left as i64;
+            let overshoot = carried + weight - target;
+            let undershoot = target - carried;
+            if overshoot > 0 && overshoot > undershoot {
+                bounds.push(ShardBounds {
+                    start: lo + start as u32,
+                    end: lo + position as u32,
+                });
+                start = position;
+                carried = 0;
+            }
+        }
+        carried += weight;
+        remaining -= weight;
+    }
+    bounds.push(ShardBounds {
+        start: lo + start as u32,
+        end: lo + span as u32,
+    });
+    debug_assert!(bounds.len() <= shards);
+    bounds
 }
 
 /// Plans up to `shards` disjoint, contiguous, work-balanced shard bounds
@@ -189,16 +268,15 @@ pub trait ShardedRangeBatchKernel: RangeBatchKernel + Sync {
 /// cuts (hot spans where many intervals stack are split, cold spans are
 /// merged). Returns fewer bounds than requested when the hull has fewer
 /// addresses than shards; returns an empty plan for an empty batch.
+///
+/// This is the fallback planner; when per-address point counts are
+/// available ([`ShardedRangeBatchKernel::address_counts`]) the engine uses
+/// [`plan_shard_bounds_weighted`], which balances estimated scan work
+/// rather than check work alone.
 pub fn plan_shard_bounds(intervals: &[SweepInterval], shards: usize) -> Vec<ShardBounds> {
-    let Some(first) = intervals.first() else {
+    let Some((lo, hi)) = interval_hull(intervals) else {
         return Vec::new();
     };
-    let mut lo = first.lo;
-    let mut hi = first.hi;
-    for interval in &intervals[1..] {
-        lo = lo.min(interval.lo);
-        hi = hi.max(interval.hi);
-    }
     let span = (hi - lo + 1) as usize;
     let shards = shards.clamp(1, span);
     if shards == 1 {
@@ -213,44 +291,67 @@ pub fn plan_shard_bounds(intervals: &[SweepInterval], shards: usize) -> Vec<Shar
         diff[(interval.lo - lo) as usize] += 1;
         diff[(interval.hi - lo) as usize + 1] -= 1;
     }
-    let mut total: i64 = 0;
     let mut coverage = 0i64;
     let mut weights = Vec::with_capacity(span);
     for d in &diff[..span] {
         coverage += d;
-        // Every address carries at least one unit so zero-coverage gaps
-        // still advance the cuts and no shard degenerates to zero width.
         weights.push(coverage.max(1));
-        total += coverage.max(1);
     }
-    let mut bounds = Vec::with_capacity(shards);
-    let mut start = 0usize;
-    let mut carried = 0i64;
-    let mut remaining = total;
-    for (position, &weight) in weights.iter().enumerate() {
-        carried += weight;
-        remaining -= weight;
-        let shards_left = shards - bounds.len();
-        let is_last_shard = shards_left == 1;
-        // Cut when this shard has its fair share of the remaining work and
-        // enough addresses remain to give every later shard at least one.
-        let fair = (carried * shards_left as i64) >= (carried + remaining);
-        let room_left = span - (position + 1) >= shards_left - 1;
-        if !is_last_shard && fair && room_left {
-            bounds.push(ShardBounds {
-                start: lo + start as u32,
-                end: lo + position as u32 + 1,
-            });
-            start = position + 1;
-            carried = 0;
-        }
+    cut_balanced(lo, &weights, shards)
+}
+
+/// Plans up to `shards` work-weighted shard bounds from per-address point
+/// counts ([`ShardedRangeBatchKernel::address_counts`]).
+///
+/// Under owner-based sharding a request's *whole* walk executes in the
+/// shard containing its entry address, so the planner charges each entry
+/// address the estimated cost of the walks starting there: one
+/// bounding-box check per covered address plus one point comparison per
+/// point stored under the interval (computed from a prefix sum over
+/// `counts`, so planning stays linear in requests plus addresses). Cuts
+/// then equalize estimated *scan* work per shard — a shard owning few but
+/// point-heavy intervals ends up as narrow as one owning many light
+/// intervals — where the coverage planner ([`plan_shard_bounds`]) can only
+/// equalize check work. Addresses beyond `counts` weigh zero points;
+/// returns an empty plan for an empty batch.
+pub fn plan_shard_bounds_weighted(
+    intervals: &[SweepInterval],
+    shards: usize,
+    counts: &[u64],
+) -> Vec<ShardBounds> {
+    let Some((lo, hi)) = interval_hull(intervals) else {
+        return Vec::new();
+    };
+    let span = (hi - lo + 1) as usize;
+    let shards = shards.clamp(1, span);
+    if shards == 1 {
+        return vec![ShardBounds {
+            start: lo,
+            end: hi + 1,
+        }];
     }
-    bounds.push(ShardBounds {
-        start: lo + start as u32,
-        end: hi + 1,
-    });
-    debug_assert!(bounds.len() <= shards);
-    bounds
+    // Prefix sums of the point counts over the hull: points(a..=b) =
+    // prefix[b + 1] - prefix[a], with addresses relative to `lo`.
+    let mut prefix = Vec::with_capacity(span + 1);
+    prefix.push(0u64);
+    for offset in 0..span {
+        let count = counts.get(lo as usize + offset).copied().unwrap_or(0);
+        prefix.push(prefix[offset] + count);
+    }
+    // Estimated whole-walk work of every request, charged to the address
+    // where its walk enters the sweep (owner-based sharding).
+    let mut weights = vec![0i64; span];
+    for interval in intervals {
+        let enter = (interval.lo - lo) as usize;
+        let exit = (interval.hi - lo) as usize;
+        let checks = (exit - enter + 1) as i64;
+        let scans = (prefix[exit + 1] - prefix[enter]) as i64;
+        weights[enter] += checks + scans;
+    }
+    for weight in &mut weights {
+        *weight = (*weight).max(1);
+    }
+    cut_balanced(lo, &weights, shards)
 }
 
 /// Runs a sharded kernel's full protocol as one unsharded sweep: project
@@ -280,11 +381,12 @@ pub fn run_full_sweep(
 /// Deterministically merges per-shard partial responses (in ascending shard
 /// order) with the batch's projection into one [`RangeBatchResponse`].
 ///
-/// Point outputs concatenate in shard order — shards partition the sweep
-/// address space in ascending order, so concatenation reproduces the single
-/// sweep's scan order exactly. Counts, per-query counters and shared
-/// counters sum; the projection's per-request work and wall-clock are
-/// folded in so the merged response accounts for the whole fused execution.
+/// Point outputs concatenate in shard order — under owner-based sharding a
+/// request's output is produced wholly by the one shard owning its entry
+/// address, so concatenation reproduces the single sweep's scan order
+/// exactly. Counts, per-query counters and shared counters sum; the
+/// projection's per-request work and wall-clock are folded in so the merged
+/// response accounts for the whole fused execution.
 pub fn merge_shard_responses(
     requests: &[RangeBatchRequest],
     projection: &BatchProjection,
@@ -373,6 +475,69 @@ mod tests {
             plan[0].end <= 30,
             "first cut at {} ignores the hot span",
             plan[0].end
+        );
+    }
+
+    #[test]
+    fn weighted_cuts_follow_point_counts() {
+        // Sixteen single-address intervals over [0, 15]; the first four
+        // addresses hold almost all the points. A work-weighted 2-shard
+        // plan cuts right after the heavy prefix, where a coverage plan
+        // (uniform: one interval per address) cuts at the midpoint.
+        let intervals: Vec<SweepInterval> = (0..16).map(|a| interval(a, a)).collect();
+        let mut counts = vec![1u64; 16];
+        for count in counts.iter_mut().take(4) {
+            *count = 1_000;
+        }
+        let weighted = plan_shard_bounds_weighted(&intervals, 2, &counts);
+        assert_eq!(weighted.len(), 2);
+        assert!(
+            weighted[0].end <= 5,
+            "weighted cut at {} ignores the heavy prefix",
+            weighted[0].end
+        );
+        let coverage = plan_shard_bounds(&intervals, 2);
+        assert_eq!(coverage[0].end, 8, "uniform coverage cuts at the midpoint");
+        // Both planners partition the hull without gaps.
+        for plan in [&weighted, &coverage] {
+            assert_eq!(plan.first().unwrap().start, 0);
+            assert_eq!(plan.last().unwrap().end, 16);
+            for pair in plan.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_planner_charges_whole_walks_to_the_entry_address() {
+        // One long interval entering at 0 spans the whole hull; many short
+        // intervals enter at 12. Owner-based sharding executes the long
+        // walk entirely in the shard owning address 0, so a balanced plan
+        // gives the first shard a narrow slice even though the long
+        // interval covers everything.
+        let mut intervals = vec![interval(0, 15)];
+        intervals.extend((0..10).map(|_| interval(12, 15)));
+        let counts = vec![10u64; 16];
+        let plan = plan_shard_bounds_weighted(&intervals, 2, &counts);
+        assert_eq!(plan.len(), 2);
+        assert!(
+            plan[0].end <= 12,
+            "cut at {} puts both entry hotspots in one shard",
+            plan[0].end
+        );
+    }
+
+    #[test]
+    fn weighted_planner_handles_degenerate_inputs() {
+        assert!(plan_shard_bounds_weighted(&[], 4, &[1, 2, 3]).is_empty());
+        // Counts shorter than the hull weigh the tail as zero points.
+        let plan = plan_shard_bounds_weighted(&[interval(0, 9)], 4, &[5]);
+        assert_eq!(plan.first().unwrap().start, 0);
+        assert_eq!(plan.last().unwrap().end, 10);
+        // One shard returns the hull whatever the counts.
+        assert_eq!(
+            plan_shard_bounds_weighted(&[interval(3, 9)], 1, &[]),
+            vec![ShardBounds { start: 3, end: 10 }]
         );
     }
 

@@ -13,9 +13,12 @@
 //! * [`QueryEngine::execute_batch`] answers a whole workload mix, either by
 //!   the sequential per-query loop (the default, byte- and
 //!   counter-equivalent to calling [`QueryEngine::execute`] in a loop) or,
-//!   under [`BatchStrategy::Fused`], by routing the batch's range plans
-//!   through the index's [`RangeBatchKernel`] when it has one, so pages
-//!   shared by overlapping queries are scanned once per batch.
+//!   under [`BatchStrategy::Fused`], by partitioning the batch by plan
+//!   type and routing each partition through the index's fused kernels —
+//!   range plans through the [`RangeBatchKernel`], point probes through
+//!   the [`PointBatchKernel`], kNN plans through grouped expanding-ring
+//!   sweeps — so pages shared by co-located queries are scanned once per
+//!   batch.
 //!
 //! The engine is configured builder-style and borrows the index, so it can
 //! be created per request batch without cost:
@@ -41,17 +44,22 @@
 //! ```
 
 mod batch;
+mod knn;
 mod plan;
+mod point;
 mod report;
 #[cfg(test)]
 mod tests;
 
 pub use batch::{
-    merge_shard_responses, plan_shard_bounds, run_full_sweep, BatchProjection, RangeBatchKernel,
-    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel,
-    SweepInterval,
+    merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted, run_full_sweep,
+    BatchProjection, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse,
+    ShardBounds, ShardedRangeBatchKernel, SweepInterval,
 };
+pub use knn::{group_knn_plans, run_knn_batch, KnnBatchResponse};
+pub(crate) use knn::{run_knn_batch_with, KnnSweepState};
 pub use plan::{Query, QueryOutput, RangeMode};
+pub use point::{run_point_batch, PointBatchKernel, PointBatchResponse};
 pub use report::{BatchReport, QueryReport};
 
 use crate::index::{IndexError, SpatialIndex};
@@ -122,19 +130,28 @@ pub enum BatchStrategy {
     /// [`QueryEngine::execute`] loop.
     #[default]
     Sequential,
-    /// Route the batch's range plans through the index's
-    /// [`RangeBatchKernel`] when it advertises one
-    /// ([`SpatialIndex::range_batch_kernel`]), falling back to the
-    /// sequential loop otherwise. Answers are identical to
-    /// [`BatchStrategy::Sequential`]; pages relevant to several queries are
-    /// scanned once per batch instead of once per query, and per-query
-    /// bounding-box checks never exceed the sequential walk's.
+    /// Partition the batch by plan type and route every partition through
+    /// the matching fused kernel the index advertises: range plans through
+    /// the [`RangeBatchKernel`] ([`SpatialIndex::range_batch_kernel`]),
+    /// point probes through the [`PointBatchKernel`]
+    /// ([`SpatialIndex::point_batch_kernel`]), kNN plans through grouped
+    /// expanding-ring sweeps reusing the range kernel per ring. Partitions
+    /// without a kernel fall back to the sequential loop. Answers are
+    /// identical to [`BatchStrategy::Sequential`]; pages relevant to
+    /// several queries are scanned once per batch (per ring for kNN)
+    /// instead of once per query, and per-query bounding-box checks never
+    /// exceed the sequential walk's.
     Fused,
-    /// Like [`BatchStrategy::Fused`], but the fused sweep is split into up
-    /// to `shards` disjoint slices of the index's sweep address space
-    /// (leaf intervals for the Z-index) and swept on scoped worker
-    /// threads, one per shard. Shard bounds are planned work-balanced from
-    /// the batch's projected intervals; partial results merge
+    /// Like [`BatchStrategy::Fused`], but fused range sweeps — the range
+    /// partition's single sweep and every kNN ring — are split into up to
+    /// `shards` disjoint slices of the index's sweep address space (leaf
+    /// intervals for the Z-index) and swept on scoped worker threads, one
+    /// per shard. Each request is owned by the shard containing its entry
+    /// address and swept over its whole interval there, so per-request
+    /// walks (bounding-box checks, look-ahead skips) are identical to the
+    /// single sweep's; shard bounds are planned work-weighted from the
+    /// batch's projected intervals and the index's per-leaf point counts
+    /// ([`ShardedRangeBatchKernel::address_counts`]); partial results merge
     /// deterministically in sweep order, so outputs are bit-identical to
     /// the other strategies regardless of thread scheduling. Falls back to
     /// [`BatchStrategy::Fused`] when the index has no sharded kernel
@@ -239,22 +256,42 @@ impl<'a> QueryEngine<'a> {
     ///
     /// Every plan is validated before anything executes, so an invalid
     /// query rejects the whole batch without partial work.
+    ///
+    /// Under the fused strategies the batch is partitioned by plan type and
+    /// each partition with at least two members routes through the matching
+    /// kernel when the index has one: range plans through the
+    /// [`RangeBatchKernel`], point probes through the [`PointBatchKernel`],
+    /// kNN plans through the shared expanding-ring sweep (which reuses the
+    /// range kernel per ring). Partitions without a kernel — and leftover
+    /// single plans — run sequentially; answers are identical either way.
     pub fn execute_batch(&self, queries: &[Query]) -> Result<BatchReport, EngineError> {
         for query in queries {
             query.validate()?;
         }
         let start = Instant::now();
-        let kernel = match self.strategy {
-            BatchStrategy::Fused | BatchStrategy::FusedParallel { .. } => {
-                self.index.range_batch_kernel()
-            }
-            BatchStrategy::Sequential => None,
+        let (kernel, point_kernel) = match self.strategy {
+            BatchStrategy::Fused | BatchStrategy::FusedParallel { .. } => (
+                self.index.range_batch_kernel(),
+                self.index.point_batch_kernel(),
+            ),
+            BatchStrategy::Sequential => (None, None),
         };
-        let mut report = match kernel {
-            Some(kernel) if queries.iter().filter(|q| q.is_range()).count() >= 2 => {
-                self.execute_batch_fused(queries, kernel)?
+        let mut ranges = 0usize;
+        let mut points = 0usize;
+        let mut knns = 0usize;
+        for query in queries {
+            match query {
+                Query::Range { .. } => ranges += 1,
+                Query::Point(_) => points += 1,
+                Query::Knn { .. } => knns += 1,
             }
-            _ => self.execute_batch_sequential(queries)?,
+        }
+        let fusable = (kernel.is_some() && (ranges >= 2 || knns >= 2))
+            || (point_kernel.is_some() && points >= 2);
+        let mut report = if fusable {
+            self.execute_batch_fused(queries, kernel, point_kernel)?
+        } else {
+            self.execute_batch_sequential(queries)?
         };
         report.latency_ns = start.elapsed().as_nanos() as u64;
         Ok(report)
@@ -268,80 +305,186 @@ impl<'a> QueryEngine<'a> {
         Ok(BatchReport {
             reports,
             shared_stats: ExecStats::default(),
+            range_shared_stats: ExecStats::default(),
+            point_shared_stats: ExecStats::default(),
+            knn_shared_stats: ExecStats::default(),
             latency_ns: 0,
             fused_queries: 0,
+            fused_points: 0,
+            fused_knn: 0,
             shards_used: 0,
         })
     }
 
-    /// The fused path: range plans go through the kernel in one pass
-    /// (sharded onto worker threads under
-    /// [`BatchStrategy::FusedParallel`]), everything else runs
-    /// sequentially, and the answers are reassembled into input order.
+    /// The fused path: the batch is partitioned by plan type and every
+    /// partition with at least two members and a kernel executes fused —
+    /// range plans in one sweep (sharded onto worker threads under
+    /// [`BatchStrategy::FusedParallel`]), point probes leaf-grouped with
+    /// one page visit per group, kNN plans through grouped expanding-ring
+    /// sweeps whose rings reuse the range kernel (sharded rings under the
+    /// parallel strategy). Everything else runs sequentially, and the
+    /// answers are reassembled into input order.
     fn execute_batch_fused(
         &self,
         queries: &[Query],
-        kernel: &dyn RangeBatchKernel,
+        kernel: Option<&dyn RangeBatchKernel>,
+        point_kernel: Option<&dyn PointBatchKernel>,
     ) -> Result<BatchReport, EngineError> {
-        let mut range_positions = Vec::new();
-        let mut requests = Vec::new();
-        for (i, query) in queries.iter().enumerate() {
-            if let Query::Range { rect, mode } = query {
-                range_positions.push(i);
-                requests.push(RangeBatchRequest {
-                    rect: *rect,
-                    collect: *mode == RangeMode::Collect,
-                });
-            }
-        }
-        let sharded = match self.strategy {
-            BatchStrategy::FusedParallel { shards } if shards > 1 => {
-                kernel.sharded().map(|sharded| (sharded, shards))
-            }
-            _ => None,
+        let shards = match self.strategy {
+            BatchStrategy::FusedParallel { shards } if shards > 1 => shards,
+            _ => 1,
         };
-        let (response, shards_used) = match sharded {
-            Some((sharded, shards)) => Self::run_sharded_batch(sharded, &requests, shards),
-            None => (kernel.run_range_batch(&requests), 1),
-        };
-        debug_assert_eq!(response.outputs.len(), requests.len());
-        debug_assert_eq!(response.per_query.len(), requests.len());
-
         let mut slots: Vec<Option<QueryReport>> = (0..queries.len()).map(|_| None).collect();
-        for ((&position, output), stats) in range_positions
-            .iter()
-            .zip(response.outputs)
-            .zip(response.per_query)
-        {
-            let mode = match &queries[position] {
-                Query::Range { mode, .. } => *mode,
-                _ => unreachable!("range positions only index range plans"),
-            };
-            let output = match (output, mode) {
-                (RangeBatchOutput::Points(points), _) => QueryOutput::Points(points),
-                (RangeBatchOutput::Count(n), RangeMode::Stream) => QueryOutput::Streamed(n),
-                (RangeBatchOutput::Count(n), _) => QueryOutput::Count(n),
-            };
-            slots[position] = Some(QueryReport {
-                output,
-                stats,
-                latency_ns: 0,
-            });
+        let mut shards_used = 0usize;
+
+        // Range partition: one fused sweep for every range plan.
+        let mut range_shared = ExecStats::default();
+        let mut fused_queries = 0usize;
+        if let Some(kernel) = kernel {
+            let mut range_positions = Vec::new();
+            let mut requests = Vec::new();
+            for (i, query) in queries.iter().enumerate() {
+                if let Query::Range { rect, mode } = query {
+                    range_positions.push(i);
+                    requests.push(RangeBatchRequest {
+                        rect: *rect,
+                        collect: *mode == RangeMode::Collect,
+                    });
+                }
+            }
+            if requests.len() >= 2 {
+                let sharded = if shards > 1 { kernel.sharded() } else { None };
+                let (response, used) = match sharded {
+                    Some(sharded) => Self::run_sharded_batch(sharded, &requests, shards),
+                    None => (kernel.run_range_batch(&requests), 1),
+                };
+                debug_assert_eq!(response.outputs.len(), requests.len());
+                debug_assert_eq!(response.per_query.len(), requests.len());
+                for ((&position, output), stats) in range_positions
+                    .iter()
+                    .zip(response.outputs)
+                    .zip(response.per_query)
+                {
+                    let mode = match &queries[position] {
+                        Query::Range { mode, .. } => *mode,
+                        _ => unreachable!("range positions only index range plans"),
+                    };
+                    let output = match (output, mode) {
+                        (RangeBatchOutput::Points(points), _) => QueryOutput::Points(points),
+                        (RangeBatchOutput::Count(n), RangeMode::Stream) => QueryOutput::Streamed(n),
+                        (RangeBatchOutput::Count(n), _) => QueryOutput::Count(n),
+                    };
+                    slots[position] = Some(QueryReport {
+                        output,
+                        stats,
+                        latency_ns: 0,
+                    });
+                }
+                range_shared = response.shared;
+                fused_queries = range_positions.len();
+                shards_used = shards_used.max(used);
+            }
         }
+
+        // Point partition: probes grouped by owning page, one visit per
+        // group (`run_point_batch`'s sorted pass owns the grouping).
+        let mut point_shared = ExecStats::default();
+        let mut fused_points = 0usize;
+        if let Some(point_kernel) = point_kernel {
+            let mut point_positions = Vec::new();
+            let mut probes = Vec::new();
+            for (i, query) in queries.iter().enumerate() {
+                if let Query::Point(p) = query {
+                    point_positions.push(i);
+                    probes.push(*p);
+                }
+            }
+            if probes.len() >= 2 {
+                let response = run_point_batch(point_kernel, &probes);
+                for ((&position, found), stats) in point_positions
+                    .iter()
+                    .zip(response.found)
+                    .zip(response.per_query)
+                {
+                    slots[position] = Some(QueryReport {
+                        output: QueryOutput::Found(found),
+                        stats,
+                        latency_ns: 0,
+                    });
+                }
+                point_shared = response.shared;
+                fused_points = point_positions.len();
+                shards_used = shards_used.max(1);
+            }
+        }
+
+        // kNN partition: plans grouped by seed-box overlap, each group
+        // driven through a shared expanding-ring sweep whose rings execute
+        // as fused range batches (sharded rings under the parallel
+        // strategy).
+        let mut knn_shared = ExecStats::default();
+        let mut fused_knn = 0usize;
+        if let Some(kernel) = kernel {
+            let mut knn_positions = Vec::new();
+            let mut plans = Vec::new();
+            for (i, query) in queries.iter().enumerate() {
+                if let Query::Knn { q, k } = query {
+                    knn_positions.push(i);
+                    plans.push((*q, *k));
+                }
+            }
+            if plans.len() >= 2 {
+                let sharded = if shards > 1 { kernel.sharded() } else { None };
+                let mut ring_shards_used = 1usize;
+                let mut run_ring = |requests: &[RangeBatchRequest]| match sharded {
+                    Some(sharded) => {
+                        let (response, used) = Self::run_sharded_batch(sharded, requests, shards);
+                        ring_shards_used = ring_shards_used.max(used);
+                        response
+                    }
+                    None => kernel.run_range_batch(requests),
+                };
+                let response = run_knn_batch_with(self.index, &plans, &mut run_ring);
+                for ((&position, neighbors), stats) in knn_positions
+                    .iter()
+                    .zip(response.neighbors)
+                    .zip(response.per_query)
+                {
+                    slots[position] = Some(QueryReport {
+                        output: QueryOutput::Neighbors(neighbors),
+                        stats,
+                        latency_ns: 0,
+                    });
+                }
+                knn_shared = response.shared;
+                fused_knn = knn_positions.len();
+                shards_used = shards_used.max(ring_shards_used);
+            }
+        }
+
+        // Leftovers — partitions without a kernel, single-plan partitions —
+        // run sequentially in place.
         for (slot, query) in slots.iter_mut().zip(queries) {
             if slot.is_none() {
                 *slot = Some(self.execute(query)?);
             }
         }
-        let fused_queries = range_positions.len();
+        let mut shared_stats = range_shared;
+        shared_stats.merge(&point_shared);
+        shared_stats.merge(&knn_shared);
         Ok(BatchReport {
             reports: slots
                 .into_iter()
                 .map(|s| s.expect("every slot filled above"))
                 .collect(),
-            shared_stats: response.shared,
+            shared_stats,
+            range_shared_stats: range_shared,
+            point_shared_stats: point_shared,
+            knn_shared_stats: knn_shared,
             latency_ns: 0,
             fused_queries,
+            fused_points,
+            fused_knn,
             shards_used,
         })
     }
@@ -373,7 +516,12 @@ impl<'a> QueryEngine<'a> {
     ) -> (RangeBatchResponse, usize) {
         let projection = sharded.project_batch(requests);
         debug_assert_eq!(projection.intervals.len(), requests.len());
-        let plan = plan_shard_bounds(&projection.intervals, shards);
+        // Work-weighted planning when the kernel exposes per-address point
+        // counts; interval-coverage balancing otherwise.
+        let plan = match sharded.address_counts() {
+            Some(counts) => plan_shard_bounds_weighted(&projection.intervals, shards, &counts),
+            None => plan_shard_bounds(&projection.intervals, shards),
+        };
         let workers = std::thread::available_parallelism()
             .map_or(1, |n| n.get())
             .min(plan.len());

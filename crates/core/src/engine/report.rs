@@ -24,24 +24,46 @@ pub struct QueryReport {
 /// Per-query answers keep their input order regardless of how the engine
 /// scheduled them internally. Work accounting is split into two levels:
 /// every report carries the counters attributable to its own query, while
-/// `shared_stats` holds work the fused kernel performed once on behalf of
-/// several queries (page visits of shared pages, batch-level skipping). On
-/// the sequential path `shared_stats` is zero and [`BatchReport::merged_stats`]
-/// equals the merge of the per-query stats.
+/// `shared_stats` holds work the fused kernels performed once on behalf of
+/// several queries (page visits of shared pages, batch-level skipping). The
+/// engine partitions a fused batch by plan type — range plans through the
+/// [`crate::RangeBatchKernel`], point probes through the
+/// [`crate::PointBatchKernel`], kNN plans through the shared expanding-ring
+/// sweep — so the shared work is also broken down per partition
+/// (`range_shared_stats` / `point_shared_stats` / `knn_shared_stats`, whose
+/// merge equals `shared_stats`). On the sequential path every shared field
+/// is zero and [`BatchReport::merged_stats`] equals the merge of the
+/// per-query stats.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
     /// One report per input query, in input order.
     pub reports: Vec<QueryReport>,
     /// Work charged to the batch as a whole rather than to any single query
-    /// (only the fused kernel produces nonzero shared stats).
+    /// (only the fused kernels produce nonzero shared stats); the merge of
+    /// the three per-partition shared fields below.
     pub shared_stats: ExecStats,
+    /// Shared work of the fused range partition (one sweep serving every
+    /// fused range plan).
+    pub range_shared_stats: ExecStats,
+    /// Shared work of the fused point-probe partition (each owning page
+    /// fetched once per batch, however many probes share it).
+    pub point_shared_stats: ExecStats,
+    /// Shared work of the fused kNN partition (each candidate page scanned
+    /// once per expanding ring, however many plans share it).
+    pub knn_shared_stats: ExecStats,
     /// Wall-clock latency of the whole batch in nanoseconds.
     pub latency_ns: u64,
     /// Number of range queries that were executed through the fused
     /// batch kernel (zero on the sequential path).
     pub fused_queries: usize,
-    /// Number of disjoint sweep shards the fused kernel ran on (zero on
-    /// the sequential path, one for the single-threaded fused sweep,
+    /// Number of point probes that were executed through the fused
+    /// point-batch kernel (zero on the sequential path).
+    pub fused_points: usize,
+    /// Number of kNN plans that were executed through the shared
+    /// expanding-ring sweep (zero on the sequential path).
+    pub fused_knn: usize,
+    /// Number of disjoint sweep shards the fused range kernel ran on (zero
+    /// on the sequential path, one for the single-threaded fused sweep,
     /// the planned shard count under
     /// [`crate::BatchStrategy::FusedParallel`]).
     pub shards_used: usize,
@@ -73,6 +95,11 @@ impl BatchReport {
     /// Total result points across the batch.
     pub fn total_results(&self) -> u64 {
         self.reports.iter().map(|r| r.output.result_count()).sum()
+    }
+
+    /// Total queries (of any plan type) executed through a fused kernel.
+    pub fn total_fused(&self) -> usize {
+        self.fused_queries + self.fused_points + self.fused_knn
     }
 
     /// Total bounding boxes checked while executing the batch, per-query
@@ -108,18 +135,32 @@ mod tests {
 
     #[test]
     fn merged_stats_include_shared_work() {
+        let range_shared = ExecStats {
+            pages_scanned: 3,
+            ..Default::default()
+        };
+        let point_shared = ExecStats {
+            pages_scanned: 1,
+            ..Default::default()
+        };
         let batch = BatchReport {
             reports: vec![report(3, 2), report(5, 1)],
             shared_stats: ExecStats {
                 pages_scanned: 4,
                 ..Default::default()
             },
+            range_shared_stats: range_shared,
+            point_shared_stats: point_shared,
+            knn_shared_stats: ExecStats::default(),
             latency_ns: 100,
             fused_queries: 2,
+            fused_points: 1,
+            fused_knn: 0,
             shards_used: 1,
         };
         assert_eq!(batch.len(), 2);
         assert!(!batch.is_empty());
+        assert_eq!(batch.total_fused(), 3);
         let merged = batch.merged_stats();
         assert_eq!(merged.pages_scanned, 7);
         assert_eq!(merged.results, 8);

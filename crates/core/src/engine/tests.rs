@@ -414,31 +414,38 @@ fn fused_parallel_matches_sequential_for_every_shard_count() {
     }
 }
 
-/// Shard boundaries may force a request to re-check one bounding box per
-/// crossed shard (a skip cannot jump between workers), but never to
-/// re-scan points: parallel BB checks are bounded by the single sweep's
-/// plus one per query per extra shard.
+/// Owner-based sharding is a zero-overhead handoff: a request's whole walk
+/// executes in the shard owning its entry leaf, so parallel BB checks and
+/// skips equal the single fused sweep's — which equals the sequential
+/// loop's — exactly, for every shard count. No re-check is ever paid at a
+/// shard boundary.
 #[test]
-fn fused_parallel_bb_overhead_is_bounded_by_shard_crossings() {
+fn fused_parallel_bb_checks_equal_the_single_sweep() {
     let index = wazi_index();
     let batch: Vec<Query> = overlapping_rects()
         .into_iter()
         .map(Query::range_count)
         .collect();
+    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
     let fused = QueryEngine::new(&index)
         .with_strategy(BatchStrategy::Fused)
         .execute_batch(&batch)
         .unwrap();
+    assert_eq!(fused.bbs_checked(), sequential.bbs_checked());
     for shards in [2, 4, 8] {
         let parallel = QueryEngine::new(&index)
             .with_strategy(BatchStrategy::FusedParallel { shards })
             .execute_batch(&batch)
             .unwrap();
-        let bound = fused.bbs_checked() + (batch.len() * (parallel.shards_used - 1)) as u64;
-        assert!(
-            parallel.bbs_checked() <= bound,
-            "{shards} shards: {} bbs exceeds bound {bound}",
-            parallel.bbs_checked()
+        assert_eq!(
+            parallel.bbs_checked(),
+            sequential.bbs_checked(),
+            "{shards} shards: sharding must not add bounding-box checks"
+        );
+        assert_eq!(
+            parallel.merged_stats().leaves_skipped,
+            sequential.merged_stats().leaves_skipped,
+            "{shards} shards: sharding must not change skip counts"
         );
     }
 }
@@ -518,8 +525,12 @@ fn fused_parallel_falls_back_without_a_kernel() {
 
 /// Driving the sharded kernel by hand: any disjoint partition of the
 /// projected span, swept in any order and merged in shard order,
-/// reproduces the single fused sweep bit for bit (outputs *and* shared
-/// page accounting).
+/// reproduces the single fused sweep's outputs and per-request walks bit
+/// for bit. A request lives wholly in the shard owning its entry leaf, so
+/// per-request counters — bounding-box checks and skips included — are
+/// partition-invariant; only the shared page count may rise (a crossing
+/// request's tail can refetch a page another shard also scans), bounded by
+/// once per shard.
 #[test]
 fn manual_shard_partition_reproduces_the_full_sweep() {
     use crate::engine::{
@@ -550,14 +561,21 @@ fn manual_shard_partition_reproduces_the_full_sweep() {
         partials.reverse();
         let merged = merge_shard_responses(&requests, &projection, partials);
         assert_eq!(merged.outputs, single.outputs, "{shards} shards");
-        assert_eq!(
-            merged.shared.pages_scanned, single.shared.pages_scanned,
-            "{shards} shards: a page lives in exactly one shard"
+        assert!(
+            merged.shared.pages_scanned >= single.shared.pages_scanned
+                && merged.shared.pages_scanned <= single.shared.pages_scanned * plan.len() as u64,
+            "{shards} shards: {} shared pages vs single {}",
+            merged.shared.pages_scanned,
+            single.shared.pages_scanned
         );
         for (m, s) in merged.per_query.iter().zip(&single.per_query) {
             assert_eq!(m.points_scanned, s.points_scanned);
             assert_eq!(m.results, s.results);
             assert_eq!(m.nodes_visited, s.nodes_visited);
+            // The walk itself is partition-invariant under owner-based
+            // sharding.
+            assert_eq!(m.bbs_checked, s.bbs_checked);
+            assert_eq!(m.leaves_skipped, s.leaves_skipped);
         }
     }
 }
@@ -600,6 +618,128 @@ fn threaded_fan_out_matches_inline_sweeps() {
                 assert_eq!(a.results, b.results);
             }
         }
+    }
+}
+
+/// The fused point-probe partition: answers and per-probe counters equal
+/// the sequential loop's, while probes sharing an owning leaf share one
+/// page visit — merged page visits drop strictly below the sequential
+/// loop's on a batch with duplicate probes.
+#[test]
+fn fused_point_batch_matches_sequential_and_shares_pages() {
+    let index = wazi_index();
+    let points = dataset();
+    let mut batch = vec![
+        Query::point(points[0]),
+        Query::point(points[1]),
+        Query::point(points[0]),                // duplicate probe
+        Query::point(Point::new(0.987, 0.003)), // miss inside the space
+        Query::point(Point::new(12.5, -3.0)),   // far outside the data
+        Query::point(points[0]),                // triplicate probe
+    ];
+    // A run of probes inside one hot page.
+    for p in points.iter().take(8) {
+        batch.push(Query::point(*p));
+    }
+    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let fused = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Fused)
+        .execute_batch(&batch)
+        .unwrap();
+    assert_eq!(fused.fused_points, batch.len());
+    assert_eq!(fused.fused_queries, 0);
+    for (i, (f, s)) in fused.reports.iter().zip(&sequential.reports).enumerate() {
+        assert_eq!(f.output, s.output, "probe {i} answer differs");
+        assert_eq!(f.stats.points_scanned, s.stats.points_scanned, "probe {i}");
+        assert_eq!(f.stats.nodes_visited, s.stats.nodes_visited, "probe {i}");
+        assert_eq!(f.stats.results, s.stats.results, "probe {i}");
+    }
+    assert!(
+        fused.merged_stats().pages_scanned < sequential.merged_stats().pages_scanned,
+        "duplicate probes must share page visits: fused {} vs sequential {}",
+        fused.merged_stats().pages_scanned,
+        sequential.merged_stats().pages_scanned
+    );
+    assert_eq!(
+        fused.point_shared_stats.pages_scanned,
+        fused.merged_stats().pages_scanned
+            - fused
+                .reports
+                .iter()
+                .map(|r| r.stats.pages_scanned)
+                .sum::<u64>()
+    );
+}
+
+/// The fused kNN partition: co-located plans driven through the shared
+/// expanding-ring sweep answer bit-identically to the sequential doubling
+/// loops, at no more page visits, with candidate pages shared per ring.
+#[test]
+fn fused_knn_batch_matches_sequential() {
+    let index = wazi_index();
+    let batch = vec![
+        Query::knn(Point::new(0.10, 0.10), 5),
+        Query::knn(Point::new(0.11, 0.12), 5),
+        Query::knn(Point::new(0.12, 0.09), 3),
+        Query::knn(Point::new(0.50, 0.50), 0), // trivial: k = 0
+        Query::knn(Point::new(5.0, -2.0), 2),  // far outside the data
+        Query::knn(Point::new(0.13, 0.11), 4),
+    ];
+    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let fused = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Fused)
+        .execute_batch(&batch)
+        .unwrap();
+    assert_eq!(fused.fused_knn, batch.len());
+    for (i, (f, s)) in fused.reports.iter().zip(&sequential.reports).enumerate() {
+        assert_eq!(f.output, s.output, "kNN plan {i} answer differs");
+    }
+    assert_eq!(
+        fused.merged_stats().results,
+        sequential.merged_stats().results
+    );
+    assert!(
+        fused.merged_stats().pages_scanned <= sequential.merged_stats().pages_scanned,
+        "ring sharing must not add page visits"
+    );
+    assert!(
+        fused.knn_shared_stats.pages_scanned > 0,
+        "co-located plans must share ring page visits"
+    );
+}
+
+/// A mixed batch routes every partition through its kernel and reports the
+/// per-plan-type fused counts; the partition shared stats sum to the
+/// batch's total shared stats.
+#[test]
+fn mixed_fused_batch_reports_per_partition_counts() {
+    let index = wazi_index();
+    let mut batch: Vec<Query> = overlapping_rects()
+        .into_iter()
+        .map(Query::range_count)
+        .collect();
+    let probes = dataset();
+    batch.push(Query::point(probes[10]));
+    batch.push(Query::point(probes[10]));
+    batch.push(Query::knn(Point::new(0.2, 0.2), 4));
+    batch.push(Query::knn(Point::new(0.21, 0.2), 4));
+    let ranges = batch.len() - 4;
+    for strategy in [
+        BatchStrategy::Fused,
+        BatchStrategy::FusedParallel { shards: 4 },
+    ] {
+        let report = QueryEngine::new(&index)
+            .with_strategy(strategy)
+            .execute_batch(&batch)
+            .unwrap();
+        assert_eq!(report.fused_queries, ranges, "{strategy:?}");
+        assert_eq!(report.fused_points, 2, "{strategy:?}");
+        assert_eq!(report.fused_knn, 2, "{strategy:?}");
+        assert_eq!(report.total_fused(), ranges + 4);
+        let mut partitions = report.range_shared_stats;
+        partitions.merge(&report.point_shared_stats);
+        partitions.merge(&report.knn_shared_stats);
+        assert_eq!(partitions, report.shared_stats, "{strategy:?}");
     }
 }
 

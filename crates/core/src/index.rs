@@ -1,6 +1,6 @@
 //! The `SpatialIndex` trait implemented by every index in the evaluation.
 
-use crate::engine::RangeBatchKernel;
+use crate::engine::{PointBatchKernel, RangeBatchKernel};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
@@ -132,6 +132,16 @@ pub trait SpatialIndex {
     fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
         None
     }
+
+    /// Fused batch-point-probe capability hook for the query engine.
+    ///
+    /// Indexes that can answer many exact-match probes in one leaf-grouped
+    /// pass (probes grouped by owning page, each page fetched once per
+    /// batch) return themselves here; the default advertises nothing, and
+    /// the engine's fused strategies fall back to per-probe execution.
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        None
+    }
 }
 
 /// kNN by repeated range queries with a doubling search radius.
@@ -139,56 +149,32 @@ pub trait SpatialIndex {
 /// A candidate set found within radius `r` is only final once the k-th
 /// nearest candidate lies within `r` — or once the search box covers the
 /// index's [`SpatialIndex::data_bounds`], in which case no point can hide
-/// outside it. Clamping the final sweep to the data bounds (rather than an
-/// unbounded rectangle) keeps the coordinates finite and inside the range
-/// every index's coordinate mapping was built for.
+/// outside it (the sweep is then clamped to the bounds themselves, keeping
+/// the coordinates finite and inside the range every index's coordinate
+/// mapping was built for). The initial radius assumes a roughly uniform
+/// density over the data bounds, so the first box is expected to hold about
+/// `k` points whatever the dataset's extent.
+///
+/// The per-round geometry and termination tests live in
+/// [`crate::engine::KnnSweepState`], which the engine's fused kNN batch path
+/// shares verbatim — the two paths answer bit-identically by construction.
 pub(crate) fn knn_by_range_queries<I: SpatialIndex + ?Sized>(
     index: &I,
     q: &Point,
     k: usize,
     stats: &mut ExecStats,
 ) -> Vec<Point> {
-    if k == 0 || index.is_empty() {
+    let Some(mut state) =
+        crate::engine::KnnSweepState::new(*q, k, index.len(), index.data_bounds())
+    else {
         return Vec::new();
-    }
-    let k = k.min(index.len());
-    let bounds = index.data_bounds();
-    // Initial radius guess: assume a roughly uniform density over the
-    // *actual* data bounds, so that the first box is expected to contain
-    // about k points whatever the dataset's extent. (Guessing against a
-    // unit square mis-sizes the first box on non-unit datasets and wastes
-    // doubling rounds.) Degenerate bounds — a single point, collinear data —
-    // have zero area; the tiny floor radius keeps the loop progressing and
-    // the doubling converges as before.
-    let area = bounds.area();
-    let mut radius = if area.is_finite() && area > 0.0 {
-        (k as f64 * area / index.len().max(1) as f64).sqrt()
-    } else {
-        0.0
-    }
-    .max(1e-6);
+    };
     loop {
-        let query = Rect::from_coords(q.x - radius, q.y - radius, q.x + radius, q.y + radius);
-        // Once the search box swallows the data bounds, clamp the sweep to
-        // the bounds themselves: the query coordinates stay finite and the
-        // result is provably complete. An index reporting empty bounds for
-        // non-empty data is treated as fully covered to guarantee
-        // termination.
-        let covers_everything = bounds.is_empty() || query.contains_rect(&bounds);
-        let sweep = if covers_everything { bounds } else { query };
-        let mut candidates = index.range_query(&sweep, stats);
-        if covers_everything || candidates.len() >= k {
-            candidates.sort_by(|a, b| a.distance_squared(q).total_cmp(&b.distance_squared(q)));
-            candidates.truncate(k);
-            if covers_everything {
-                return candidates;
-            }
-            let kth = candidates[k - 1].distance(q);
-            if kth <= radius {
-                return candidates;
-            }
+        let (sweep, covers_everything) = state.sweep();
+        let candidates = index.range_query(&sweep, stats);
+        if let Some(neighbors) = state.absorb(covers_everything, candidates) {
+            return neighbors;
         }
-        radius *= 2.0;
     }
 }
 

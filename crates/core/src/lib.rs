@@ -61,10 +61,11 @@ mod zindex;
 pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
 pub use engine::{
-    merge_shard_responses, plan_shard_bounds, run_full_sweep, BatchProjection, BatchReport,
-    BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, QueryReport, RangeBatchKernel,
-    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, RangeMode, ShardBounds,
-    ShardedRangeBatchKernel, SweepInterval,
+    group_knn_plans, merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted,
+    run_full_sweep, run_knn_batch, run_point_batch, BatchProjection, BatchReport, BatchStrategy,
+    EngineError, KnnBatchResponse, PointBatchKernel, PointBatchResponse, Query, QueryEngine,
+    QueryOutput, QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
+    RangeBatchResponse, RangeMode, ShardBounds, ShardedRangeBatchKernel, SweepInterval,
 };
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};

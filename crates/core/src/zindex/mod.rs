@@ -20,7 +20,7 @@ mod update;
 
 use crate::build::BuildReport;
 use crate::config::ZIndexConfig;
-use crate::engine::RangeBatchKernel;
+use crate::engine::{PointBatchKernel, RangeBatchKernel};
 use crate::index::{IndexError, SpatialIndex};
 use crate::node::{InternalNode, Leaf, NodeRef};
 use wazi_geom::{Point, Rect};
@@ -139,5 +139,13 @@ impl SpatialIndex for ZIndex {
 
     fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
         Some(self)
+    }
+
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        if self.leaves.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
     }
 }

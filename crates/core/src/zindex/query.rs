@@ -17,8 +17,9 @@
 
 use super::ZIndex;
 use crate::engine::{
-    run_full_sweep, BatchProjection, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
-    RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel, SweepInterval,
+    run_full_sweep, BatchProjection, PointBatchKernel, PointBatchResponse, RangeBatchKernel,
+    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel,
+    SweepInterval,
 };
 use crate::node::{NodeRef, LOOKAHEAD_END};
 use std::cmp::Reverse;
@@ -69,17 +70,25 @@ impl ShardedRangeBatchKernel for ZIndex {
         }
     }
 
-    /// The fused sweep over one contiguous slice of the leaf list.
+    /// The fused sweep for the requests owned by one shard.
     ///
-    /// The sweep maintains the batch's active set *incrementally*: requests
+    /// Ownership is by entry leaf: the shard whose bounds contain a
+    /// request's `interval.lo` sweeps the request over its **whole**
+    /// interval — intervals never split across shards, so each request's
+    /// walk is its solo sequential walk, look-ahead jumps included, and no
+    /// skip-cursor state is ever handed across a shard boundary (the
+    /// zero-overhead handoff). Per-request bounding-box checks and skip
+    /// counts are therefore identical to the sequential walk's — and to the
+    /// single fused sweep's — whatever the shard plan.
+    ///
+    /// The sweep maintains the shard's active set *incrementally*: requests
     /// enter at their interval's first leaf and exit when their cursor runs
     /// past its last — there is no per-leaf re-filtering of the whole set.
     /// Each active request carries its own **skip cursor**: the next leaf at
     /// which the request must perform a bounding-box check. A request whose
     /// cursor jumped ahead (its look-ahead pointers proved a run of leaves
     /// irrelevant, Section 5) pays nothing while the sweep serves requests
-    /// still inside that run — so per-request bounding-box checks and skip
-    /// counts replicate the sequential walk exactly, leaf for leaf.
+    /// still inside that run.
     ///
     /// Requests due at the current leaf live in a dense `hot` vector (in the
     /// common case an overlapping request re-arms for the very next leaf);
@@ -88,9 +97,13 @@ impl ShardedRangeBatchKernel for ZIndex {
     /// actual skip — never a scan over the whole active set.
     ///
     /// When at least one due request overlaps the leaf, its page is scanned
-    /// **once** (charged to the shared stats); every overlapping request
-    /// then filters the page's points with its own rectangle, charged per
-    /// request, so comparison counts match the sequential path's.
+    /// **once** for all of them (charged to the shared stats); every
+    /// overlapping request then filters the page's points with its own
+    /// rectangle, charged per request, so comparison counts match the
+    /// sequential path's. A leaf inside a crossing request's tail may also
+    /// be visited by the shard owning that leaf's entries, so under a
+    /// multi-shard plan a page is fetched at most once per shard that needs
+    /// it — still never more than the sequential once-per-query.
     fn sweep_shard(
         &self,
         requests: &[RangeBatchRequest],
@@ -102,20 +115,18 @@ impl ShardedRangeBatchKernel for ZIndex {
         if bounds.start >= bounds.end || bounds.start >= leaf_count {
             return response;
         }
-        let last = bounds.end.min(leaf_count) - 1;
-        // Admission list: (clamped interval start, request index), sorted so
-        // requests enter the sweep in address order. `high[qi]` is the
-        // request's exit leaf within this shard.
+        // Admission list: (interval start, request index) for the requests
+        // entering inside this shard, sorted so they join the sweep in
+        // address order. `high[qi]` is the request's exit leaf — its
+        // interval's true end, never clamped to the shard.
         let mut high = vec![0u32; requests.len()];
         let mut entries: Vec<(u32, usize)> = Vec::new();
         for (qi, interval) in projection.intervals.iter().enumerate() {
-            let lo = interval.lo.max(bounds.start);
-            let hi = interval.hi.min(last);
-            if lo > hi {
+            if interval.lo < bounds.start || interval.lo >= bounds.end {
                 continue;
             }
-            high[qi] = hi;
-            entries.push((lo, qi));
+            high[qi] = interval.hi.min(leaf_count - 1);
+            entries.push((interval.lo, qi));
         }
         if entries.is_empty() {
             return response;
@@ -186,13 +197,10 @@ impl ShardedRangeBatchKernel for ZIndex {
                         }
                     }
                 }
-                // Skips are only charged up to the shard end: a jump that
-                // crosses into the next shard is resumed (and re-charged)
-                // there, so clamping keeps the merged counter free of
-                // double counts. A full-span sweep never clamps — every
-                // target is at most the leaf count — so the fused counter
-                // stays identical to the sequential walk's.
-                stats.leaves_skipped += u64::from(target.min(last + 1) - (i + 1));
+                // Charged exactly as the sequential walk charges its own
+                // jump (`scan_range`): the full jump distance, never
+                // clamped — the request's whole walk lives in this shard.
+                stats.leaves_skipped += u64::from(target - (i + 1));
                 if target == i + 1 && i < high[qi] {
                     rearmed.push(qi);
                 } else if target <= high[qi] {
@@ -243,6 +251,67 @@ impl ShardedRangeBatchKernel for ZIndex {
             .shared
             .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
         response
+    }
+
+    /// Points per leaf, in leaf order: the scan-work weights the engine's
+    /// work-weighted shard planner balances.
+    fn address_counts(&self) -> Option<Vec<u64>> {
+        Some(self.leaves.iter().map(|leaf| leaf.count as u64).collect())
+    }
+}
+
+/// The Z-index's fused point-probe kernel: the owning-page address is the
+/// leaf index found by the Algorithm-1 descent, charged per probe exactly
+/// like the sequential probe's own descent; a leaf's page is then fetched
+/// once for all probes grouped onto it, while every probe still pays its
+/// own point comparisons.
+impl PointBatchKernel for ZIndex {
+    fn locate_probes(&self, probes: &[Point], per_query: &mut [ExecStats]) -> Vec<u64> {
+        probes
+            .iter()
+            .zip(per_query)
+            .map(|(p, stats)| u64::from(self.locate_leaf(p, stats)))
+            .collect()
+    }
+
+    fn probe_page(
+        &self,
+        address: u64,
+        group: &[(usize, Point)],
+        response: &mut PointBatchResponse,
+    ) {
+        let leaf = &self.leaves[address as usize];
+        // The page is fetched lazily, once for the whole group: probes
+        // outside the leaf's tight bounding box answer without touching it,
+        // exactly like the sequential probe.
+        let mut page: Option<&[Point]> = None;
+        for &(slot, p) in group {
+            if leaf.count == 0 || !leaf.bbox.contains(&p) {
+                continue;
+            }
+            let points = *page.get_or_insert_with(|| {
+                response.shared.pages_scanned += 1;
+                self.store.page(leaf.page).points()
+            });
+            // Per-probe comparisons replicate `Page::probe`: scan to the
+            // match (or the whole page on a miss) — only the page visit
+            // itself moved to the shared stats above.
+            let stats = &mut response.per_query[slot];
+            let mut found = false;
+            for (at, q) in points.iter().enumerate() {
+                if *q == p {
+                    stats.points_scanned += at as u64 + 1;
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                stats.results += 1;
+                response.found[slot] = true;
+            } else {
+                stats.points_scanned += points.len() as u64;
+            }
+        }
     }
 }
 

@@ -145,6 +145,61 @@ pub fn generate_overlapping_batch(
         .collect()
 }
 
+/// Fraction of probes in a point-heavy batch that repeat an earlier probe
+/// (hot-key skew): the share of a real lookup workload that hammers the
+/// same keys, and the share the fused point kernel collapses onto already
+/// fetched pages.
+const POINT_BATCH_DUPLICATES: f64 = 0.25;
+
+/// Generates a deterministic all-point-probe batch following the region's
+/// *data* profile — the workload shape the fused point-batch kernel exists
+/// for.
+///
+/// A quarter of the probes repeat an earlier probe of the same batch
+/// (hot-key skew), so probes sharing an owning page are guaranteed and
+/// leaf-grouped execution has page visits to save; a small tail probes
+/// points outside the unit data space, exercising the miss path. Equal
+/// seeds produce equal batches.
+pub fn generate_point_batch(region: Region, count: usize, seed: u64) -> Vec<Query> {
+    let data_clusters = region.data_clusters();
+    let data_weight: f64 = data_clusters.iter().map(|c| c.weight).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut probes: Vec<wazi_geom::Point> = Vec::with_capacity(count);
+    (0..count)
+        .map(|_| {
+            let pick = rng.gen::<f64>();
+            let p = if !probes.is_empty() && pick < POINT_BATCH_DUPLICATES {
+                probes[rng.gen_range(0..probes.len())]
+            } else if pick > 0.98 {
+                // Out-of-space probe: always a miss, never a crash.
+                wazi_geom::Point::new(1.5 + rng.gen::<f64>(), -0.5 * rng.gen::<f64>())
+            } else {
+                sample_mixture(&data_clusters, data_weight, &mut rng)
+            };
+            probes.push(p);
+            Query::point(p)
+        })
+        .collect()
+}
+
+/// Generates a deterministic all-kNN batch whose centres concentrate on the
+/// region's data hotspots (spreads shrunk like
+/// [`generate_overlapping_batch`]'s), so seed boxes overlap and the
+/// engine's grouped expanding-ring sweep has candidate pages to share.
+/// Equal seeds produce equal batches.
+pub fn generate_knn_batch(region: Region, count: usize, k: usize, seed: u64) -> Vec<Query> {
+    let mut clusters = region.data_clusters();
+    for cluster in &mut clusters {
+        cluster.spread_x *= OVERLAP_CONCENTRATION;
+        cluster.spread_y *= OVERLAP_CONCENTRATION;
+    }
+    let total_weight: f64 = clusters.iter().map(|c| c.weight).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Query::knn(sample_mixture(&clusters, total_weight, &mut rng), k))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +319,50 @@ mod tests {
             "overlapping batch ({concentrated} pairs) is not denser than the \
              regular workload ({baseline} pairs)"
         );
+    }
+
+    #[test]
+    fn point_batches_have_duplicates_and_misses() {
+        let batch = generate_point_batch(Region::NewYork, 400, 17);
+        assert_eq!(batch.len(), 400);
+        assert_eq!(batch, generate_point_batch(Region::NewYork, 400, 17));
+        let probes: Vec<_> = batch
+            .iter()
+            .map(|q| match q {
+                Query::Point(p) => *p,
+                other => panic!("unexpected plan {other:?}"),
+            })
+            .collect();
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.lex_cmp(b));
+        sorted.dedup();
+        assert!(
+            sorted.len() < probes.len() * 9 / 10,
+            "hot-key duplicates missing: {} distinct of {}",
+            sorted.len(),
+            probes.len()
+        );
+        assert!(
+            probes.iter().any(|p| p.x > 1.0),
+            "out-of-space miss probes missing"
+        );
+        for query in &batch {
+            query.validate().expect("generated probes are valid");
+        }
+    }
+
+    #[test]
+    fn knn_batches_are_concentrated_and_deterministic() {
+        let batch = generate_knn_batch(Region::Japan, 200, 8, 23);
+        assert_eq!(batch.len(), 200);
+        assert_eq!(batch, generate_knn_batch(Region::Japan, 200, 8, 23));
+        for query in &batch {
+            match query {
+                Query::Knn { k, .. } => assert_eq!(*k, 8),
+                other => panic!("unexpected plan {other:?}"),
+            }
+            query.validate().expect("generated kNN plans are valid");
+        }
     }
 
     #[test]

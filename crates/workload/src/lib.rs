@@ -30,7 +30,8 @@ mod queries;
 mod region;
 
 pub use batch::{
-    generate_mixed_batch, generate_mixed_batch_with_mix, generate_overlapping_batch, BatchMix,
+    generate_knn_batch, generate_mixed_batch, generate_mixed_batch_with_mix,
+    generate_overlapping_batch, generate_point_batch, BatchMix,
 };
 pub use dataset::{
     generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,

@@ -1,7 +1,9 @@
 //! Quickstart for the typed query-plan engine: describe a workload as
 //! `Query` values, execute it as one batch, and compare the sequential
-//! schedule against WaZI's fused batch kernel — single-threaded and
-//! sharded across worker threads.
+//! schedule against WaZI's fused kernels — the whole mixed batch is
+//! partitioned by plan type (range / point probe / kNN) and every
+//! partition executes fused, single-threaded or sharded across worker
+//! threads.
 //!
 //! Run with:
 //! ```text
@@ -44,18 +46,29 @@ fn main() {
         sequential.latency_ns as f64 / 1e6
     );
 
-    // 4. The fused strategy answers identically but drives all overlapping
-    //    range queries through one leaf-interval pass: pages shared by
-    //    several queries are scanned once per batch.
+    // 4. The fused strategy answers identically but partitions the batch by
+    //    plan type and routes every partition through a fused kernel: range
+    //    plans share one leaf-interval sweep, point probes are grouped by
+    //    owning leaf (each hot page fetched once however many probes hit
+    //    it), and kNN plans run through grouped expanding-ring sweeps that
+    //    scan each candidate page once per ring.
     let fused_engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
     let fused = fused_engine.execute_batch(&batch).expect("valid batch");
     assert_eq!(fused.total_results(), sequential.total_results());
     println!(
-        "fused:      {} results, {} pages scanned ({} range plans fused), {:.2} ms",
+        "fused:      {} results, {} pages scanned ({} range / {} point / {} kNN plans fused), {:.2} ms",
         fused.total_results(),
         fused.merged_stats().pages_scanned,
         fused.fused_queries,
+        fused.fused_points,
+        fused.fused_knn,
         fused.latency_ns as f64 / 1e6
+    );
+    println!(
+        "shared work per partition: range {} / point {} / kNN {} pages",
+        fused.range_shared_stats.pages_scanned,
+        fused.point_shared_stats.pages_scanned,
+        fused.knn_shared_stats.pages_scanned
     );
     let saved = sequential.merged_stats().pages_scanned - fused.merged_stats().pages_scanned;
     println!(

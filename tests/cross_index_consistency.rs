@@ -284,7 +284,10 @@ fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
 /// sequential loop on the same overlapping batch (each query keeps its own
 /// skip cursor, so its walk replicates the sequential one), while scanning
 /// no more pages and exactly the same points. Indexes without a kernel
-/// trivially tie.
+/// trivially tie. Sharded runs are held to the *tighter* bar: owner-based
+/// sharding executes every query's whole walk in the shard owning its
+/// entry address, so `FusedParallel` bounding-box checks must **equal** the
+/// single sweep's — and the sequential loop's — for every shard count.
 #[test]
 fn fused_bb_checks_never_exceed_sequential_on_any_index() {
     let region = Region::NewYork;
@@ -325,10 +328,28 @@ fn fused_bb_checks_never_exceed_sequential_on_any_index() {
             sequential.merged_stats().results,
             "{kind}: fusion changed the answers"
         );
+        // Sharded runs: BB checks equal the single-sweep count exactly —
+        // the cross-shard skip handoff costs nothing.
+        for shards in [2usize, 4, 8] {
+            let parallel = QueryEngine::new(built.index.as_ref())
+                .with_strategy(BatchStrategy::FusedParallel { shards })
+                .execute_batch(&batch)
+                .expect("parallel batch executes");
+            assert_eq!(
+                parallel.bbs_checked(),
+                sequential.bbs_checked(),
+                "{kind}/{shards} shards: sharding changed the bounding-box count"
+            );
+            assert_eq!(
+                parallel.merged_stats().leaves_skipped,
+                sequential.merged_stats().leaves_skipped,
+                "{kind}/{shards} shards: sharding changed the skip count"
+            );
+        }
     }
     assert!(
-        kernels_seen >= 4,
-        "expected batch kernels on Base/WaZI variants and Flood, saw {kernels_seen}"
+        kernels_seen >= 5,
+        "expected batch kernels on Base/WaZI variants, Flood and Zpgm, saw {kernels_seen}"
     );
 }
 
@@ -409,6 +430,104 @@ fn fused_parallel_is_equivalent_to_sequential_for_every_index_and_shard_count() 
                     });
                 }
             }
+        }
+    }
+}
+
+/// The mixed-batch fusion property: for **all nine index kinds**, fused and
+/// fused-parallel execution of a heterogeneous batch — ranges in all three
+/// modes, point probes and kNN plans, spiced with the edge cases the fused
+/// kernels must not trip over (k = 0, duplicate probe points, probes and
+/// kNN centres outside `data_bounds`, k larger than the index) — produces
+/// outputs and result counts identical to the sequential loop, and the
+/// per-plan-type fused counters account for exactly the plans each kernel
+/// took.
+#[test]
+fn fused_mixed_batches_match_sequential_for_every_index() {
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 5_000);
+    let train = generate_queries(region, 150, SELECTIVITIES[1]);
+    let mut batch = generate_mixed_batch(region, 160, SELECTIVITIES[2], 0xF0CA);
+    // Edge plans: trivial kNN, oversized k, duplicate probes (one an
+    // indexed point, one a guaranteed miss), geometry outside the data
+    // space. All finite, hence valid.
+    let dup_hit = points[42];
+    let dup_miss = Point::new(0.123_456_789, 0.987_654_321);
+    batch.extend([
+        wazi_core::Query::knn(Point::new(0.4, 0.4), 0),
+        wazi_core::Query::knn(Point::new(0.6, 0.6), 10_000),
+        wazi_core::Query::knn(Point::new(7.0, -3.0), 3),
+        wazi_core::Query::point(dup_hit),
+        wazi_core::Query::point(dup_hit),
+        wazi_core::Query::point(dup_miss),
+        wazi_core::Query::point(dup_miss),
+        wazi_core::Query::point(Point::new(4.0, 4.0)),
+        wazi_core::Query::range_count(Rect::from_coords(2.0, 2.0, 3.0, 3.0)),
+    ]);
+    let ranges = batch.iter().filter(|q| q.is_range()).count();
+    let probes = batch
+        .iter()
+        .filter(|q| matches!(q, wazi_core::Query::Point(_)))
+        .count();
+    let knns = batch.len() - ranges - probes;
+
+    for kind in all_kinds() {
+        let built = build_index(kind, &points, &train, 128);
+        let sequential = QueryEngine::new(built.index.as_ref())
+            .execute_batch(&batch)
+            .expect("sequential batch executes");
+        assert_eq!(sequential.total_fused(), 0, "{kind}");
+        let has_range_kernel = built.index.range_batch_kernel().is_some();
+        let has_point_kernel = built.index.point_batch_kernel().is_some();
+        for (label, strategy) in [
+            ("fused", BatchStrategy::Fused),
+            (
+                "fused-parallel/2",
+                BatchStrategy::FusedParallel { shards: 2 },
+            ),
+            (
+                "fused-parallel/4",
+                BatchStrategy::FusedParallel { shards: 4 },
+            ),
+        ] {
+            let report = QueryEngine::new(built.index.as_ref())
+                .with_strategy(strategy)
+                .execute_batch(&batch)
+                .expect("fused batch executes");
+            assert_eq!(report.len(), sequential.len(), "{kind}/{label}");
+            for (i, (got, want)) in report.reports.iter().zip(&sequential.reports).enumerate() {
+                assert_eq!(
+                    got.output, want.output,
+                    "{kind}/{label}: output {i} differs from sequential"
+                );
+            }
+            assert_eq!(
+                report.total_results(),
+                sequential.total_results(),
+                "{kind}/{label}: result counts diverge"
+            );
+            assert_eq!(
+                report.merged_stats().results,
+                sequential.merged_stats().results,
+                "{kind}/{label}: results counter diverges"
+            );
+            // The per-plan-type fused counters account for exactly the
+            // partitions the index's kernels can take.
+            assert_eq!(
+                report.fused_queries,
+                if has_range_kernel { ranges } else { 0 },
+                "{kind}/{label}"
+            );
+            assert_eq!(
+                report.fused_points,
+                if has_point_kernel { probes } else { 0 },
+                "{kind}/{label}"
+            );
+            assert_eq!(
+                report.fused_knn,
+                if has_range_kernel { knns } else { 0 },
+                "{kind}/{label}"
+            );
         }
     }
 }

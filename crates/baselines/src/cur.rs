@@ -9,7 +9,7 @@
 //! the anticipated workload.
 
 use crate::rtree::PackedRTree;
-use wazi_core::{IndexError, SpatialIndex};
+use wazi_core::{IndexError, PointBatchKernel, RangeBatchKernel, SpatialIndex};
 use wazi_density::{Rfde, RfdeConfig};
 use wazi_geom::{Point, Rect};
 use wazi_storage::{ExecStats, PageStore};
@@ -215,6 +215,14 @@ impl SpatialIndex for CurTree {
     fn size_bytes(&self) -> usize {
         self.tree.size_bytes() + self.estimator.size_bytes()
     }
+
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        Some(&self.tree)
+    }
+
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        Some(&self.tree)
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +365,47 @@ mod tests {
         let mut stats = ExecStats::default();
         assert!(index.is_empty());
         assert!(index.range_query(&Rect::UNIT, &mut stats).is_empty());
+    }
+
+    /// CUR shares the packed R-tree's fused kernels: the batched walk over
+    /// its query-weighted layout must replicate every query's solo descent
+    /// while overlapping queries share page fetches.
+    #[test]
+    fn fused_batch_kernels_match_sequential_on_the_weighted_layout() {
+        use wazi_core::{RangeBatchOutput, RangeBatchRequest};
+        let points = dataset(5_000, 21);
+        let queries = hot_corner_queries(300, 22);
+        let index = CurTree::build(points.clone(), &queries, 64);
+        let kernel = index
+            .range_batch_kernel()
+            .expect("CUR fuses range batches now");
+        let requests: Vec<RangeBatchRequest> = queries
+            .iter()
+            .take(40)
+            .map(|rect| RangeBatchRequest {
+                rect: *rect,
+                collect: false,
+            })
+            .collect();
+        let response = kernel.run_range_batch(&requests);
+        let mut sequential_pages = 0u64;
+        for (qi, request) in requests.iter().enumerate() {
+            let mut stats = ExecStats::default();
+            let expected = index.range_count(&request.rect, &mut stats);
+            assert_eq!(response.outputs[qi], RangeBatchOutput::Count(expected));
+            assert_eq!(response.per_query[qi].bbs_checked, stats.bbs_checked);
+            assert_eq!(response.per_query[qi].points_scanned, stats.points_scanned);
+            sequential_pages += stats.pages_scanned;
+        }
+        assert!(
+            response.shared.pages_scanned < sequential_pages,
+            "the query-hot corner must share page fetches"
+        );
+        // The point kernel answers hot-key duplicates on one fetch.
+        let point_kernel = index.point_batch_kernel().expect("CUR probes in batches");
+        let probes = vec![points[7], points[7], points[7]];
+        let probe_response = wazi_core::run_point_batch(point_kernel, &probes);
+        assert_eq!(probe_response.found, vec![true, true, true]);
+        assert!(probe_response.shared.pages_scanned >= 1);
     }
 }

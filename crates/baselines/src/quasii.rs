@@ -12,7 +12,11 @@
 //! setting: level one cracks on `x`, level two cracks on `y` within each
 //! x-piece.
 
-use wazi_core::{IndexError, SpatialIndex};
+use wazi_core::{
+    run_full_sweep, BatchProjection, IndexError, PointBatchKernel, PointBatchResponse,
+    RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds,
+    ShardedRangeBatchKernel, SpatialIndex, SweepInterval,
+};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
@@ -311,6 +315,262 @@ impl SpatialIndex for Quasii {
             + self.slices.len() * std::mem::size_of::<XSlice>()
             + self.piece_count() * std::mem::size_of::<YPiece>()
     }
+
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        Some(self)
+    }
+
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        Some(self)
+    }
+}
+
+impl Quasii {
+    /// Index range of x-slices overlapping `[x0, x1]`, `None` when the
+    /// query lies entirely outside the cracked x-range. The slices partition
+    /// the x axis contiguously in ascending order, so the overlapping set is
+    /// always one contiguous run locatable by two binary searches.
+    fn slice_interval(&self, x0: f64, x1: f64) -> Option<(u32, u32)> {
+        let lo = self.slices.partition_point(|s| s.x_hi < x0);
+        let hi = self.slices.partition_point(|s| s.x_lo <= x1);
+        if lo < hi {
+            Some((lo as u32, hi as u32 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl RangeBatchKernel for Quasii {
+    fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        run_full_sweep(self, requests, self.slices.len() as u32)
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        Some(self)
+    }
+}
+
+/// QUASII's fused batch kernel: the sweep address space is the x-slice
+/// list. A y-piece relevant to `k` of a slice's active queries is scanned
+/// once per batch instead of once per query; per-query charges (the
+/// per-slice traversal tick, per-piece bounding-box checks, point
+/// comparisons) replicate the sequential [`Quasii`] scan exactly, so fused
+/// counters never exceed sequential ones.
+impl ShardedRangeBatchKernel for Quasii {
+    /// Maps every request onto its contiguous run of overlapping x-slices
+    /// (two binary searches, charged to nothing — the sequential scan
+    /// charges its slice walk per slice, which the sweep replicates).
+    /// Requests overlapping no slice project onto `[0, 0]` so they still
+    /// have exactly one owner; the sweep re-checks x-overlap per slice, so
+    /// a conservative interval never changes any counter.
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection {
+        let start = std::time::Instant::now();
+        let intervals = requests
+            .iter()
+            .map(|request| {
+                let (lo, hi) = self
+                    .slice_interval(request.rect.lo.x, request.rect.hi.x)
+                    .unwrap_or((0, 0));
+                SweepInterval { lo, hi }
+            })
+            .collect();
+        BatchProjection {
+            intervals,
+            per_query: vec![ExecStats::default(); requests.len()],
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Sweeps the requests owned by one shard of the slice list
+    /// (owner-based: the shard containing a request's first overlapping
+    /// slice walks its whole run). The sequential scan ticks `nodes_visited`
+    /// once per slice for *every* query — overlap or not — so each owned
+    /// request is charged the full slice count up front; piece work then
+    /// happens only inside the request's overlapping run, exactly as the
+    /// solo walk charges it.
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse {
+        let mut response = RangeBatchResponse::zeroed(requests);
+        let slices = self.slices.len() as u32;
+        if bounds.start >= bounds.end || bounds.start >= slices {
+            return response;
+        }
+        let mut entries: Vec<(u32, u32, usize)> = Vec::new();
+        for (qi, interval) in projection.intervals.iter().enumerate() {
+            if interval.lo < bounds.start || interval.lo >= bounds.end {
+                continue;
+            }
+            // The full-slice-walk tick of the sequential scan.
+            response.per_query[qi].nodes_visited += u64::from(slices);
+            entries.push((interval.lo, interval.hi.min(slices - 1), qi));
+        }
+        if entries.is_empty() {
+            return response;
+        }
+        entries.sort_unstable();
+
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
+        let mut active: Vec<(u32, usize)> = Vec::new();
+        let mut overlapping: Vec<usize> = Vec::new();
+        let mut needing: Vec<usize> = Vec::new();
+        let mut next_entry = 0usize;
+        let mut at = entries[0].0;
+        loop {
+            while next_entry < entries.len() && entries[next_entry].0 <= at {
+                let (_, hi, qi) = entries[next_entry];
+                active.push((hi, qi));
+                next_entry += 1;
+            }
+            active.retain(|&(hi, _)| hi >= at);
+            if active.is_empty() {
+                match entries.get(next_entry) {
+                    Some(&(lo, _, _)) => {
+                        at = lo;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let slice = &self.slices[at as usize];
+            overlapping.clear();
+            for &(_, qi) in &active {
+                let rect = &requests[qi].rect;
+                // Re-derive the sequential scan's x test (charged nothing
+                // there either); conservative intervals cost nothing here.
+                if slice.x_hi >= rect.lo.x && slice.x_lo <= rect.hi.x {
+                    overlapping.push(qi);
+                }
+            }
+            for piece in &slice.pieces {
+                needing.clear();
+                for &qi in &overlapping {
+                    let rect = &requests[qi].rect;
+                    response.per_query[qi].bbs_checked += 1;
+                    if piece.y_hi >= rect.lo.y && piece.y_lo <= rect.hi.y {
+                        needing.push(qi);
+                    }
+                }
+                if needing.is_empty() {
+                    continue;
+                }
+                // One pass over the piece on behalf of every relevant
+                // request; comparisons stay attributed per request.
+                let scan_start = std::time::Instant::now();
+                response.shared.pages_scanned += 1;
+                let points = &piece.points;
+                for &qi in &needing {
+                    let rect = requests[qi].rect;
+                    let stats = &mut response.per_query[qi];
+                    stats.points_scanned += points.len() as u64;
+                    match &mut response.outputs[qi] {
+                        RangeBatchOutput::Points(out) => {
+                            let before = out.len();
+                            for p in points {
+                                if rect.contains(p) {
+                                    out.push(*p);
+                                }
+                            }
+                            stats.results += (out.len() - before) as u64;
+                        }
+                        RangeBatchOutput::Count(count) => {
+                            let mut matches = 0u64;
+                            for p in points {
+                                matches += u64::from(rect.contains(p));
+                            }
+                            *count += matches;
+                            stats.results += matches;
+                        }
+                    }
+                }
+                scan_ns += scan_start.elapsed().as_nanos() as u64;
+            }
+            at += 1;
+            if at >= slices {
+                break;
+            }
+        }
+        response
+            .shared
+            .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+        response
+    }
+
+    /// Points per x-slice, in slice order: the scan-work weights the
+    /// engine's work-weighted shard planner balances.
+    fn address_counts(&self) -> Option<Vec<u64>> {
+        Some(
+            self.slices
+                .iter()
+                .map(|s| s.pieces.iter().map(|p| p.points.len() as u64).sum())
+                .collect(),
+        )
+    }
+}
+
+/// Sentinel address for probes outside every x-slice: their walk scans the
+/// whole slice list without entering any, so there is no piece to share.
+const NO_PROBE_SLICE: u64 = u64::MAX;
+
+/// QUASII's fused point-probe kernel. The cracked layout has no page
+/// indirection to share — the sequential probe charges no page visits, only
+/// its slice walk and piece comparisons — so the batched win is ordering:
+/// probes grouped by their first containing x-slice replay their walks over
+/// adjacent slices instead of bouncing across the cracked layout in arrival
+/// order. Each probe replays [`Quasii`]'s sequential `point_query` loop
+/// verbatim (early exit included), so answers and per-probe counters are
+/// bit-identical.
+impl PointBatchKernel for Quasii {
+    fn locate_probes(&self, probes: &[Point], _per_query: &mut [ExecStats]) -> Vec<u64> {
+        probes
+            .iter()
+            .map(|p| {
+                let at = self.slices.partition_point(|s| s.x_hi < p.x);
+                match self.slices.get(at) {
+                    Some(slice) if p.x >= slice.x_lo => at as u64,
+                    _ => NO_PROBE_SLICE,
+                }
+            })
+            .collect()
+    }
+
+    fn probe_page(
+        &self,
+        _address: u64,
+        group: &[(usize, Point)],
+        response: &mut PointBatchResponse,
+    ) {
+        for &(slot, p) in group {
+            let stats = &mut response.per_query[slot];
+            let mut found = false;
+            'outer: for slice in &self.slices {
+                stats.nodes_visited += 1;
+                if p.x < slice.x_lo || p.x > slice.x_hi {
+                    continue;
+                }
+                for piece in &slice.pieces {
+                    stats.bbs_checked += 1;
+                    if p.y < piece.y_lo || p.y > piece.y_hi {
+                        continue;
+                    }
+                    stats.points_scanned += piece.points.len() as u64;
+                    if piece.points.contains(&p) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if found {
+                stats.results += 1;
+                response.found[slot] = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +671,84 @@ mod tests {
         ));
         assert_eq!(index.name(), "QUASII");
         assert!(index.size_bytes() > 0);
+    }
+
+    /// The fused slice sweep must replicate every query's solo scan — the
+    /// full-slice-walk tick, per-piece bounding-box checks, comparisons and
+    /// result order — while pieces relevant to several queries are scanned
+    /// once per batch.
+    #[test]
+    fn fused_range_batch_matches_sequential_and_shares_pieces() {
+        use wazi_core::{RangeBatchOutput, RangeBatchRequest};
+        let points = dataset(6_000, 31);
+        let training = workload(250, 32);
+        let index = Quasii::build(points, &training, 64);
+        let kernel = index
+            .range_batch_kernel()
+            .expect("QUASII fuses range batches now");
+        // Training-shaped (aligned with cracks) plus unseen queries.
+        let rects: Vec<Rect> = training
+            .iter()
+            .take(20)
+            .chain(workload(10, 33).iter())
+            .copied()
+            .collect();
+        let requests: Vec<RangeBatchRequest> = rects
+            .iter()
+            .map(|rect| RangeBatchRequest {
+                rect: *rect,
+                collect: true,
+            })
+            .collect();
+        let response = kernel.run_range_batch(&requests);
+        let mut sequential_pages = 0u64;
+        for (qi, rect) in rects.iter().enumerate() {
+            let mut stats = ExecStats::default();
+            let expected = index.range_query(rect, &mut stats);
+            assert_eq!(
+                response.outputs[qi],
+                RangeBatchOutput::Points(expected),
+                "query {qi}: fused points or order differ"
+            );
+            assert_eq!(response.per_query[qi].nodes_visited, stats.nodes_visited);
+            assert_eq!(response.per_query[qi].bbs_checked, stats.bbs_checked);
+            assert_eq!(response.per_query[qi].points_scanned, stats.points_scanned);
+            sequential_pages += stats.pages_scanned;
+        }
+        assert!(
+            response.shared.pages_scanned < sequential_pages,
+            "the concentrated workload must share piece scans ({} fused vs {} sequential)",
+            response.shared.pages_scanned,
+            sequential_pages
+        );
+    }
+
+    /// The fused probe kernel replays the sequential cracked-layout walk
+    /// verbatim, early exit included.
+    #[test]
+    fn fused_point_batch_replicates_the_sequential_walk() {
+        let points = dataset(3_000, 34);
+        let index = Quasii::build(points.clone(), &workload(150, 35), 64);
+        let kernel = index
+            .point_batch_kernel()
+            .expect("QUASII probes in batches now");
+        let probes = vec![
+            points[11],
+            points[11],
+            Point::new(0.987_6, 0.012_3),
+            Point::new(5.0, 5.0),
+        ];
+        let response = wazi_core::run_point_batch(kernel, &probes);
+        let mut sequential = ExecStats::default();
+        let mut expected = Vec::new();
+        for probe in &probes {
+            expected.push(index.point_query(probe, &mut sequential));
+        }
+        assert_eq!(response.found, expected);
+        let merged: u64 = response.per_query.iter().map(|s| s.points_scanned).sum();
+        assert_eq!(merged, sequential.points_scanned);
+        let nodes: u64 = response.per_query.iter().map(|s| s.nodes_visited).sum();
+        assert_eq!(nodes, sequential.nodes_visited);
     }
 
     #[test]

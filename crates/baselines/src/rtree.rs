@@ -8,6 +8,10 @@
 //! leaves), so the two baselines only differ in how the leaf pages are
 //! packed.
 
+use wazi_core::{
+    BatchProjection, PointBatchKernel, PointBatchResponse, RangeBatchKernel, RangeBatchOutput,
+    RangeBatchRequest, RangeBatchResponse, ShardBounds, ShardedRangeBatchKernel, SweepInterval,
+};
 use wazi_geom::{Point, Rect};
 use wazi_storage::{ExecStats, PageId, PageStore};
 
@@ -324,6 +328,293 @@ impl PackedRTree {
             }
         }
         depth(self, self.root)
+    }
+}
+
+impl PackedRTree {
+    /// The fused batch descent shared by [`RangeBatchKernel::run_range_batch`]
+    /// and [`ShardedRangeBatchKernel::sweep_shard`]: one traversal of the
+    /// tree carrying an *active-query set* per node. A node overlapped by
+    /// `k` of the batch's queries is fetched once, not `k` times; per-query
+    /// pruning replicates the sequential [`PackedRTree::scan_range`] stack
+    /// discipline exactly (children pushed in order, popped LIFO), so every
+    /// query's node visits, bounding-box checks, point comparisons and
+    /// result order are identical to its solo walk — only the physical page
+    /// visit moves to the shared stats, charged once per reached leaf.
+    fn descend_batch(
+        &self,
+        requests: &[RangeBatchRequest],
+        owned: Vec<usize>,
+        response: &mut RangeBatchResponse,
+    ) {
+        if owned.is_empty() {
+            return;
+        }
+        let kernel_start = std::time::Instant::now();
+        let mut scan_ns = 0u64;
+        let mut stack: Vec<(u32, Vec<usize>)> = vec![(self.root, owned)];
+        while let Some((index, active)) = stack.pop() {
+            match &self.nodes[index as usize] {
+                RNode::Internal { children, .. } => {
+                    for &qi in &active {
+                        response.per_query[qi].nodes_visited += 1;
+                    }
+                    for &child in children {
+                        let child_mbr = self.nodes[child as usize].mbr();
+                        let mut child_active = Vec::new();
+                        for &qi in &active {
+                            response.per_query[qi].bbs_checked += 1;
+                            if child_mbr.overlaps(&requests[qi].rect) {
+                                child_active.push(qi);
+                            }
+                        }
+                        if !child_active.is_empty() {
+                            stack.push((child, child_active));
+                        }
+                    }
+                }
+                RNode::Leaf { page, .. } => {
+                    // One page fetch on behalf of every query that reached
+                    // the leaf; point comparisons stay attributed per query.
+                    let scan_start = std::time::Instant::now();
+                    response.shared.pages_scanned += 1;
+                    let points = self.store.page(*page).points();
+                    for &qi in &active {
+                        // Copy the rectangle into a local: the hot filter
+                        // loop must not reload its bounds through the
+                        // request slice, which the optimiser cannot prove
+                        // disjoint from the output it writes.
+                        let rect = requests[qi].rect;
+                        let stats = &mut response.per_query[qi];
+                        stats.points_scanned += points.len() as u64;
+                        match &mut response.outputs[qi] {
+                            RangeBatchOutput::Points(out) => {
+                                let before = out.len();
+                                for p in points {
+                                    if rect.contains(p) {
+                                        out.push(*p);
+                                    }
+                                }
+                                stats.results += (out.len() - before) as u64;
+                            }
+                            RangeBatchOutput::Count(count) => {
+                                let mut matches = 0u64;
+                                for p in points {
+                                    matches += u64::from(rect.contains(p));
+                                }
+                                *count += matches;
+                                stats.results += matches;
+                            }
+                        }
+                    }
+                    scan_ns += scan_start.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+        response
+            .shared
+            .charge_kernel(kernel_start.elapsed().as_nanos() as u64, scan_ns);
+    }
+
+    /// The first leaf page the sequential [`PackedRTree::point_query`] walk
+    /// would probe for `p`, computed without charging anything (the fused
+    /// probe re-runs the walk with full accounting). `None` when no leaf's
+    /// bounding box contains the point.
+    fn first_probe_page(&self, p: &Point) -> Option<PageId> {
+        let mut stack = vec![self.root];
+        while let Some(index) = stack.pop() {
+            match &self.nodes[index as usize] {
+                RNode::Internal { children, .. } => {
+                    for &child in children {
+                        if self.nodes[child as usize].mbr().contains(p) {
+                            stack.push(child);
+                        }
+                    }
+                }
+                RNode::Leaf { page, .. } => return Some(*page),
+            }
+        }
+        None
+    }
+}
+
+impl RangeBatchKernel for PackedRTree {
+    fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        let mut response = RangeBatchResponse::zeroed(requests);
+        self.descend_batch(requests, (0..requests.len()).collect(), &mut response);
+        response
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        Some(self)
+    }
+}
+
+/// The packed R-tree's sharded capability: the sweep address space is the
+/// clustered page list (pages are allocated in packing order, so nearby
+/// addresses hold spatially nearby leaves). A request's interval is the
+/// hull `[first, last]` of the leaf pages its solo walk reaches — purely an
+/// ownership and load-balancing hint: [`ShardedRangeBatchKernel::sweep_shard`]
+/// re-runs the pruning descent for the requests it owns, so per-request
+/// counters never depend on the interval's tightness.
+impl ShardedRangeBatchKernel for PackedRTree {
+    /// One uncharged pruning descent over the whole batch, recording the
+    /// page-address hull every request reaches. Requests overlapping no
+    /// leaf project onto `[0, 0]` so they still have exactly one owner
+    /// (their walk dies near the root, wherever it executes).
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection {
+        let start = std::time::Instant::now();
+        let mut hulls: Vec<Option<(u32, u32)>> = vec![None; requests.len()];
+        let mut stack: Vec<(u32, Vec<usize>)> = vec![(self.root, (0..requests.len()).collect())];
+        while let Some((index, active)) = stack.pop() {
+            match &self.nodes[index as usize] {
+                RNode::Internal { children, .. } => {
+                    for &child in children {
+                        let child_mbr = self.nodes[child as usize].mbr();
+                        let child_active: Vec<usize> = active
+                            .iter()
+                            .copied()
+                            .filter(|&qi| child_mbr.overlaps(&requests[qi].rect))
+                            .collect();
+                        if !child_active.is_empty() {
+                            stack.push((child, child_active));
+                        }
+                    }
+                }
+                RNode::Leaf { page, .. } => {
+                    for &qi in &active {
+                        let hull = hulls[qi].get_or_insert((page.0, page.0));
+                        hull.0 = hull.0.min(page.0);
+                        hull.1 = hull.1.max(page.0);
+                    }
+                }
+            }
+        }
+        BatchProjection {
+            intervals: hulls
+                .into_iter()
+                .map(|hull| {
+                    let (lo, hi) = hull.unwrap_or((0, 0));
+                    SweepInterval { lo, hi }
+                })
+                .collect(),
+            per_query: vec![ExecStats::default(); requests.len()],
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Owner-based sharding: the shard containing a request's first reached
+    /// page runs the request's *whole* pruning descent (the fused batch
+    /// descent restricted to the owned requests), so per-request walks are
+    /// identical to the single sweep's — and the sequential loop's — for
+    /// every shard plan. A page inside several owners' hulls is fetched at
+    /// most once per shard, never more than the sequential once-per-query.
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse {
+        let mut response = RangeBatchResponse::zeroed(requests);
+        let owned: Vec<usize> = projection
+            .intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, interval)| interval.lo >= bounds.start && interval.lo < bounds.end)
+            .map(|(qi, _)| qi)
+            .collect();
+        self.descend_batch(requests, owned, &mut response);
+        response
+    }
+
+    /// Points per clustered page, in allocation order: the scan-work
+    /// weights the engine's work-weighted shard planner balances.
+    fn address_counts(&self) -> Option<Vec<u64>> {
+        Some(self.store.pages().map(|p| p.len() as u64).collect())
+    }
+}
+
+/// Sentinel address for probes no leaf bounding box contains: their walk
+/// dies in the upper tree without touching a page, so there is nothing to
+/// share — they group together and answer `false` after their (charged)
+/// descent.
+const NO_PROBE_PAGE: u64 = u64::MAX;
+
+/// The packed R-tree's fused point-probe kernel. R-tree leaves may overlap
+/// (especially after inserts), so a probe has no single owning leaf by
+/// construction; the grouping address is the *first* page the sequential
+/// probe walk touches — on packed trees, almost always the only one. The
+/// group's shared first-page fetch is charged once per batch; each probe
+/// then replays its full sequential walk (descent charges, early exit on
+/// the first hit, per-page point comparisons), so answers and per-probe
+/// counters are exactly [`PackedRTree::point_query`]'s.
+///
+/// Cost profile: the uncharged grouping descent in
+/// [`PointBatchKernel::locate_probes`] means every probe walks the upper
+/// tree twice (a correct grouping key *is* the walk's first leaf — a
+/// cheaper key would misattribute the shared page charge). The in-memory
+/// descent is small next to a page scan, so the kernel wins wherever
+/// probes share owning pages (hot keys, duplicates) and pays a bounded
+/// CPU overhead on spread-out batches; the batch experiment reports both
+/// sides of that trade.
+impl PointBatchKernel for PackedRTree {
+    fn locate_probes(&self, probes: &[Point], _per_query: &mut [ExecStats]) -> Vec<u64> {
+        probes
+            .iter()
+            .map(|p| {
+                self.first_probe_page(p)
+                    .map_or(NO_PROBE_PAGE, |page| u64::from(page.0))
+            })
+            .collect()
+    }
+
+    fn probe_page(
+        &self,
+        address: u64,
+        group: &[(usize, Point)],
+        response: &mut PointBatchResponse,
+    ) {
+        // One shared fetch of the group's common first page; probes of the
+        // no-page group visit nothing.
+        if address != NO_PROBE_PAGE {
+            response.shared.pages_scanned += 1;
+        }
+        for &(slot, p) in group {
+            let stats = &mut response.per_query[slot];
+            let mut found = false;
+            let mut stack = vec![self.root];
+            while let Some(index) = stack.pop() {
+                match &self.nodes[index as usize] {
+                    RNode::Internal { children, .. } => {
+                        stats.nodes_visited += 1;
+                        for &child in children {
+                            stats.bbs_checked += 1;
+                            if self.nodes[child as usize].mbr().contains(&p) {
+                                stack.push(child);
+                            }
+                        }
+                    }
+                    RNode::Leaf { page, .. } => {
+                        // The group's shared first page charges no
+                        // per-probe page visit (it moved to the shared
+                        // stats above); comparisons are charged by the one
+                        // canonical rule either way.
+                        found = if u64::from(page.0) == address {
+                            self.store.page(*page).probe_shared(&p, stats)
+                        } else {
+                            self.store.probe_page(*page, &p, stats)
+                        };
+                        if found {
+                            break;
+                        }
+                    }
+                }
+            }
+            if found {
+                stats.results += 1;
+                response.found[slot] = true;
+            }
+        }
     }
 }
 

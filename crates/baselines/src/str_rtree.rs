@@ -1,7 +1,7 @@
 //! STR: Sort-Tile-Recursive R-tree packing (Leutenegger et al., 1997).
 
 use crate::rtree::PackedRTree;
-use wazi_core::{IndexError, SpatialIndex};
+use wazi_core::{IndexError, PointBatchKernel, RangeBatchKernel, SpatialIndex};
 use wazi_geom::{Point, Rect};
 use wazi_storage::{ExecStats, PageStore};
 
@@ -108,6 +108,14 @@ impl SpatialIndex for StrRTree {
     fn size_bytes(&self) -> usize {
         self.tree.size_bytes()
     }
+
+    fn range_batch_kernel(&self) -> Option<&dyn RangeBatchKernel> {
+        Some(&self.tree)
+    }
+
+    fn point_batch_kernel(&self) -> Option<&dyn PointBatchKernel> {
+        Some(&self.tree)
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +201,86 @@ mod tests {
         assert_eq!(index.leaf_capacity(), 128);
         assert!(index.size_bytes() > 0);
         assert!(index.height() >= 2);
+    }
+
+    /// The fused batch descent must replicate every query's solo walk —
+    /// same points in the same order, same bounding-box checks and point
+    /// comparisons — while overlapping queries share page fetches.
+    #[test]
+    fn fused_range_batch_matches_sequential_and_shares_pages() {
+        use wazi_core::{RangeBatchOutput, RangeBatchRequest};
+        let index = StrRTree::build(dataset(4_000, 11), 64);
+        let kernel = index
+            .range_batch_kernel()
+            .expect("STR fuses range batches now");
+        let rects: Vec<Rect> = (0..20)
+            .map(|i| {
+                let c = 0.3 + 0.02 * i as f64;
+                Rect::from_coords(c - 0.1, c - 0.12, c + 0.1, c + 0.12)
+            })
+            .collect();
+        let requests: Vec<RangeBatchRequest> = rects
+            .iter()
+            .map(|rect| RangeBatchRequest {
+                rect: *rect,
+                collect: true,
+            })
+            .collect();
+        let response = kernel.run_range_batch(&requests);
+        let mut sequential_pages = 0u64;
+        for (qi, rect) in rects.iter().enumerate() {
+            let mut stats = ExecStats::default();
+            let expected = index.range_query(rect, &mut stats);
+            assert_eq!(
+                response.outputs[qi],
+                RangeBatchOutput::Points(expected),
+                "query {qi}: fused points or order differ"
+            );
+            assert_eq!(response.per_query[qi].bbs_checked, stats.bbs_checked);
+            assert_eq!(response.per_query[qi].nodes_visited, stats.nodes_visited);
+            assert_eq!(response.per_query[qi].points_scanned, stats.points_scanned);
+            assert_eq!(response.per_query[qi].results, stats.results);
+            sequential_pages += stats.pages_scanned;
+        }
+        assert!(
+            response.shared.pages_scanned < sequential_pages,
+            "overlapping queries must share page fetches ({} fused vs {} sequential)",
+            response.shared.pages_scanned,
+            sequential_pages
+        );
+    }
+
+    /// Duplicate probes group onto one page fetch while every probe keeps
+    /// the sequential walk's comparisons and answers.
+    #[test]
+    fn fused_point_batch_groups_duplicate_probes() {
+        let points = dataset(2_000, 12);
+        let index = StrRTree::build(points.clone(), 64);
+        let kernel = index
+            .point_batch_kernel()
+            .expect("STR probes in batches now");
+        let probes = vec![points[5], points[5], points[5], Point::new(2.0, 2.0)];
+        let response = wazi_core::run_point_batch(kernel, &probes);
+        assert_eq!(response.found, vec![true, true, true, false]);
+        let mut sequential = ExecStats::default();
+        for probe in &probes {
+            index.point_query(probe, &mut sequential);
+        }
+        let fused_points: u64 = response.per_query.iter().map(|s| s.points_scanned).sum();
+        assert_eq!(
+            fused_points, sequential.points_scanned,
+            "per-probe comparisons must replicate the sequential walk"
+        );
+        let fused_pages: u64 = response.shared.pages_scanned
+            + response
+                .per_query
+                .iter()
+                .map(|s| s.pages_scanned)
+                .sum::<u64>();
+        assert!(
+            fused_pages < sequential.pages_scanned,
+            "duplicate probes must share their owning page ({fused_pages} fused vs {} sequential)",
+            sequential.pages_scanned
+        );
     }
 }

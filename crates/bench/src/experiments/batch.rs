@@ -7,9 +7,12 @@
 //! sweep through the index's batched kernel, so pages relevant to several
 //! overlapping queries are scanned once per batch) and the parallel fused
 //! strategy (the sweep's address span is partitioned into work-balanced
-//! shards swept on worker threads). A dedicated shard-scaling table sweeps
-//! the shard count on a large overlapping batch for every index with a
-//! sharded kernel. Besides the usual reports, the experiment emits its
+//! shards swept on worker threads). Every overview index participates —
+//! the Z-indexes and Flood, the tree baselines STR / CUR / QUASII over
+//! their own node layouts, and Zpgm's shared BIGMIN sweep — so the fused
+//! comparison is genuinely cross-index. A dedicated shard-scaling table
+//! sweeps the shard count on a large overlapping batch for every index
+//! with a sharded kernel. Besides the usual reports, the experiment emits its
 //! tables as `BENCH_batch.json` in the working directory — the
 //! machine-readable artifact CI and regression tooling consume — unless
 //! the context disables artifact emission (test contexts do, so tiny smoke
@@ -136,44 +139,62 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "Speedup vs 1 shard",
     ]);
 
-    // One pass over the overview suite, each index built exactly once:
-    // OVERVIEW is PRIMARY plus Zpgm, so the primary-only tables (overlap,
-    // shard scaling) run for the PRIMARY kinds and the mixed table for all.
+    // One pass over the overview suite, each index built exactly once.
+    // Since every index of the suite now implements the fused range kernel
+    // — the Z-indexes and Flood since PRs 2–4, STR / CUR / QUASII over
+    // their own node layouts, Zpgm through the shared BIGMIN sweep — the
+    // overlap table covers all seven overview kinds and *asserts* the
+    // fusion contract on every row: identical results, and never more
+    // pages or bounding-box checks than the sequential loop.
     for &kind in &IndexKind::OVERVIEW {
         let built = build_index(kind, &points, &train, ctx.leaf_capacity);
         let index = built.index.as_ref();
-        if IndexKind::PRIMARY.contains(&kind) {
-            let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
-            for (label, strategy) in &strategies {
-                let m = measure_warm(index, &range_batch, *strategy);
-                debug_assert_eq!(baseline.total_results, m.total_results);
-                overlap.push_row(pages_row(kind, &m, label));
-            }
+        let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
+        for (label, strategy) in &strategies {
+            let m = measure_warm(index, &range_batch, *strategy);
+            assert_eq!(
+                baseline.total_results, m.total_results,
+                "{kind}/{label}: fused range-batch results diverge from sequential"
+            );
+            assert!(
+                m.totals.pages_scanned <= baseline.totals.pages_scanned,
+                "{kind}/{label}: fused pages regressed ({} vs {} sequential)",
+                m.totals.pages_scanned,
+                baseline.totals.pages_scanned
+            );
+            assert!(
+                m.totals.bbs_checked <= baseline.totals.bbs_checked,
+                "{kind}/{label}: fused BB checks regressed ({} vs {} sequential)",
+                m.totals.bbs_checked,
+                baseline.totals.bbs_checked
+            );
+            overlap.push_row(pages_row(kind, &m, label));
+        }
 
-            // Shard scaling only means something for indexes whose kernel
-            // can actually split its sweep.
-            if index
-                .range_batch_kernel()
-                .is_some_and(|k| k.sharded().is_some())
-            {
-                let mut one_shard_ns = None;
-                for shards in SHARD_SWEEP {
-                    let m = measure_warm(
-                        index,
-                        &parallel_batch,
-                        BatchStrategy::FusedParallel { shards },
-                    );
-                    let base = *one_shard_ns.get_or_insert(m.batch_latency_ns.max(1));
-                    scaling.push_row(vec![
-                        kind.name().to_string(),
-                        shards.to_string(),
-                        m.totals.pages_scanned.to_string(),
-                        m.totals.bbs_checked.to_string(),
-                        m.total_results.to_string(),
-                        format_ns(m.batch_latency_ns as f64),
-                        format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
-                    ]);
-                }
+        // Shard scaling only means something for indexes whose kernel can
+        // actually split its sweep (today: every overview index but Zpgm,
+        // whose flat-array sweep is not sharded).
+        if index
+            .range_batch_kernel()
+            .is_some_and(|k| k.sharded().is_some())
+        {
+            let mut one_shard_ns = None;
+            for shards in SHARD_SWEEP {
+                let m = measure_warm(
+                    index,
+                    &parallel_batch,
+                    BatchStrategy::FusedParallel { shards },
+                );
+                let base = *one_shard_ns.get_or_insert(m.batch_latency_ns.max(1));
+                scaling.push_row(vec![
+                    kind.name().to_string(),
+                    shards.to_string(),
+                    m.totals.pages_scanned.to_string(),
+                    m.totals.bbs_checked.to_string(),
+                    m.total_results.to_string(),
+                    format_ns(m.batch_latency_ns as f64),
+                    format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
+                ]);
             }
         }
 
@@ -246,9 +267,12 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         ctx.dataset_size
     ));
     overlap.push_note(
-        "expected shape: WaZI fused scans strictly fewer pages than WaZI sequential at \
-         lower latency, with BB checks never above the sequential count; indexes \
-         without a batch kernel show identical rows for both strategies",
+        "asserted per row (all seven overview indexes fuse range batches through their \
+         own kernels): fused results equal sequential, fused pages and BB checks never \
+         exceed sequential. Expected shape: the page-backed indexes (WaZI, Base, STR, \
+         CUR, Flood, QUASII) scan strictly fewer pages fused on this overlapping batch; \
+         Zpgm's flat code array charges no pages, its fused win is the shared BIGMIN \
+         sweep's locality",
     );
     mixed.push_note(
         "r/p/k columns split each quantity by plan type (range / point probe / kNN); \
@@ -260,16 +284,19 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "asserted per row: fused results (overall and per plan type) equal sequential, \
          and no kernel-backed partition scans more pages fused than sequential — the \
          point partition's fused pages drop below sequential wherever probes share \
-         owning pages",
+         owning pages. Zpgm is the exception that proves the page rule: its flat code \
+         array has no fetches to save, so the shared BIGMIN sweep trades per-step \
+         coordination time for locality at identical counters",
     );
     scaling.push_note(format!(
         "{} heavily overlapping counting queries (generate_overlapping_batch), shard \
          bounds planned work-weighted from per-leaf point counts over the batch's \
-         sweep span; shards = 1 is the single-threaded fused sweep. BB checks are \
-         shard-invariant (owner-based sharding executes every query's whole walk in \
-         one shard); pages may rise slightly with the shard count because a crossing \
-         query's tail refetches pages another shard also scans — still far below the \
-         sequential loop's count",
+         sweep span; shards = 1 is the single-threaded fused sweep. Address spaces: \
+         leaf list (WaZI/Base), column grid (Flood), clustered page list (STR/CUR), \
+         x-slice list (QUASII). BB checks are shard-invariant (owner-based sharding \
+         executes every query's whole walk in one shard); pages may rise slightly \
+         with the shard count because a crossing query's tail refetches pages \
+         another shard also scans — still far below the sequential loop's count",
         parallel_batch.len()
     ));
     scaling.push_note(format!(
@@ -373,22 +400,26 @@ mod tests {
     }
 
     #[test]
-    fn batch_experiment_produces_rows_for_every_primary_index() {
+    fn batch_experiment_produces_rows_for_every_overview_index() {
         let ctx = ExperimentContext::smoke_test();
         let reports = batch(&ctx);
         assert_eq!(reports.len(), 3);
         let [overlap, mixed, scaling] = &reports[..] else {
             panic!("expected three reports");
         };
-        assert_eq!(overlap.rows.len(), IndexKind::PRIMARY.len() * 3);
-        // The mixed table covers the whole overview suite (Zpgm included)
-        // under all three strategies.
+        // The overlap and mixed tables cover the whole overview suite (all
+        // seven indexes fuse range batches now) under all three strategies.
+        assert_eq!(overlap.rows.len(), IndexKind::OVERVIEW.len() * 3);
         assert_eq!(mixed.rows.len(), IndexKind::OVERVIEW.len() * 3);
-        // Base, WaZI (both Z-indexes) and Flood have sharded kernels today;
-        // the scaling table has one row per swept shard count for each.
-        assert_eq!(scaling.rows.len(), 3 * SHARD_SWEEP.len());
+        // Every primary index has a sharded kernel today (Zpgm's flat-array
+        // sweep is the one unsharded kernel); the scaling table has one row
+        // per swept shard count for each.
+        assert_eq!(
+            scaling.rows.len(),
+            IndexKind::PRIMARY.len() * SHARD_SWEEP.len()
+        );
         // Every index appears with every strategy.
-        for kind in IndexKind::PRIMARY {
+        for kind in IndexKind::OVERVIEW {
             for strategy in ["sequential", "fused", "fused-parallel/4"] {
                 assert!(
                     overlap
@@ -399,23 +430,61 @@ mod tests {
                 );
             }
         }
-        // The fused mixed rows show nonzero fused point and kNN counts for
-        // every kernel-backed index of the acceptance list.
-        for kernel_backed in ["WaZI", "Base", "Flood", "Zpgm"] {
+        // The fused mixed rows show nonzero fused range/point/kNN counts
+        // for every overview index: the tree baselines joined the Z-indexes,
+        // Flood and Zpgm in the fused path.
+        for kind in IndexKind::OVERVIEW {
             let row = mixed
                 .rows
                 .iter()
-                .find(|r| r[0] == kernel_backed && r[1] == "fused")
-                .unwrap_or_else(|| panic!("missing {kernel_backed}/fused mixed row"));
+                .find(|r| r[0] == kind.name() && r[1] == "fused")
+                .unwrap_or_else(|| panic!("missing {kind}/fused mixed row"));
             let fused_counts: Vec<u64> = row[2]
                 .split('/')
                 .map(|n| n.parse().expect("fused counts are numeric"))
                 .collect();
-            assert_eq!(fused_counts.len(), 3, "{kernel_backed}: r/p/k triple");
+            assert_eq!(fused_counts.len(), 3, "{kind}: r/p/k triple");
             assert!(
                 fused_counts.iter().all(|&n| n > 0),
-                "{kernel_backed}: expected nonzero fused range/point/kNN counts, got {:?}",
+                "{kind}: expected nonzero fused range/point/kNN counts, got {:?}",
                 fused_counts
+            );
+        }
+    }
+
+    /// The tree-baseline acceptance shape behind `BENCH_batch.json`: on the
+    /// overlapping range batch, STR, CUR and QUASII answer through their
+    /// fused `RangeBatchKernel` with results and BB-check counts *equal* to
+    /// the sequential walk (an active-set descent prunes exactly like the
+    /// solo walks) while scanning strictly fewer pages (an R-tree node
+    /// overlapped by k queries is fetched once, not k times).
+    #[test]
+    fn fused_tree_baselines_share_pages_at_identical_walks() {
+        let ctx = ExperimentContext::smoke_test();
+        let (points, train, eval) =
+            workload_setup(&ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
+        let batch: Vec<Query> = eval.iter().copied().map(Query::range_count).collect();
+        for kind in [IndexKind::Str, IndexKind::Cur, IndexKind::Quasii] {
+            let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+            let sequential =
+                measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Sequential);
+            let fused = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Fused);
+            assert_eq!(fused.fused_queries, batch.len(), "{kind}");
+            assert_eq!(fused.total_results, sequential.total_results, "{kind}");
+            assert_eq!(
+                fused.totals.bbs_checked, sequential.totals.bbs_checked,
+                "{kind}: the active-set descent must replicate the solo walks"
+            );
+            assert_eq!(
+                fused.totals.points_scanned, sequential.totals.points_scanned,
+                "{kind}: fusion changed the points compared"
+            );
+            assert!(
+                fused.totals.pages_scanned < sequential.totals.pages_scanned,
+                "{kind}: overlapping queries must share page fetches \
+                 ({} fused vs {} sequential)",
+                fused.totals.pages_scanned,
+                sequential.totals.pages_scanned
             );
         }
     }

@@ -11,6 +11,13 @@
 //!   reproduce -- all` regenerates every table and figure at laptop scale
 //!   (use `--size` to scale up towards the paper's setting);
 //! * Criterion micro-benchmarks under `benches/`, one per experiment family.
+//!
+//! Beyond the paper, the `batch` experiment compares sequential, fused and
+//! parallel-fused batch execution across all seven overview indexes and
+//! emits the machine-readable `BENCH_batch.json` artifact at the
+//! repository root (`reproduce batch [--shards N]`); it hard-asserts the
+//! engine's fusion contract — identical results, never more pages or
+//! bounding-box checks than sequential — so CI fails on any divergence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

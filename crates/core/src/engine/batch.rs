@@ -23,7 +23,9 @@
 //! the partial responses deterministically ([`merge_shard_responses`]):
 //! point outputs concatenate in shard order (each request's output comes
 //! wholly from its owning shard), counts and counters sum. For WaZI the
-//! address space is the leaf list; for Flood it is the column grid.
+//! address space is the leaf list, for Flood the column grid, for the
+//! packed R-trees (STR/CUR) the clustered page list, and for QUASII the
+//! cracked x-slice list.
 
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;

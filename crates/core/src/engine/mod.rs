@@ -59,7 +59,7 @@ pub use batch::{
 pub use knn::{group_knn_plans, run_knn_batch, KnnBatchResponse};
 pub(crate) use knn::{run_knn_batch_with, KnnSweepState};
 pub use plan::{Query, QueryOutput, RangeMode};
-pub use point::{run_point_batch, PointBatchKernel, PointBatchResponse};
+pub use point::{run_point_batch, run_point_batch_sharded, PointBatchKernel, PointBatchResponse};
 pub use report::{BatchReport, QueryReport};
 
 use crate::index::{IndexError, SpatialIndex};
@@ -153,7 +153,11 @@ pub enum BatchStrategy {
     /// batch's projected intervals and the index's per-leaf point counts
     /// ([`ShardedRangeBatchKernel::address_counts`]); partial results merge
     /// deterministically in sweep order, so outputs are bit-identical to
-    /// the other strategies regardless of thread scheduling. Falls back to
+    /// the other strategies regardless of thread scheduling. The point
+    /// partition parallelizes the same way: its sorted probe-group list is
+    /// split at group boundaries ([`run_point_batch_sharded`]) onto worker
+    /// threads — groups are disjoint by construction, so probe-heavy
+    /// batches scale without any cross-chunk coordination. Falls back to
     /// [`BatchStrategy::Fused`] when the index has no sharded kernel
     /// ([`RangeBatchKernel::sharded`]), when `shards <= 1`, or when the
     /// batch's span is too narrow to split.
@@ -400,7 +404,15 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if probes.len() >= 2 {
-                let response = run_point_batch(point_kernel, &probes);
+                // Probe-heavy batches parallelize too: the sorted group
+                // list splits at group boundaries (groups are disjoint by
+                // construction), so chunked execution is bit-identical to
+                // the single pass.
+                let (response, point_shards) = if shards > 1 {
+                    run_point_batch_sharded(point_kernel, &probes, shards)
+                } else {
+                    (run_point_batch(point_kernel, &probes), 1)
+                };
                 for ((&position, found), stats) in point_positions
                     .iter()
                     .zip(response.found)
@@ -414,7 +426,7 @@ impl<'a> QueryEngine<'a> {
                 }
                 point_shared = response.shared;
                 fused_points = point_positions.len();
-                shards_used = shards_used.max(1);
+                shards_used = shards_used.max(point_shards);
             }
         }
 

@@ -45,6 +45,48 @@
 //! let result = index.range_query(&workload[0], &mut stats);
 //! assert_eq!(result.len() as u64, stats.results);
 //! ```
+//!
+//! ## Batch execution through the query engine
+//!
+//! On top of the [`SpatialIndex`] trait sits the typed query-plan engine
+//! (the [`engine`] module): [`Query`] plans executed by a [`QueryEngine`],
+//! one at a time or as batches. The fused strategies partition a batch by
+//! plan type and route each partition through the index's fused kernels,
+//! so pages relevant to several co-located queries are fetched once per
+//! batch — with outputs and per-query work counters identical to the
+//! sequential loop by construction (see `docs/ENGINE.md` at the repository
+//! root for the full pipeline guide):
+//!
+//! ```
+//! use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex, ZIndex};
+//! use wazi_geom::{Point, Rect};
+//!
+//! let points: Vec<Point> = (0..2_000)
+//!     .map(|i| Point::new((i % 50) as f64 / 50.0, (i / 50) as f64 / 40.0))
+//!     .collect();
+//! let index = ZIndex::build_base(points);
+//!
+//! // A mixed batch: overlapping range counts, a point probe, a kNN plan.
+//! let batch = vec![
+//!     Query::range_count(Rect::from_coords(0.10, 0.10, 0.45, 0.45)),
+//!     Query::range_count(Rect::from_coords(0.15, 0.12, 0.50, 0.48)),
+//!     Query::point(Point::new(0.5, 0.5)),
+//!     Query::knn(Point::new(0.2, 0.2), 5),
+//! ];
+//!
+//! let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+//! let fused = QueryEngine::new(&index)
+//!     .with_strategy(BatchStrategy::Fused)
+//!     .execute_batch(&batch)
+//!     .unwrap();
+//!
+//! // Fusion changes the physical schedule, never the answers.
+//! for (a, b) in fused.reports.iter().zip(&sequential.reports) {
+//!     assert_eq!(a.output, b.output);
+//! }
+//! assert_eq!(fused.fused_queries, 2); // both range plans shared one sweep
+//! assert!(matches!(fused.reports[3].output, QueryOutput::Neighbors(ref n) if n.len() == 5));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,10 +104,11 @@ pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
 pub use engine::{
     group_knn_plans, merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted,
-    run_full_sweep, run_knn_batch, run_point_batch, BatchProjection, BatchReport, BatchStrategy,
-    EngineError, KnnBatchResponse, PointBatchKernel, PointBatchResponse, Query, QueryEngine,
-    QueryOutput, QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
-    RangeBatchResponse, RangeMode, ShardBounds, ShardedRangeBatchKernel, SweepInterval,
+    run_full_sweep, run_knn_batch, run_point_batch, run_point_batch_sharded, BatchProjection,
+    BatchReport, BatchStrategy, EngineError, KnnBatchResponse, PointBatchKernel,
+    PointBatchResponse, Query, QueryEngine, QueryOutput, QueryReport, RangeBatchKernel,
+    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, RangeMode, ShardBounds,
+    ShardedRangeBatchKernel, SweepInterval,
 };
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};

@@ -284,32 +284,22 @@ impl PointBatchKernel for ZIndex {
         // The page is fetched lazily, once for the whole group: probes
         // outside the leaf's tight bounding box answer without touching it,
         // exactly like the sequential probe.
-        let mut page: Option<&[Point]> = None;
+        let mut page: Option<&Page> = None;
         for &(slot, p) in group {
             if leaf.count == 0 || !leaf.bbox.contains(&p) {
                 continue;
             }
-            let points = *page.get_or_insert_with(|| {
+            let page = *page.get_or_insert_with(|| {
                 response.shared.pages_scanned += 1;
-                self.store.page(leaf.page).points()
+                self.store.page(leaf.page)
             });
-            // Per-probe comparisons replicate `Page::probe`: scan to the
-            // match (or the whole page on a miss) — only the page visit
-            // itself moved to the shared stats above.
+            // Per-probe comparisons are charged by `Page::probe`'s one
+            // canonical rule — only the page visit itself moved to the
+            // shared stats above.
             let stats = &mut response.per_query[slot];
-            let mut found = false;
-            for (at, q) in points.iter().enumerate() {
-                if *q == p {
-                    stats.points_scanned += at as u64 + 1;
-                    found = true;
-                    break;
-                }
-            }
-            if found {
+            if page.probe_shared(&p, stats) {
                 stats.results += 1;
                 response.found[slot] = true;
-            } else {
-                stats.points_scanned += points.len() as u64;
             }
         }
     }

@@ -14,6 +14,10 @@
 //! * [`Rfde::fit_weighted`] — the weighted estimator used by the CUR
 //!   baseline, where each point is weighted by the number of distinct
 //!   queries fetching it (Section 6.1).
+//!
+//! Estimation is construction-time only: query execution (including the
+//! engine's fused batch kernels) never consults the estimator, so its cost
+//! is charged to build time alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

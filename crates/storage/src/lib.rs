@@ -11,6 +11,11 @@
 //! * [`ExecStats`], [`StatsSummary`], [`StatsCollector`] — the execution
 //!   counters (bounding boxes checked, pages scanned, excess points,
 //!   projection vs scan time) reported throughout the paper's evaluation.
+//!
+//! The counters double as the query engine's *fusion ledger*: fused batch
+//! kernels charge per-query work to per-query [`ExecStats`] and shared
+//! page visits to a batch-level record, and [`StatsCollector`] aggregates
+//! per-shard stats from parallel sweep workers thread-safely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -138,6 +138,15 @@ impl Page {
     /// in the page, recording the comparisons performed.
     pub fn probe(&self, p: &Point, stats: &mut ExecStats) -> bool {
         stats.pages_scanned += 1;
+        self.probe_shared(p, stats)
+    }
+
+    /// [`Page::probe`] without the page-visit charge: the fused point-batch
+    /// kernels fetch a page once per probe *group* (charged to the batch's
+    /// shared stats) while every probe still pays its own comparisons —
+    /// this is the one definition of those comparison charges, so the
+    /// fused and sequential paths cannot drift apart.
+    pub fn probe_shared(&self, p: &Point, stats: &mut ExecStats) -> bool {
         for (i, q) in self.points.iter().enumerate() {
             if q == p {
                 stats.points_scanned += i as u64 + 1;

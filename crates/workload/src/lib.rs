@@ -14,9 +14,12 @@
 //!   machinery of Figure 12;
 //! * [`uniform_dataset`] / [`sample_point_queries`] — inputs for the insert
 //!   (Figure 11) and point-query (Figure 10) experiments;
-//! * [`generate_mixed_batch`] — deterministic mixed batches of typed
-//!   [`wazi_core::Query`] plans (range/point/kNN) for the query engine's
-//!   batch executor.
+//! * [`generate_mixed_batch`] / [`generate_overlapping_batch`] /
+//!   [`generate_point_batch`] / [`generate_knn_batch`] — deterministic
+//!   batches of typed [`wazi_core::Query`] plans for the query engine's
+//!   batch executor: heterogeneous mixes, hotspot-concentrated range
+//!   batches for the fused sweeps, hot-key probe batches, and clustered
+//!   kNN plans.
 //!
 //! All generators are deterministic given their seeds, so every experiment
 //! in `wazi-bench` is reproducible bit-for-bit.

@@ -20,6 +20,10 @@
 //! * [`mod@bench`] — the experiment harness reproducing every table and
 //!   figure, including the `batch` experiment comparing sequential vs fused
 //!   batch execution (`BENCH_batch.json`).
+//!
+//! Entry points for humans: the repository README for the quickstart and
+//! pointer map, `docs/ENGINE.md` for the batch-execution pipeline guide,
+//! and `ROADMAP.md` for the architecture narrative and open items.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

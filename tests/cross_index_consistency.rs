@@ -347,9 +347,10 @@ fn fused_bb_checks_never_exceed_sequential_on_any_index() {
             );
         }
     }
-    assert!(
-        kernels_seen >= 5,
-        "expected batch kernels on Base/WaZI variants, Flood and Zpgm, saw {kernels_seen}"
+    assert_eq!(
+        kernels_seen, 9,
+        "every index kind fuses range batches now — the Z-index variants, Flood, \
+         Zpgm's BIGMIN sweep and the tree baselines STR/CUR/QUASII"
     );
 }
 
@@ -506,10 +507,40 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
                 sequential.total_results(),
                 "{kind}/{label}: result counts diverge"
             );
-            assert_eq!(
-                report.merged_stats().results,
-                sequential.merged_stats().results,
-                "{kind}/{label}: results counter diverges"
+            // Counter equality across the whole mix: every fused kernel —
+            // range sweep, leaf-grouped probes, kNN rings — must replicate
+            // each plan's solo walk exactly; only page visits may be
+            // shared, never added.
+            let fused_totals = report.merged_stats();
+            let sequential_totals = sequential.merged_stats();
+            for (counter, a, b) in [
+                ("results", fused_totals.results, sequential_totals.results),
+                (
+                    "points_scanned",
+                    fused_totals.points_scanned,
+                    sequential_totals.points_scanned,
+                ),
+                (
+                    "bbs_checked",
+                    fused_totals.bbs_checked,
+                    sequential_totals.bbs_checked,
+                ),
+                (
+                    "nodes_visited",
+                    fused_totals.nodes_visited,
+                    sequential_totals.nodes_visited,
+                ),
+                (
+                    "leaves_skipped",
+                    fused_totals.leaves_skipped,
+                    sequential_totals.leaves_skipped,
+                ),
+            ] {
+                assert_eq!(a, b, "{kind}/{label}: merged {counter} diverges");
+            }
+            assert!(
+                fused_totals.pages_scanned <= sequential_totals.pages_scanned,
+                "{kind}/{label}: fusion added page visits"
             );
             // The per-plan-type fused counters account for exactly the
             // partitions the index's kernels can take.
@@ -528,6 +559,88 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
                 if has_range_kernel { knns } else { 0 },
                 "{kind}/{label}"
             );
+        }
+    }
+}
+
+/// The fused kernels must not trip over degenerate index shapes: an empty
+/// index, a single-leaf tree (fewer points than one page) and an index of
+/// all-duplicate points (one leaf MBR collapsed to a point; hot-key probes
+/// all landing in one group). For every index kind and every strategy,
+/// outputs and work counters must match the sequential loop on a batch
+/// spiced with plans that hit, miss and straddle the degenerate geometry.
+#[test]
+fn fused_kernels_handle_degenerate_indexes() {
+    let duplicate = Point::new(0.25, 0.75);
+    let datasets: Vec<(&str, Vec<Point>)> = vec![
+        ("empty", Vec::new()),
+        (
+            "single-leaf",
+            vec![Point::new(0.4, 0.6), Point::new(0.42, 0.58)],
+        ),
+        ("all-duplicates", vec![duplicate; 300]),
+    ];
+    let train = generate_queries(Region::NewYork, 40, SELECTIVITIES[1]);
+    let batch = vec![
+        wazi_core::Query::range(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+        wazi_core::Query::range(Rect::from_coords(0.2, 0.5, 0.45, 0.8)),
+        wazi_core::Query::range_count(Rect::from_coords(0.2, 0.5, 0.45, 0.8)),
+        wazi_core::Query::range_count(Rect::from_coords(0.9, 0.9, 0.95, 0.95)),
+        wazi_core::Query::range_count(Rect::from_coords(2.0, 2.0, 3.0, 3.0)),
+        wazi_core::Query::point(duplicate),
+        wazi_core::Query::point(duplicate),
+        wazi_core::Query::point(Point::new(0.4, 0.6)),
+        wazi_core::Query::point(Point::new(5.0, -5.0)),
+        wazi_core::Query::knn(duplicate, 3),
+        wazi_core::Query::knn(Point::new(0.5, 0.5), 2),
+        wazi_core::Query::knn(Point::new(0.5, 0.5), 0),
+    ];
+    for (label, points) in &datasets {
+        for kind in all_kinds() {
+            let built = build_index(kind, points, &train, 32);
+            let sequential = QueryEngine::new(built.index.as_ref())
+                .execute_batch(&batch)
+                .expect("sequential batch executes");
+            for (strategy_label, strategy) in [
+                ("fused", BatchStrategy::Fused),
+                (
+                    "fused-parallel/2",
+                    BatchStrategy::FusedParallel { shards: 2 },
+                ),
+                (
+                    "fused-parallel/4",
+                    BatchStrategy::FusedParallel { shards: 4 },
+                ),
+            ] {
+                let report = QueryEngine::new(built.index.as_ref())
+                    .with_strategy(strategy)
+                    .execute_batch(&batch)
+                    .expect("fused batch executes");
+                for (i, (got, want)) in report.reports.iter().zip(&sequential.reports).enumerate() {
+                    assert_eq!(
+                        got.output, want.output,
+                        "{kind}/{label}/{strategy_label}: output {i} differs"
+                    );
+                }
+                let fused_totals = report.merged_stats();
+                let sequential_totals = sequential.merged_stats();
+                assert_eq!(
+                    fused_totals.results, sequential_totals.results,
+                    "{kind}/{label}/{strategy_label}: results diverge"
+                );
+                assert_eq!(
+                    fused_totals.points_scanned, sequential_totals.points_scanned,
+                    "{kind}/{label}/{strategy_label}: points_scanned diverges"
+                );
+                assert_eq!(
+                    fused_totals.bbs_checked, sequential_totals.bbs_checked,
+                    "{kind}/{label}/{strategy_label}: bbs_checked diverges"
+                );
+                assert!(
+                    fused_totals.pages_scanned <= sequential_totals.pages_scanned,
+                    "{kind}/{label}/{strategy_label}: fusion added page visits"
+                );
+            }
         }
     }
 }

@@ -10,8 +10,9 @@
 //! jump over runs of codes outside the query rectangle.
 
 use wazi_core::{
-    IndexError, PointBatchKernel, PointBatchResponse, RangeBatchKernel, RangeBatchOutput,
-    RangeBatchRequest, RangeBatchResponse, SpatialIndex,
+    run_full_sweep, BatchProjection, IndexError, KernelClass, PointBatchKernel, PointBatchResponse,
+    RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, ShardBounds,
+    ShardedRangeBatchKernel, SpatialIndex, SweepInterval,
 };
 use wazi_geom::zorder::{bigmin, ZOrderMapper};
 use wazi_geom::{Point, Rect};
@@ -208,43 +209,117 @@ impl SpatialIndex for ZOrderSorted {
 /// save — fusion buys ordering and shared entry loads, not fewer pages —
 /// so on heavily stacked batches the sweep's per-step coordination can
 /// cost wall-clock relative to the per-request loop while counters stay
-/// identical. The batch experiment reports both so the trade is visible.
+/// identical. The kernel declares [`KernelClass::FlatArray`] so the
+/// engine's `Auto` strategy routes such batches to the sequential loop
+/// unless parallelism can split the sweep.
 impl RangeBatchKernel for ZOrderSorted {
     fn run_range_batch(&self, requests: &[RangeBatchRequest]) -> RangeBatchResponse {
+        if self.entries.is_empty() {
+            return RangeBatchResponse::zeroed(requests);
+        }
+        run_full_sweep(self, requests, self.entries.len() as u32)
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    fn cost_class(&self) -> KernelClass {
+        KernelClass::FlatArray
+    }
+}
+
+/// The sorted array's sharded capability: the sweep address space is the
+/// entry array itself (one address per sorted `(code, point)` pair), and a
+/// shard owns every request whose code interval's first array position —
+/// the position the sequential scan's initial binary search lands on —
+/// falls inside its bounds. The owning shard runs the request's whole
+/// shared-BIGMIN walk, jumps included, so per-request counters are
+/// bit-identical for every shard count by the same argument as the other
+/// sharded kernels: each walk *is* the solo sequential walk.
+///
+/// No [`ShardedRangeBatchKernel::address_counts`] override is needed: one
+/// address holds exactly one point, so the coverage planner's unit weights
+/// already measure scan work exactly.
+impl ShardedRangeBatchKernel for ZOrderSorted {
+    fn project_batch(&self, requests: &[RangeBatchRequest]) -> BatchProjection {
+        let projection_start = std::time::Instant::now();
+        let intervals = requests
+            .iter()
+            .map(|request| {
+                let (lo_code, hi_code) = self.mapper.query_interval(&request.rect);
+                // First array position the sequential scan examines. It may
+                // equal `entries.len()` — the scan starts past the end and
+                // charges nothing; such a request is owned by no in-range
+                // shard and correctly produces a zeroed slot.
+                let lo = self.lower_bound(lo_code) as u32;
+                // Last entry inside the code interval. An empty interval
+                // (no entry with lo_code <= code <= hi_code) clamps to a
+                // degenerate one-address interval at `lo`, where the sweep
+                // examines one code and charges nothing — exactly like the
+                // sequential scan's immediate break.
+                let end = self.entries.partition_point(|(c, _)| *c <= hi_code);
+                let hi = (end.saturating_sub(1) as u32).max(lo);
+                SweepInterval { lo, hi }
+            })
+            .collect();
+        BatchProjection {
+            intervals,
+            // The binary searches are re-run by the owning shard's sweep;
+            // like Flood's column projection, this phase charges no
+            // per-query counters, only its wall-clock.
+            per_query: vec![ExecStats::default(); requests.len()],
+            elapsed_ns: projection_start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn sweep_shard(
+        &self,
+        requests: &[RangeBatchRequest],
+        projection: &BatchProjection,
+        bounds: ShardBounds,
+    ) -> RangeBatchResponse {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
         let mut response = RangeBatchResponse::zeroed(requests);
-        if requests.is_empty() || self.entries.is_empty() {
+        let entry_count = self.entries.len() as u32;
+        if bounds.start >= bounds.end || bounds.start >= entry_count {
             return response;
         }
-        let projection_start = std::time::Instant::now();
         // Per-request sweep state, packed into one record so the hot loop
         // touches a single cache line per due request: the interval codes,
-        // the filter rectangle and the miss counter. Each request enters
-        // the sweep parked at its interval's first array position.
+        // the filter rectangle and the miss counter. Each owned request
+        // enters the sweep parked at its interval's first array position.
         struct SweepState {
             lo_code: u64,
             hi_code: u64,
             rect: Rect,
             misses: usize,
         }
-        let mut states: Vec<SweepState> = Vec::with_capacity(requests.len());
-        let mut parked: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
-        for (qi, request) in requests.iter().enumerate() {
-            let (lo_code, hi_code) = self.mapper.query_interval(&request.rect);
-            states.push(SweepState {
-                lo_code,
-                hi_code,
+        let mut states: Vec<SweepState> = requests
+            .iter()
+            .map(|request| SweepState {
+                lo_code: 0,
+                hi_code: 0,
                 rect: request.rect,
                 misses: 0,
-            });
-            let start = self.lower_bound(lo_code);
-            if start < self.entries.len() {
-                parked.push(Reverse((start, qi)));
+            })
+            .collect();
+        let mut parked: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        for (qi, interval) in projection.intervals.iter().enumerate() {
+            if interval.lo < bounds.start || interval.lo >= bounds.end {
+                continue; // another shard owns this request
             }
+            let (lo_code, hi_code) = self.mapper.query_interval(&states[qi].rect);
+            states[qi].lo_code = lo_code;
+            states[qi].hi_code = hi_code;
+            parked.push(Reverse((interval.lo as usize, qi)));
         }
-        response.shared.projection_ns += projection_start.elapsed().as_nanos() as u64;
 
         let scan_start = std::time::Instant::now();
         let mut hot: Vec<usize> = Vec::new();
@@ -488,5 +563,75 @@ mod tests {
             response.per_query.iter().any(|s| s.leaves_skipped > 0),
             "elongated queries must exercise the BIGMIN jumps"
         );
+    }
+
+    /// Owner-based sharding of the entry array must reproduce the single
+    /// fused sweep bit-for-bit — outputs, comparisons and BIGMIN skips —
+    /// for every shard count, including plans that cut through the middle
+    /// of crossing intervals.
+    #[test]
+    fn sharded_sweep_is_bit_identical_for_every_shard_count() {
+        use wazi_core::{merge_shard_responses, plan_shard_bounds};
+        let points = dataset(20_000, 5);
+        let index = ZOrderSorted::with_default_bits(points);
+        let mut rects: Vec<Rect> = (0..6)
+            .map(|i| {
+                let x = 0.1 + 0.12 * i as f64;
+                Rect::from_coords(x, 0.05, x + 0.2, 0.95)
+            })
+            .collect();
+        rects.push(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        rects.push(Rect::from_coords(0.93, 0.93, 0.97, 0.97));
+        // A rectangle outside the data bounds: its scan starts past the end
+        // of the array and must stay zeroed in every plan.
+        rects.push(Rect::from_coords(1.5, 1.5, 1.6, 1.6));
+        let requests: Vec<RangeBatchRequest> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, rect)| RangeBatchRequest {
+                rect: *rect,
+                collect: i % 2 == 0,
+            })
+            .collect();
+        let kernel = index.range_batch_kernel().expect("Zpgm fuses ranges");
+        let sharded = kernel.sharded().expect("Zpgm shards its sweep");
+        let full = kernel.run_range_batch(&requests);
+        for shards in [2usize, 3, 4, 8, 64] {
+            let projection = sharded.project_batch(&requests);
+            let plan = plan_shard_bounds(&projection.intervals, shards);
+            let responses: Vec<RangeBatchResponse> = plan
+                .iter()
+                .map(|&bounds| sharded.sweep_shard(&requests, &projection, bounds))
+                .collect();
+            let merged = merge_shard_responses(&requests, &projection, responses);
+            assert_eq!(
+                merged.outputs, full.outputs,
+                "{shards} shards: outputs differ"
+            );
+            for (qi, (got, want)) in merged.per_query.iter().zip(&full.per_query).enumerate() {
+                assert_eq!(
+                    got.points_scanned, want.points_scanned,
+                    "{shards} shards, request {qi}: comparisons differ"
+                );
+                assert_eq!(
+                    got.leaves_skipped, want.leaves_skipped,
+                    "{shards} shards, request {qi}: BIGMIN skips differ"
+                );
+                assert_eq!(got.results, want.results);
+            }
+        }
+    }
+
+    /// An empty index advertises no sharded capability (there is no address
+    /// space to cut), and the flat array declares the flat cost class.
+    #[test]
+    fn sharded_capability_and_cost_class() {
+        let empty = ZOrderSorted::with_default_bits(Vec::new());
+        let kernel = empty.range_batch_kernel().expect("kernel exists");
+        assert!(kernel.sharded().is_none(), "no address space when empty");
+        let index = ZOrderSorted::with_default_bits(dataset(100, 6));
+        let kernel = index.range_batch_kernel().expect("kernel exists");
+        assert!(kernel.sharded().is_some());
+        assert_eq!(kernel.cost_class(), KernelClass::FlatArray);
     }
 }

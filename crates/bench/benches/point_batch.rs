@@ -15,6 +15,7 @@ use wazi_workload::{
 
 fn strategy_label(strategy: BatchStrategy) -> String {
     match strategy {
+        BatchStrategy::Auto => "auto".into(),
         BatchStrategy::Sequential => "sequential".into(),
         BatchStrategy::Fused => "fused".into(),
         BatchStrategy::FusedParallel { shards } => format!("fused-parallel-{shards}"),
@@ -42,6 +43,7 @@ fn bench_point_and_knn_batches(c: &mut Criterion) {
             BatchStrategy::Sequential,
             BatchStrategy::Fused,
             BatchStrategy::FusedParallel { shards: 4 },
+            BatchStrategy::Auto,
         ] {
             let label = strategy_label(strategy);
             group.bench_with_input(

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N]
-//!           [--leaf N] [--shards N] [--json PATH] [--list]
+//!           [--leaf N] [--shards N] [--strategy S] [--smoke]
+//!           [--json PATH] [--list]
 //!
 //! EXPERIMENT   one or more of the identifiers printed by --list
 //!              (default: all)
@@ -12,6 +13,14 @@
 //! --leaf N     leaf capacity L (default 256)
 //! --shards N   shard count for the batch experiment's FusedParallel rows
 //!              (default 4)
+//! --strategy S batch strategies the batch experiment compares:
+//!              auto (default) runs the full suite — sequential, fused,
+//!              fused-parallel/N and the cost-based auto scheduler; a
+//!              fixed value (sequential | fused | fused-parallel) narrows
+//!              the comparison to [sequential, S]
+//! --smoke      start from the tiny smoke-scale context with artifact
+//!              emission off (CI's configuration; later flags still
+//!              override individual knobs)
 //! --json PATH  also write all reports as a JSON array to PATH
 //! --list       print the available experiments and exit
 //! ```
@@ -21,7 +30,13 @@ use wazi_bench::{select, ExperimentContext};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ctx = ExperimentContext::default();
+    // --smoke rebases the whole context, so resolve it before the other
+    // flags are applied on top.
+    let mut ctx = if args.iter().any(|a| a == "--smoke") {
+        ExperimentContext::smoke_run()
+    } else {
+        ExperimentContext::default()
+    };
     let mut experiment_ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut list_only = false;
@@ -38,6 +53,13 @@ fn main() {
             "--points" => ctx.point_queries = parse_number(iter.next(), "--points"),
             "--leaf" => ctx.leaf_capacity = parse_number(iter.next(), "--leaf"),
             "--shards" => ctx.batch_shards = parse_number(iter.next(), "--shards"),
+            "--strategy" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("--strategy requires a value"));
+                ctx.strategy = value.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--smoke" => {} // already applied above
             "--json" => json_path = iter.next(),
             "--list" => list_only = true,
             "--help" | "-h" => {
@@ -103,6 +125,8 @@ fn parse_number(value: Option<String>, flag: &str) -> usize {
 
 fn print_usage() {
     println!(
-        "usage: reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N] [--leaf N] [--shards N] [--json PATH] [--list]"
+        "usage: reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N] [--leaf N] \
+         [--shards N] [--strategy auto|sequential|fused|fused-parallel] [--smoke] \
+         [--json PATH] [--list]"
     );
 }

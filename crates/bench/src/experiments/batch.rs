@@ -2,18 +2,23 @@
 //!
 //! The paper evaluates queries one at a time; production workloads arrive
 //! in batches. This experiment drives every index through the typed query
-//! engine's batch executor and compares three schedules: the default
-//! sequential loop, the fused strategy (a batch's range plans share one
-//! sweep through the index's batched kernel, so pages relevant to several
-//! overlapping queries are scanned once per batch) and the parallel fused
-//! strategy (the sweep's address span is partitioned into work-balanced
-//! shards swept on worker threads). Every overview index participates —
-//! the Z-indexes and Flood, the tree baselines STR / CUR / QUASII over
-//! their own node layouts, and Zpgm's shared BIGMIN sweep — so the fused
-//! comparison is genuinely cross-index. A dedicated shard-scaling table
-//! sweeps the shard count on a large overlapping batch for every index
-//! with a sharded kernel. Besides the usual reports, the experiment emits its
-//! tables as `BENCH_batch.json` in the working directory — the
+//! engine's batch executor and compares four schedules: the sequential
+//! loop, the fused strategy (a batch's range plans share one sweep through
+//! the index's batched kernel, so pages relevant to several overlapping
+//! queries are scanned once per batch), the parallel fused strategy (the
+//! sweep's address span is partitioned into work-balanced shards swept on
+//! worker threads) and the cost-based `Auto` scheduler, which picks among
+//! the fixed strategies per batch partition from cheap projection
+//! statistics. Every overview index participates — the Z-indexes and
+//! Flood, the tree baselines STR / CUR / QUASII over their own node
+//! layouts, and Zpgm's shared BIGMIN sweep — so the comparison is
+//! genuinely cross-index. A dedicated shard-scaling table sweeps the shard
+//! count on a large overlapping batch for every index with a sharded
+//! kernel (all seven, now that Zpgm's flat entry array splits by code
+//! range), a scattered low-overlap table exercises the case fusion cannot
+//! win, and a decision table prints what `Auto` chose with its predicted
+//! versus measured costs. Besides the usual reports, the experiment emits
+//! its tables as `BENCH_batch.json` in the working directory — the
 //! machine-readable artifact CI and regression tooling consume — unless
 //! the context disables artifact emission (test contexts do, so tiny smoke
 //! runs never clobber the committed file).
@@ -22,14 +27,23 @@ use super::{workload_setup, ExperimentContext};
 use crate::measure::{format_ns, measure_query_batch, BatchMeasurement};
 use crate::report::Report;
 use crate::suite::{build_index, IndexKind};
-use wazi_core::{BatchStrategy, Query, SpatialIndex};
-use wazi_workload::{generate_mixed_batch, generate_overlapping_batch, Region, SELECTIVITIES};
+use wazi_core::{BatchStrategy, ChosenStrategy, Query, SpatialIndex, StrategyDecisions};
+use wazi_workload::{
+    generate_mixed_batch, generate_overlapping_batch, generate_scattered_batch, Region,
+    SELECTIVITIES,
+};
 
 /// The overlapping-range workload: the highest selectivity of Table 2 over
 /// the most concentrated query profile, so consecutive queries hit shared
 /// pages — the case batching exists for.
 const BATCH_REGION: Region = Region::NewYork;
 const BATCH_SELECTIVITY: f64 = SELECTIVITIES[3];
+
+/// The scattered workload: a modest batch of tiny stratified queries with
+/// almost nothing to share, so the per-query loop must win and the cost
+/// model must say so.
+const SCATTERED_BATCH: usize = 256;
+const SCATTERED_SELECTIVITY: f64 = SELECTIVITIES[0];
 
 /// Shard counts swept by the shard-scaling table (1 = the single-threaded
 /// fused sweep the parallel rows are judged against).
@@ -40,9 +54,65 @@ const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// whatever the context's workload size is.
 const MIN_PARALLEL_BATCH: usize = 2_000;
 
+/// Hard misprediction budget: Auto's wall-clock must land within this
+/// percentage of the best fixed strategy on the same batch...
+const AUTO_TOLERANCE_PERCENT: u64 = 10;
+/// ...plus this absolute slack, which absorbs scheduler noise on the
+/// sub-millisecond batches of smoke-scale runs.
+const AUTO_SLACK_NS: u64 = 3_000_000;
+
 /// File the experiment's reports are serialised to (JSON array, same format
 /// as the `reproduce` binary's `--json` output).
 pub const BATCH_JSON_PATH: &str = "BENCH_batch.json";
+
+/// The latency Auto must stay under to count as predicting well against the
+/// best fixed strategy's wall-clock.
+fn misprediction_budget(best_fixed_ns: u64) -> u64 {
+    best_fixed_ns + best_fixed_ns * AUTO_TOLERANCE_PERCENT / 100 + AUTO_SLACK_NS
+}
+
+/// Decision sanity: the choices no calibration is allowed to make, checked
+/// on every Auto measurement the experiment takes. A violation is a cost
+/// model bug, not noise, so these fail the run outright.
+fn assert_decisions_sane(
+    kind: IndexKind,
+    batch_name: &str,
+    decisions: &StrategyDecisions,
+    workers: usize,
+) {
+    for (partition, decision) in decisions.iter() {
+        if workers == 1 {
+            assert!(
+                !matches!(decision.chosen, ChosenStrategy::FusedParallel { .. }),
+                "{kind}/{batch_name}/{partition}: Auto chose a parallel schedule \
+                 on a single-core host"
+            );
+        }
+    }
+    // Zpgm's flat code array has no page fetches to share: the plain fused
+    // sweep can only add coordination overhead, so Auto must never pick it
+    // for the range partition (and on a single-core host — where parallel
+    // sweeps are off the table too — that leaves exactly the sequential
+    // loop).
+    if kind == IndexKind::Zpgm {
+        if let Some(range) = decisions.range {
+            assert_ne!(
+                range.chosen,
+                ChosenStrategy::Fused,
+                "Zpgm/{batch_name}: Auto picked the plain fused sweep for a \
+                 flat code array"
+            );
+            if workers == 1 {
+                assert_eq!(
+                    range.chosen,
+                    ChosenStrategy::Sequential,
+                    "Zpgm/{batch_name}: the only schedule that can win on a \
+                     flat array without worker threads is the per-query loop"
+                );
+            }
+        }
+    }
+}
 
 fn pages_row(kind: IndexKind, m: &BatchMeasurement, strategy: &str) -> Vec<String> {
     vec![
@@ -68,10 +138,24 @@ fn measure_warm(
     measure_query_batch(index, batch, strategy)
 }
 
-/// The batch experiment: sequential vs fused vs parallel-fused execution of
-/// an overlapping range batch on every primary index, a mixed
-/// range/point/kNN batch exercising the heterogeneous path, and a
-/// shard-count sweep on a large overlapping batch for the sharded kernels.
+/// Finds the auto measurement and the best fixed wall-clock of one labelled
+/// strategy sweep, when the sweep included Auto.
+fn auto_vs_best_fixed(measured: &[(String, BatchMeasurement)]) -> Option<(BatchMeasurement, u64)> {
+    let auto = measured.iter().find(|(label, _)| label == "auto")?.1;
+    let best_fixed = measured
+        .iter()
+        .filter(|(label, _)| label != "auto")
+        .map(|(_, m)| m.batch_latency_ns)
+        .min()?;
+    Some((auto, best_fixed))
+}
+
+/// The batch experiment: sequential vs fused vs parallel-fused vs
+/// cost-based auto execution of an overlapping range batch on every
+/// overview index, a mixed range/point/kNN batch exercising the
+/// heterogeneous path, a scattered low-overlap batch the scheduler must
+/// route sequentially, a shard-count sweep on a large overlapping batch
+/// for the sharded kernels, and the decision table of what Auto chose.
 pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
     let (points, train, eval) =
         workload_setup(ctx, BATCH_REGION, BATCH_SELECTIVITY, ctx.dataset_size);
@@ -88,20 +172,21 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         BATCH_SELECTIVITY,
         ctx.seed ^ 0x5AAD,
     );
-    let strategies = [
-        ("sequential".to_string(), BatchStrategy::Sequential),
-        ("fused".to_string(), BatchStrategy::Fused),
-        (
-            format!("fused-parallel/{}", ctx.batch_shards),
-            BatchStrategy::FusedParallel {
-                shards: ctx.batch_shards,
-            },
-        ),
-    ];
+    let scattered_batch = generate_scattered_batch(
+        BATCH_REGION,
+        SCATTERED_BATCH,
+        SCATTERED_SELECTIVITY,
+        ctx.seed ^ 0x5CA7,
+    );
+    let strategies = ctx.strategy.comparison(ctx.batch_shards);
+    let auto_enabled = strategies
+        .iter()
+        .any(|(_, strategy)| *strategy == BatchStrategy::Auto);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut overlap = Report::new(
         "batch-range",
-        "Sequential vs fused vs parallel execution of an overlapping range batch",
+        "Sequential vs fused vs parallel vs auto execution of an overlapping range batch",
     )
     .with_headers(&[
         "Index",
@@ -125,6 +210,19 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "Time r/p/k",
         "Batch latency",
     ]);
+    let mut scattered = Report::new(
+        "batch-scattered",
+        "Scattered low-overlap range batch: the case fusion cannot win",
+    )
+    .with_headers(&[
+        "Index",
+        "Strategy",
+        "Pages scanned",
+        "Points scanned",
+        "BBs checked",
+        "Results",
+        "Batch latency",
+    ]);
     let mut scaling = Report::new(
         "batch-shards",
         "Parallel fused sweep over a large overlapping batch: shard-count scaling",
@@ -138,6 +236,20 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "Batch latency",
         "Speedup vs 1 shard",
     ]);
+    let mut decisions_table = Report::new(
+        "batch-decisions",
+        "Auto's per-partition decisions on the mixed batch: predicted vs measured cost",
+    )
+    .with_headers(&[
+        "Index",
+        "Partition",
+        "Queries",
+        "Chosen",
+        "Pred sequential",
+        "Pred fused",
+        "Pred parallel",
+        "Measured",
+    ]);
 
     // One pass over the overview suite, each index built exactly once.
     // Since every index of the suite now implements the fused range kernel
@@ -145,11 +257,14 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
     // their own node layouts, Zpgm through the shared BIGMIN sweep — the
     // overlap table covers all seven overview kinds and *asserts* the
     // fusion contract on every row: identical results, and never more
-    // pages or bounding-box checks than the sequential loop.
+    // pages or bounding-box checks than the sequential loop. Auto rows
+    // additionally assert the misprediction budget: the scheduled batch
+    // must land within tolerance of the best fixed strategy.
     for &kind in &IndexKind::OVERVIEW {
         let built = build_index(kind, &points, &train, ctx.leaf_capacity);
         let index = built.index.as_ref();
         let baseline = measure_warm(index, &range_batch, BatchStrategy::Sequential);
+        let mut measured: Vec<(String, BatchMeasurement)> = Vec::new();
         for (label, strategy) in &strategies {
             let m = measure_warm(index, &range_batch, *strategy);
             assert_eq!(
@@ -169,11 +284,48 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
                 baseline.totals.bbs_checked
             );
             overlap.push_row(pages_row(kind, &m, label));
+            measured.push((label.clone(), m));
+        }
+        if let Some((auto_m, best_fixed)) = auto_vs_best_fixed(&measured) {
+            assert!(
+                auto_m.batch_latency_ns <= misprediction_budget(best_fixed),
+                "{kind}/range: Auto mispredicted — {} vs best fixed {}",
+                format_ns(auto_m.batch_latency_ns as f64),
+                format_ns(best_fixed as f64)
+            );
+            assert_decisions_sane(kind, "overlap", &auto_m.decisions, workers);
         }
 
-        // Shard scaling only means something for indexes whose kernel can
-        // actually split its sweep (today: every overview index but Zpgm,
-        // whose flat-array sweep is not sharded).
+        // The scattered batch: stratified tiny queries with almost no
+        // shared pages, so a fused sweep's setup buys nothing. The cost
+        // model must keep Auto within budget of the winning strategy —
+        // on Zpgm's flat array that winner is the per-query loop, and
+        // choosing the plain fused sweep there fails the run.
+        let scattered_baseline = measure_warm(index, &scattered_batch, BatchStrategy::Sequential);
+        let mut scattered_measured: Vec<(String, BatchMeasurement)> = Vec::new();
+        for (label, strategy) in &strategies {
+            let m = measure_warm(index, &scattered_batch, *strategy);
+            assert_eq!(
+                scattered_baseline.total_results, m.total_results,
+                "{kind}/{label}: scattered-batch results diverge from sequential"
+            );
+            scattered.push_row(pages_row(kind, &m, label));
+            scattered_measured.push((label.clone(), m));
+        }
+        if let Some((auto_m, best_fixed)) = auto_vs_best_fixed(&scattered_measured) {
+            assert!(
+                auto_m.batch_latency_ns <= misprediction_budget(best_fixed),
+                "{kind}/scattered: Auto mispredicted — {} vs best fixed {}",
+                format_ns(auto_m.batch_latency_ns as f64),
+                format_ns(best_fixed as f64)
+            );
+            assert_decisions_sane(kind, "scattered", &auto_m.decisions, workers);
+        }
+
+        // Shard scaling for every index whose kernel can split its sweep —
+        // since Zpgm's entry array partitions by code range, that is the
+        // whole overview suite. The closing `auto` row shows what the
+        // scheduler does with the same big overlapping batch.
         if index
             .range_batch_kernel()
             .is_some_and(|k| k.sharded().is_some())
@@ -196,6 +348,39 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
                     format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
                 ]);
             }
+            if auto_enabled {
+                let m = measure_warm(index, &parallel_batch, BatchStrategy::Auto);
+                assert_decisions_sane(kind, "parallel", &m.decisions, workers);
+                // On this heavily overlapping batch the page-backed
+                // indexes have real fetches to share: a scheduler that
+                // falls back to the per-query loop here has its
+                // calibration upside down.
+                if let Some(range) = m.decisions.range {
+                    if kind != IndexKind::Zpgm {
+                        assert_ne!(
+                            range.chosen,
+                            ChosenStrategy::Sequential,
+                            "{kind}/parallel: Auto refused to fuse a heavily \
+                             overlapping batch on a page-backed index"
+                        );
+                    }
+                }
+                let base = one_shard_ns.unwrap_or(1);
+                scaling.push_row(vec![
+                    kind.name().to_string(),
+                    format!(
+                        "auto ({})",
+                        m.decisions
+                            .range
+                            .map_or("-".to_string(), |d| d.chosen.to_string())
+                    ),
+                    m.totals.pages_scanned.to_string(),
+                    m.totals.bbs_checked.to_string(),
+                    m.total_results.to_string(),
+                    format_ns(m.batch_latency_ns as f64),
+                    format!("{:.2}x", base as f64 / m.batch_latency_ns.max(1) as f64),
+                ]);
+            }
         }
 
         // The mixed batch runs on every overview index — Zpgm included,
@@ -207,34 +392,31 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         // sequential on any partition of a kernel-backed index. CI runs
         // this experiment at 1 and 4 shards on every push, so a divergence
         // fails the build.
-        let mut sequential_reference: Option<BatchMeasurement> = None;
+        let mut mixed_measured: Vec<(String, BatchMeasurement)> = Vec::new();
         for (label, strategy) in &strategies {
             let m = measure_warm(index, &mixed_batch, *strategy);
-            match &sequential_reference {
-                None => sequential_reference = Some(m),
-                Some(reference) => {
+            if let Some((_, reference)) = mixed_measured.first() {
+                assert_eq!(
+                    m.total_results, reference.total_results,
+                    "{kind}/{label}: fused mixed-batch results diverge from sequential"
+                );
+                for (plan, fused_kind, sequential_kind) in [
+                    ("range", &m.range_kind, &reference.range_kind),
+                    ("point", &m.point_kind, &reference.point_kind),
+                    ("knn", &m.knn_kind, &reference.knn_kind),
+                ] {
                     assert_eq!(
-                        m.total_results, reference.total_results,
-                        "{kind}/{label}: fused mixed-batch results diverge from sequential"
+                        fused_kind.results, sequential_kind.results,
+                        "{kind}/{label}: {plan} partition results diverge"
                     );
-                    for (plan, fused_kind, sequential_kind) in [
-                        ("range", &m.range_kind, &reference.range_kind),
-                        ("point", &m.point_kind, &reference.point_kind),
-                        ("knn", &m.knn_kind, &reference.knn_kind),
-                    ] {
-                        assert_eq!(
-                            fused_kind.results, sequential_kind.results,
-                            "{kind}/{label}: {plan} partition results diverge"
+                    if index.range_batch_kernel().is_some() {
+                        assert!(
+                            fused_kind.pages_scanned <= sequential_kind.pages_scanned,
+                            "{kind}/{label}: {plan} partition pages regressed \
+                             ({} fused vs {} sequential)",
+                            fused_kind.pages_scanned,
+                            sequential_kind.pages_scanned
                         );
-                        if index.range_batch_kernel().is_some() {
-                            assert!(
-                                fused_kind.pages_scanned <= sequential_kind.pages_scanned,
-                                "{kind}/{label}: {plan} partition pages regressed \
-                                 ({} fused vs {} sequential)",
-                                fused_kind.pages_scanned,
-                                sequential_kind.pages_scanned
-                            );
-                        }
                     }
                 }
             }
@@ -257,6 +439,45 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
                 ),
                 format_ns(m.batch_latency_ns as f64),
             ]);
+            mixed_measured.push((label.clone(), m));
+        }
+        if let Some((auto_m, _)) = auto_vs_best_fixed(&mixed_measured) {
+            assert_decisions_sane(kind, "mixed", &auto_m.decisions, workers);
+            for (partition, decision) in auto_m.decisions.iter() {
+                let (pred_seq, pred_fused, pred_par) = match decision.estimate {
+                    Some(e) => (
+                        format_ns(e.sequential_ns as f64),
+                        format_ns(e.fused_ns as f64),
+                        e.fused_parallel_ns.map_or("-".to_string(), |ns| {
+                            format!("{} ({} shards)", format_ns(ns as f64), e.shards)
+                        }),
+                    ),
+                    None => ("-".to_string(), "-".to_string(), "-".to_string()),
+                };
+                decisions_table.push_row(vec![
+                    kind.name().to_string(),
+                    partition.to_string(),
+                    decision.queries.to_string(),
+                    decision.chosen.to_string(),
+                    pred_seq,
+                    pred_fused,
+                    pred_par,
+                    format_ns(decision.actual_ns as f64),
+                ]);
+            }
+            // The satellite fix this table exists to guard: under Auto,
+            // Zpgm's mixed batch must not regress against the sequential
+            // loop (the fused-mixed caveat of earlier revisions).
+            if kind == IndexKind::Zpgm {
+                let sequential_ns = mixed_measured[0].1.batch_latency_ns;
+                assert!(
+                    auto_m.batch_latency_ns
+                        <= sequential_ns + sequential_ns * 15 / 100 + AUTO_SLACK_NS,
+                    "Zpgm/mixed: Auto ({}) regressed against sequential ({})",
+                    format_ns(auto_m.batch_latency_ns as f64),
+                    format_ns(sequential_ns as f64)
+                );
+            }
         }
     }
 
@@ -269,10 +490,11 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
     overlap.push_note(
         "asserted per row (all seven overview indexes fuse range batches through their \
          own kernels): fused results equal sequential, fused pages and BB checks never \
-         exceed sequential. Expected shape: the page-backed indexes (WaZI, Base, STR, \
+         exceed sequential, and the auto row lands within 10% (+3 ms slack) of the best \
+         fixed strategy. Expected shape: the page-backed indexes (WaZI, Base, STR, \
          CUR, Flood, QUASII) scan strictly fewer pages fused on this overlapping batch; \
-         Zpgm's flat code array charges no pages, its fused win is the shared BIGMIN \
-         sweep's locality",
+         Zpgm's flat code array charges no pages, so Auto routes its range partitions \
+         away from the plain fused sweep",
     );
     mixed.push_note(
         "r/p/k columns split each quantity by plan type (range / point probe / kNN); \
@@ -284,29 +506,53 @@ pub fn batch(ctx: &ExperimentContext) -> Vec<Report> {
         "asserted per row: fused results (overall and per plan type) equal sequential, \
          and no kernel-backed partition scans more pages fused than sequential — the \
          point partition's fused pages drop below sequential wherever probes share \
-         owning pages. Zpgm is the exception that proves the page rule: its flat code \
-         array has no fetches to save, so the shared BIGMIN sweep trades per-step \
-         coordination time for locality at identical counters",
+         owning pages. Zpgm's flat code array has no fetches to save, so the plain \
+         fused sweep used to trade coordination time for nothing on mixed batches; \
+         Auto recognises the flat kernel class and routes that partition through the \
+         per-query loop instead (asserted: Zpgm's auto mixed latency does not regress \
+         against sequential)",
     );
+    scattered.push_note(format!(
+        "{SCATTERED_BATCH} tiny counting queries stratified over a jittered grid \
+         (generate_scattered_batch) at selectivity {:.4}%: coverage ≈ union of covered \
+         addresses, so a fused sweep has almost no shared fetches to amortize its \
+         setup against. Asserted: identical results across strategies, the auto row \
+         within 10% (+slack) of the best fixed strategy, and Zpgm's range decision \
+         never the plain fused sweep (sequential on a single-core host)",
+        SCATTERED_SELECTIVITY * 100.0
+    ));
     scaling.push_note(format!(
         "{} heavily overlapping counting queries (generate_overlapping_batch), shard \
-         bounds planned work-weighted from per-leaf point counts over the batch's \
+         bounds planned work-weighted from per-address point counts over the batch's \
          sweep span; shards = 1 is the single-threaded fused sweep. Address spaces: \
          leaf list (WaZI/Base), column grid (Flood), clustered page list (STR/CUR), \
-         x-slice list (QUASII). BB checks are shard-invariant (owner-based sharding \
-         executes every query's whole walk in one shard); pages may rise slightly \
-         with the shard count because a crossing query's tail refetches pages \
-         another shard also scans — still far below the sequential loop's count",
+         x-slice list (QUASII), flat code-entry array (Zpgm). BB checks are \
+         shard-invariant (owner-based sharding executes every query's whole walk in \
+         one shard); pages may rise slightly with the shard count because a crossing \
+         query's tail refetches pages another shard also scans — still far below the \
+         sequential loop's count. The closing auto row shows the cost model's pick \
+         for the same batch (never a parallel schedule without worker threads; never \
+         the per-query loop for a page-backed index on this much overlap)",
         parallel_batch.len()
     ));
     scaling.push_note(format!(
-        "host available_parallelism = {}: parallel speedup requires hardware threads; \
-         on a single-core host the engine sweeps the planned shards inline, so >1-shard \
-         rows measure sharding overhead only",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        "host available_parallelism = {workers}: parallel speedup requires hardware \
+         threads; on a single-core host the engine sweeps the planned shards inline, \
+         so >1-shard rows measure sharding overhead only"
     ));
+    decisions_table.push_note(
+        "one row per partition of the mixed batch the Auto scheduler decided \
+         (range partitions carry the full cost estimate; point and kNN partitions \
+         are routed by kernel-class rules, so their predicted columns are '-'). \
+         'Measured' is the partition's wall-clock under the chosen schedule",
+    );
+    if !auto_enabled {
+        decisions_table.push_note(
+            "empty: the run's --strategy filter excluded auto, so no decisions were taken",
+        );
+    }
 
-    let reports = vec![overlap, mixed, scaling];
+    let reports = vec![overlap, mixed, scattered, scaling, decisions_table];
     if ctx.emit_artifacts {
         match emit_batch_json(&reports, BATCH_JSON_PATH) {
             Ok(()) => eprintln!("   wrote {BATCH_JSON_PATH}"),
@@ -403,24 +649,26 @@ mod tests {
     fn batch_experiment_produces_rows_for_every_overview_index() {
         let ctx = ExperimentContext::smoke_test();
         let reports = batch(&ctx);
-        assert_eq!(reports.len(), 3);
-        let [overlap, mixed, scaling] = &reports[..] else {
-            panic!("expected three reports");
+        assert_eq!(reports.len(), 5);
+        let [overlap, mixed, scattered, scaling, decisions] = &reports[..] else {
+            panic!("expected five reports");
         };
-        // The overlap and mixed tables cover the whole overview suite (all
-        // seven indexes fuse range batches now) under all three strategies.
-        assert_eq!(overlap.rows.len(), IndexKind::OVERVIEW.len() * 3);
-        assert_eq!(mixed.rows.len(), IndexKind::OVERVIEW.len() * 3);
-        // Every primary index has a sharded kernel today (Zpgm's flat-array
-        // sweep is the one unsharded kernel); the scaling table has one row
-        // per swept shard count for each.
+        // The overlap, scattered and mixed tables cover the whole overview
+        // suite (all seven indexes fuse range batches now) under all four
+        // strategies of the full comparison.
+        assert_eq!(overlap.rows.len(), IndexKind::OVERVIEW.len() * 4);
+        assert_eq!(mixed.rows.len(), IndexKind::OVERVIEW.len() * 4);
+        assert_eq!(scattered.rows.len(), IndexKind::OVERVIEW.len() * 4);
+        // Every overview index has a sharded kernel now (Zpgm's entry array
+        // splits by code range since this revision); the scaling table has
+        // one row per swept shard count for each, plus the auto row.
         assert_eq!(
             scaling.rows.len(),
-            IndexKind::PRIMARY.len() * SHARD_SWEEP.len()
+            IndexKind::OVERVIEW.len() * (SHARD_SWEEP.len() + 1)
         );
         // Every index appears with every strategy.
         for kind in IndexKind::OVERVIEW {
-            for strategy in ["sequential", "fused", "fused-parallel/4"] {
+            for strategy in ["sequential", "fused", "fused-parallel/4", "auto"] {
                 assert!(
                     overlap
                         .rows
@@ -450,6 +698,34 @@ mod tests {
                 fused_counts
             );
         }
+        // The decision table records at least the range decision of every
+        // overview index's mixed batch.
+        for kind in IndexKind::OVERVIEW {
+            assert!(
+                decisions
+                    .rows
+                    .iter()
+                    .any(|r| r[0] == kind.name() && r[1] == "range"),
+                "missing {kind} range decision row"
+            );
+        }
+    }
+
+    /// A narrowed `--strategy` filter shrinks the comparison to
+    /// `[sequential, value]` and leaves the decision table empty.
+    #[test]
+    fn fixed_strategy_filter_narrows_the_comparison() {
+        let mut ctx = ExperimentContext::smoke_test();
+        ctx.strategy = super::super::StrategyFilter::Fused;
+        let reports = batch(&ctx);
+        let [overlap, mixed, scattered, _scaling, decisions] = &reports[..] else {
+            panic!("expected five reports");
+        };
+        assert_eq!(overlap.rows.len(), IndexKind::OVERVIEW.len() * 2);
+        assert_eq!(mixed.rows.len(), IndexKind::OVERVIEW.len() * 2);
+        assert_eq!(scattered.rows.len(), IndexKind::OVERVIEW.len() * 2);
+        assert!(decisions.rows.is_empty());
+        assert!(overlap.rows.iter().all(|r| r[1] != "auto"));
     }
 
     /// The tree-baseline acceptance shape behind `BENCH_batch.json`: on the

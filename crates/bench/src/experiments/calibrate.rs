@@ -1,0 +1,369 @@
+//! Cost-model calibration: where the numbers in
+//! [`wazi_core::CalibrationTable::BAKED`] come from, and how to check them
+//! on the host you are running on.
+//!
+//! The engine's [`wazi_core::BatchStrategy::Auto`] scheduler prices each
+//! candidate schedule with per-kernel-class constants (nanoseconds per
+//! request, per page fetch, per point comparison, ...). Those constants are
+//! baked into the core crate so scheduling never needs a warm-up run — but
+//! baked numbers age with hardware, so this experiment re-fits them from
+//! targeted micro-measurements on two representative indexes (WaZI for the
+//! page-backed class, Zpgm for the flat-array class), prints
+//! baked-versus-fitted per constant, and *asserts* the two things that must
+//! hold regardless of the hardware:
+//!
+//! * each fitted constant is within a loose sanity band of its baked value
+//!   (an order-of-magnitude drift means the model's units are wrong, not
+//!   that the machine is fast), and
+//! * the decision boundaries come out right on the workloads built to pin
+//!   them — Zpgm routes a scattered flat-array batch through the per-query
+//!   loop and measures at least as fast there, while WaZI fuses a heavily
+//!   overlapping batch and measures at least as fast fused.
+//!
+//! When artifact emission is on, the table is written to
+//! `BENCH_calibrate.json`; regenerating the baked table after a hardware
+//! change is a copy-paste of the fitted column into `engine/cost.rs`.
+
+use super::{workload_setup, ExperimentContext};
+use crate::measure::{format_ns, measure_query_batch, BatchMeasurement};
+use crate::report::Report;
+use crate::suite::{build_index, IndexKind};
+use wazi_core::{
+    BatchStrategy, CalibrationTable, ChosenStrategy, CostConstants, Query, SpatialIndex,
+};
+use wazi_workload::{generate_overlapping_batch, generate_scattered_batch, Region, SELECTIVITIES};
+
+/// Region and selectivities mirrored from the batch experiment, so the
+/// calibration workloads are the decision workloads.
+const CALIBRATE_REGION: Region = Region::NewYork;
+const OVERLAP_SELECTIVITY: f64 = SELECTIVITIES[3];
+const SCATTERED_SELECTIVITY: f64 = SELECTIVITIES[0];
+
+/// Sizes of the fitting batches: large enough that per-request terms
+/// dominate timer resolution, small enough for a `--smoke` CI job.
+const FIT_BATCH: usize = 512;
+
+/// A fitted constant may drift this factor from its baked value in either
+/// direction before the sanity assert trips: calibration tracks hardware,
+/// the assert only catches unit-level mistakes.
+const SANITY_BAND: f64 = 64.0;
+
+/// Wall-clock slack for the decision-boundary asserts, absorbing scheduler
+/// noise on sub-millisecond smoke batches.
+const BOUNDARY_SLACK_NS: u64 = 2_000_000;
+
+/// File the fitted table is serialised to when artifact emission is on.
+pub const CALIBRATE_JSON_PATH: &str = "BENCH_calibrate.json";
+
+/// One fitted constant: `None` means the host cannot fit it (for example
+/// the parallel constants on a single-core container) and the baked value
+/// stands.
+struct Fitted {
+    name: &'static str,
+    baked: f64,
+    fitted: Option<f64>,
+}
+
+fn warm(index: &dyn SpatialIndex, batch: &[Query], strategy: BatchStrategy) -> BatchMeasurement {
+    let _ = measure_query_batch(index, batch, strategy);
+    measure_query_batch(index, batch, strategy)
+}
+
+/// Per-point cost fitted from one full-space scan: every point of the
+/// dataset is compared exactly once, so the latency divided by the points
+/// scanned bounds the per-comparison cost (page fetches ride along —
+/// acceptable for a loose fit, they are amortised over the leaf capacity).
+fn fit_point_ns(index: &dyn SpatialIndex) -> Option<f64> {
+    let full = vec![Query::range_count(wazi_geom::Rect::UNIT)];
+    let m = warm(index, &full, BatchStrategy::Sequential);
+    (m.totals.points_scanned > 0)
+        .then(|| m.batch_latency_ns as f64 / m.totals.points_scanned as f64)
+}
+
+/// Per-request setup costs fitted from a scattered batch: subtract the
+/// already-fitted data-touching terms from the batch latency and divide
+/// what remains across the requests.
+fn fit_per_query_ns(m: &BatchMeasurement, point_ns: f64, page_ns: f64) -> Option<f64> {
+    let data_ns =
+        m.totals.points_scanned as f64 * point_ns + m.totals.pages_scanned as f64 * page_ns;
+    let residual = m.batch_latency_ns as f64 - data_ns;
+    (m.queries > 0 && residual > 0.0).then(|| residual / m.queries as f64)
+}
+
+/// Fits the page-backed class on WaZI and the flat class on Zpgm, returning
+/// the per-class constant rows plus the decision-boundary measurements the
+/// asserts and the report both use.
+pub fn calibrate(ctx: &ExperimentContext) -> Vec<Report> {
+    let (points, train, _) =
+        workload_setup(ctx, CALIBRATE_REGION, OVERLAP_SELECTIVITY, ctx.dataset_size);
+    let scattered = generate_scattered_batch(
+        CALIBRATE_REGION,
+        FIT_BATCH,
+        SCATTERED_SELECTIVITY,
+        ctx.seed ^ 0xCA11,
+    );
+    let overlapping = generate_overlapping_batch(
+        CALIBRATE_REGION,
+        FIT_BATCH.max(ctx.workload_size),
+        OVERLAP_SELECTIVITY,
+        ctx.seed ^ 0xF17,
+    );
+
+    let mut table = Report::new(
+        "calibrate-constants",
+        "Cost-model constants: baked (engine/cost.rs) vs fitted on this host",
+    )
+    .with_headers(&["Class", "Constant", "Baked", "Fitted", "Ratio"]);
+    let mut boundaries = Report::new(
+        "calibrate-boundaries",
+        "Decision boundaries under the baked table on this host",
+    )
+    .with_headers(&["Index", "Batch", "Chosen", "Sequential", "Fused", "Auto"]);
+
+    for (kind, class_name, baked) in [
+        (
+            IndexKind::Wazi,
+            "page-backed",
+            CalibrationTable::BAKED.page_backed,
+        ),
+        (IndexKind::Zpgm, "flat", CalibrationTable::BAKED.flat),
+    ] {
+        let built = build_index(kind, &points, &train, ctx.leaf_capacity);
+        let index = built.index.as_ref();
+
+        let point_ns = fit_point_ns(index);
+        // The page term only exists for the page-backed class; attribute a
+        // leaf-capacity's worth of point cost per fetch as its loose fit.
+        let page_ns = match kind {
+            IndexKind::Wazi => point_ns.map(|p| p * ctx.leaf_capacity as f64 * 0.25),
+            _ => None,
+        };
+        let seq_m = warm(index, &scattered, BatchStrategy::Sequential);
+        let fused_m = warm(index, &scattered, BatchStrategy::Fused);
+        let auto_m = warm(index, &scattered, BatchStrategy::Auto);
+        let seq_query_ns = fit_per_query_ns(
+            &seq_m,
+            point_ns.unwrap_or(baked.point_ns),
+            page_ns.unwrap_or(baked.page_ns),
+        );
+        let fused_query_ns = fit_per_query_ns(
+            &fused_m,
+            point_ns.unwrap_or(baked.point_ns),
+            page_ns.unwrap_or(baked.page_ns),
+        )
+        // The fused sweep must price above the sequential loop per
+        // request, or tiny disjoint batches would fuse: clamp the fit to
+        // preserve the model's structural invariant.
+        .map(|ns| ns.max(seq_query_ns.unwrap_or(0.0) * 1.1));
+
+        let fits = constants_rows(&baked, point_ns, page_ns, seq_query_ns, fused_query_ns);
+        for fit in &fits {
+            let (fitted_cell, ratio_cell) = match fit.fitted {
+                Some(f) => {
+                    let ratio = if fit.baked > 0.0 { f / fit.baked } else { 0.0 };
+                    assert!(
+                        ratio < SANITY_BAND && (ratio > 1.0 / SANITY_BAND || fit.baked == 0.0),
+                        "{class_name}/{}: fitted {f:.1} ns is outside the sanity band \
+                         of baked {:.1} ns",
+                        fit.name,
+                        fit.baked
+                    );
+                    (format!("{f:.1}"), format!("{ratio:.2}x"))
+                }
+                None => ("-".to_string(), "-".to_string()),
+            };
+            table.push_row(vec![
+                class_name.to_string(),
+                fit.name.to_string(),
+                format!("{:.1}", fit.baked),
+                fitted_cell,
+                ratio_cell,
+            ]);
+        }
+
+        // Decision boundaries. Scattered: the flat class must go
+        // sequential and measure no slower there; fused setup has nothing
+        // to amortise against on either class.
+        let chosen = auto_m
+            .decisions
+            .range
+            .map(|d| d.chosen)
+            .expect("the scattered batch has a range partition to decide");
+        boundaries.push_row(vec![
+            kind.name().to_string(),
+            "scattered".to_string(),
+            chosen.to_string(),
+            format_ns(seq_m.batch_latency_ns as f64),
+            format_ns(fused_m.batch_latency_ns as f64),
+            format_ns(auto_m.batch_latency_ns as f64),
+        ]);
+        if kind == IndexKind::Zpgm {
+            assert_ne!(
+                chosen,
+                ChosenStrategy::Fused,
+                "calibration boundary: Zpgm's scattered batch must not take the \
+                 plain fused sweep"
+            );
+            assert!(
+                seq_m.batch_latency_ns <= fused_m.batch_latency_ns + BOUNDARY_SLACK_NS,
+                "calibration boundary: Zpgm's sequential scattered batch ({}) \
+                 measured slower than fused ({}) — the flat-class model is wrong",
+                format_ns(seq_m.batch_latency_ns as f64),
+                format_ns(fused_m.batch_latency_ns as f64)
+            );
+        }
+
+        // Overlapping: the page-backed class must fuse and measure no
+        // slower fused.
+        let seq_o = warm(index, &overlapping, BatchStrategy::Sequential);
+        let fused_o = warm(index, &overlapping, BatchStrategy::Fused);
+        let auto_o = warm(index, &overlapping, BatchStrategy::Auto);
+        let chosen_o = auto_o
+            .decisions
+            .range
+            .map(|d| d.chosen)
+            .expect("the overlapping batch has a range partition to decide");
+        boundaries.push_row(vec![
+            kind.name().to_string(),
+            "overlapping".to_string(),
+            chosen_o.to_string(),
+            format_ns(seq_o.batch_latency_ns as f64),
+            format_ns(fused_o.batch_latency_ns as f64),
+            format_ns(auto_o.batch_latency_ns as f64),
+        ]);
+        if kind == IndexKind::Wazi {
+            assert_ne!(
+                chosen_o,
+                ChosenStrategy::Sequential,
+                "calibration boundary: WaZI's heavily overlapping batch must fuse"
+            );
+            assert!(
+                fused_o.batch_latency_ns <= seq_o.batch_latency_ns + BOUNDARY_SLACK_NS,
+                "calibration boundary: WaZI's fused overlapping batch ({}) measured \
+                 slower than sequential ({}) — the page-backed model is wrong",
+                format_ns(fused_o.batch_latency_ns as f64),
+                format_ns(seq_o.batch_latency_ns as f64)
+            );
+        }
+    }
+
+    table.push_note(format!(
+        "fits: point_ns from a full-space scan (latency / points compared), page_ns as \
+         a quarter leaf-capacity of point cost per fetch, per-request constants from a \
+         {FIT_BATCH}-query scattered batch after subtracting the fitted data-touching \
+         terms; '-' marks constants this host cannot fit (the parallel constants need \
+         worker threads — available_parallelism = {}). Asserted: every fitted constant \
+         within {SANITY_BAND:.0}x of its baked value. To re-bake after a hardware \
+         change, copy the fitted column into CalibrationTable::BAKED (engine/cost.rs) \
+         and re-run `reproduce batch`",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    boundaries.push_note(
+        "asserted: Zpgm (flat class) never takes the plain fused sweep on the \
+         scattered batch and measures sequential <= fused there; WaZI (page-backed) \
+         fuses the overlapping batch and measures fused <= sequential. These are the \
+         decision boundaries the Auto scheduler exists to get right — a violation \
+         fails the run, baked constants or not",
+    );
+
+    let reports = vec![table, boundaries];
+    if ctx.emit_artifacts {
+        match std::fs::write(CALIBRATE_JSON_PATH, Report::json_array(&reports)) {
+            Ok(()) => eprintln!("   wrote {CALIBRATE_JSON_PATH}"),
+            Err(e) => eprintln!("   could not write {CALIBRATE_JSON_PATH}: {e}"),
+        }
+    }
+    reports
+}
+
+/// Lays out the per-class constant rows: fitted where this host could
+/// measure, `None` (baked stands) elsewhere.
+fn constants_rows(
+    baked: &CostConstants,
+    point_ns: Option<f64>,
+    page_ns: Option<f64>,
+    seq_query_ns: Option<f64>,
+    fused_query_ns: Option<f64>,
+) -> Vec<Fitted> {
+    vec![
+        Fitted {
+            name: "seq_query_ns",
+            baked: baked.seq_query_ns,
+            fitted: seq_query_ns,
+        },
+        Fitted {
+            name: "fused_query_ns",
+            baked: baked.fused_query_ns,
+            fitted: fused_query_ns,
+        },
+        Fitted {
+            name: "page_ns",
+            baked: baked.page_ns,
+            fitted: page_ns,
+        },
+        Fitted {
+            name: "check_ns",
+            baked: baked.check_ns,
+            fitted: None,
+        },
+        Fitted {
+            name: "point_ns",
+            baked: baked.point_ns,
+            fitted: point_ns,
+        },
+        Fitted {
+            name: "fused_point_penalty_ns",
+            baked: baked.fused_point_penalty_ns,
+            fitted: None,
+        },
+        Fitted {
+            name: "spawn_ns",
+            baked: baked.spawn_ns,
+            fitted: None,
+        },
+        Fitted {
+            name: "parallel_efficiency",
+            baked: baked.parallel_efficiency,
+            fitted: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calibrate experiment's own acceptance: it runs at smoke scale
+    /// without tripping its asserts, covers every constant of both classes,
+    /// and records all four decision-boundary rows.
+    #[test]
+    fn calibrate_fits_both_classes_and_checks_the_boundaries() {
+        let ctx = ExperimentContext::smoke_test();
+        let reports = calibrate(&ctx);
+        assert_eq!(reports.len(), 2);
+        let [table, boundaries] = &reports[..] else {
+            panic!("expected two reports");
+        };
+        // Eight constants per class, two classes.
+        assert_eq!(table.rows.len(), 16);
+        // Every fitted row has a numeric ratio; unfittable rows show '-'.
+        assert!(table.rows.iter().any(|r| r[1] == "point_ns" && r[3] != "-"));
+        assert!(table.rows.iter().all(|r| r[1] != "spawn_ns" || r[3] == "-"));
+        // Two batches per representative index.
+        assert_eq!(boundaries.rows.len(), 4);
+        for (index, batch) in [
+            ("wazi", "scattered"),
+            ("wazi", "overlapping"),
+            ("zpgm", "scattered"),
+            ("zpgm", "overlapping"),
+        ] {
+            assert!(
+                boundaries
+                    .rows
+                    .iter()
+                    .any(|r| r[0].to_lowercase().contains(index) && r[1] == batch),
+                "missing {index}/{batch} boundary row"
+            );
+        }
+    }
+}

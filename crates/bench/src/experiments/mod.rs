@@ -8,12 +8,81 @@
 pub mod ablation;
 pub mod batch;
 pub mod build;
+pub mod calibrate;
 pub mod point;
 pub mod properties;
 pub mod range;
 pub mod updates;
 
 use crate::report::Report;
+use wazi_core::BatchStrategy;
+
+/// Which batch strategies the `batch` experiment compares (the `reproduce
+/// --strategy` flag).
+///
+/// The default, [`StrategyFilter::Auto`], runs the *full* comparison suite —
+/// sequential, fused, fused-parallel and the cost-based Auto scheduler — so
+/// the emitted table shows Auto against every fixed strategy and the
+/// misprediction asserts have their baselines. A fixed value narrows the
+/// suite to `[sequential, value]` for focused runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyFilter {
+    /// The full suite: sequential, fused, fused-parallel/N and auto.
+    #[default]
+    Auto,
+    /// Sequential only.
+    Sequential,
+    /// Sequential vs fused.
+    Fused,
+    /// Sequential vs fused-parallel at the context's shard count.
+    FusedParallel,
+}
+
+impl StrategyFilter {
+    /// The labelled strategy list the batch experiment measures, always
+    /// starting with the sequential baseline the asserts compare against.
+    pub fn comparison(self, shards: usize) -> Vec<(String, BatchStrategy)> {
+        let sequential = ("sequential".to_string(), BatchStrategy::Sequential);
+        match self {
+            StrategyFilter::Auto => vec![
+                sequential,
+                ("fused".to_string(), BatchStrategy::Fused),
+                (
+                    format!("fused-parallel/{shards}"),
+                    BatchStrategy::FusedParallel { shards },
+                ),
+                ("auto".to_string(), BatchStrategy::Auto),
+            ],
+            StrategyFilter::Sequential => vec![sequential],
+            StrategyFilter::Fused => {
+                vec![sequential, ("fused".to_string(), BatchStrategy::Fused)]
+            }
+            StrategyFilter::FusedParallel => vec![
+                sequential,
+                (
+                    format!("fused-parallel/{shards}"),
+                    BatchStrategy::FusedParallel { shards },
+                ),
+            ],
+        }
+    }
+}
+
+impl std::str::FromStr for StrategyFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(StrategyFilter::Auto),
+            "sequential" => Ok(StrategyFilter::Sequential),
+            "fused" => Ok(StrategyFilter::Fused),
+            "fused-parallel" => Ok(StrategyFilter::FusedParallel),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected auto | sequential | fused | fused-parallel)"
+            )),
+        }
+    }
+}
 
 /// Global knobs of an experiment run. The defaults are laptop-scale
 /// stand-ins for the paper's server-scale parameters (Table 2); the
@@ -40,6 +109,9 @@ pub struct ExperimentContext {
     /// (`BENCH_batch.json`) into the working directory. Test contexts turn
     /// this off so tiny smoke runs never clobber the committed artifacts.
     pub emit_artifacts: bool,
+    /// Which batch strategies the batch experiment compares (the
+    /// `reproduce --strategy` flag).
+    pub strategy: StrategyFilter,
 }
 
 impl Default for ExperimentContext {
@@ -53,6 +125,7 @@ impl Default for ExperimentContext {
             seed: 7,
             batch_shards: 4,
             emit_artifacts: true,
+            strategy: StrategyFilter::Auto,
         }
     }
 }
@@ -69,7 +142,15 @@ impl ExperimentContext {
             seed: 7,
             batch_shards: 4,
             emit_artifacts: false,
+            strategy: StrategyFilter::Auto,
         }
+    }
+
+    /// The context of a `reproduce --smoke` run: the tiny test scale with
+    /// artifact emission off, so CI smoke jobs exercise every assert without
+    /// clobbering the committed artifacts.
+    pub fn smoke_run() -> Self {
+        Self::smoke_test()
     }
 
     /// The dataset-size sweep of Figures 8 and 10 and Tables 3 and 5,
@@ -203,9 +284,15 @@ pub fn registry() -> Vec<ExperimentSpec> {
         },
         ExperimentSpec {
             id: "batch",
-            description: "Sequential vs fused vs parallel batched execution through the engine, \
-                 with a shard-count sweep (BENCH_batch.json)",
+            description: "Sequential vs fused vs parallel vs cost-based auto batched execution \
+                 through the engine, with a shard-count sweep (BENCH_batch.json)",
             run: batch::batch,
+        },
+        ExperimentSpec {
+            id: "calibrate",
+            description: "Cost-model calibration: micro-fit the per-kernel constants and check \
+                 the decision boundaries (BENCH_calibrate.json)",
+            run: calibrate::calibrate,
         },
     ]
 }
@@ -240,6 +327,26 @@ mod tests {
         let all = select(&["all".to_string()]);
         assert_eq!(all.len(), registry.len());
         assert!(select(&["nonsense".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn strategy_filters_parse_and_expand() {
+        assert_eq!("auto".parse::<StrategyFilter>(), Ok(StrategyFilter::Auto));
+        assert_eq!(
+            "fused-parallel".parse::<StrategyFilter>(),
+            Ok(StrategyFilter::FusedParallel)
+        );
+        assert!("nonsense".parse::<StrategyFilter>().is_err());
+
+        let full = StrategyFilter::Auto.comparison(4);
+        assert_eq!(full.len(), 4);
+        assert_eq!(full[0].0, "sequential");
+        assert_eq!(full[2].0, "fused-parallel/4");
+        assert_eq!(full[3].1, BatchStrategy::Auto);
+        let fixed = StrategyFilter::Fused.comparison(4);
+        assert_eq!(fixed.len(), 2);
+        assert_eq!(fixed[1].1, BatchStrategy::Fused);
+        assert_eq!(StrategyFilter::Sequential.comparison(4).len(), 1);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod measure;
 pub mod report;
 pub mod suite;
 
-pub use experiments::{registry, select, ExperimentContext, ExperimentSpec};
+pub use experiments::{registry, select, ExperimentContext, ExperimentSpec, StrategyFilter};
 pub use report::Report;
 pub use suite::{build_index, BuiltIndex, IndexKind};

@@ -8,7 +8,7 @@
 //! implementation layer underneath the engine.
 
 use std::time::Instant;
-use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex};
+use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex, StrategyDecisions};
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
@@ -194,6 +194,10 @@ pub struct BatchMeasurement {
     pub point_kind: PlanKindMeasurement,
     /// Work attributed to the batch's kNN plans.
     pub knn_kind: PlanKindMeasurement,
+    /// The per-partition strategy decisions, when the batch ran under
+    /// [`wazi_core::BatchStrategy::Auto`] (every field `None` under a fixed
+    /// strategy).
+    pub decisions: StrategyDecisions,
 }
 
 /// Executes one mixed batch through the engine under the given strategy and
@@ -235,6 +239,7 @@ pub fn measure_query_batch(
         range_kind,
         point_kind,
         knn_kind,
+        decisions: report.strategy_chosen,
     }
 }
 
@@ -321,6 +326,20 @@ mod tests {
             fused.totals.pages_scanned,
             sequential.totals.pages_scanned
         );
+    }
+
+    #[test]
+    fn auto_batches_surface_their_decisions() {
+        use wazi_workload::generate_mixed_batch;
+        let points = generate_dataset(Region::NewYork, 4_000);
+        let queries = generate_queries(Region::NewYork, 100, 0.001);
+        let built = build_index(IndexKind::Wazi, &points, &queries, 64);
+        let batch = generate_mixed_batch(Region::NewYork, 200, 0.001, 21);
+        let auto = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Auto);
+        assert!(auto.decisions.range.is_some(), "range partition decided");
+        let fixed = measure_query_batch(built.index.as_ref(), &batch, BatchStrategy::Fused);
+        assert_eq!(fixed.decisions.iter().count(), 0);
+        assert_eq!(auto.total_results, fixed.total_results);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 use wazi_geom::{Point, Rect};
 use wazi_storage::ExecStats;
 
+use super::cost::KernelClass;
+
 /// One range request of a fused batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangeBatchRequest {
@@ -113,6 +115,16 @@ pub trait RangeBatchKernel {
     /// single-threaded fused sweep.
     fn sharded(&self) -> Option<&dyn ShardedRangeBatchKernel> {
         None
+    }
+
+    /// The kernel's physical profile, consumed by the engine's cost model
+    /// under [`crate::BatchStrategy::Auto`]. The default declares a
+    /// page-backed sweep (the common case: leaves, columns, clustered
+    /// pages, cracked slices); kernels sweeping a flat in-memory array with
+    /// no fetch to share override this with
+    /// [`KernelClass::FlatArray`].
+    fn cost_class(&self) -> KernelClass {
+        KernelClass::PageBacked
     }
 }
 

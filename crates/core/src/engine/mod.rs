@@ -44,6 +44,7 @@
 //! ```
 
 mod batch;
+pub mod cost;
 mod knn;
 mod plan;
 mod point;
@@ -56,11 +57,15 @@ pub use batch::{
     BatchProjection, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse,
     ShardBounds, ShardedRangeBatchKernel, SweepInterval,
 };
+pub use cost::{
+    decide_knn_strategy, decide_point_strategy, decide_range_strategy, CalibrationTable,
+    ChosenStrategy, CostConstants, CostEstimate, KernelClass, PartitionDecision, RangeBatchStats,
+};
 pub use knn::{group_knn_plans, run_knn_batch, KnnBatchResponse};
 pub(crate) use knn::{run_knn_batch_with, KnnSweepState};
 pub use plan::{Query, QueryOutput, RangeMode};
 pub use point::{run_point_batch, run_point_batch_sharded, PointBatchKernel, PointBatchResponse};
-pub use report::{BatchReport, QueryReport};
+pub use report::{BatchReport, QueryReport, StrategyDecisions};
 
 use crate::index::{IndexError, SpatialIndex};
 use std::time::Instant;
@@ -103,10 +108,15 @@ impl std::error::Error for EngineError {
 
 /// How [`QueryEngine::execute_batch`] schedules a batch.
 ///
-/// All three strategies return identical answers; they differ only in how
-/// the physical work is scheduled, so picking one is purely a performance
+/// All strategies return identical answers; they differ only in how the
+/// physical work is scheduled, so picking one is purely a performance
 /// decision:
 ///
+/// * [`BatchStrategy::Auto`] (the default) lets the engine pick per batch
+///   and per partition, using the cost model in [`cost`]: cheap statistics
+///   the sharded projection phase already produces feed calibrated
+///   per-kernel-class formulas, and the cheapest predicted candidate runs.
+///   The decision is recorded in [`BatchReport::strategy_chosen`].
 /// * [`BatchStrategy::Sequential`] wins on batches whose queries barely
 ///   overlap — there is no shared work to exploit, and the per-query loop
 ///   has the least bookkeeping.
@@ -125,10 +135,20 @@ impl std::error::Error for EngineError {
 ///   — prefer plain fusion below a few hundred microseconds of batch work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BatchStrategy {
-    /// Execute queries one at a time in input order. The default: results,
-    /// counters and per-query latencies are exactly those of a hand-written
-    /// [`QueryEngine::execute`] loop.
+    /// Pick the strategy per batch and per partition with the calibrated
+    /// cost model ([`cost`]): range partitions are decided quantitatively
+    /// from the projected batch statistics (overlap mass, estimated sweep
+    /// work, host parallelism), point and kNN partitions by the kernel's
+    /// class rule. Never changes results, only cost — a misprediction
+    /// costs wall-clock, not correctness — and never schedules worker
+    /// threads on a single-core host. The decision per partition, with
+    /// predicted and measured cost, lands in
+    /// [`BatchReport::strategy_chosen`].
     #[default]
+    Auto,
+    /// Execute queries one at a time in input order: results, counters and
+    /// per-query latencies are exactly those of a hand-written
+    /// [`QueryEngine::execute`] loop.
     Sequential,
     /// Partition the batch by plan type and route every partition through
     /// the matching fused kernel the index advertises: range plans through
@@ -171,8 +191,8 @@ pub enum BatchStrategy {
 /// Executes typed [`Query`] plans against a borrowed [`SpatialIndex`].
 ///
 /// Construction is builder-style (see the module example): [`QueryEngine::new`]
-/// picks the sequential default and [`QueryEngine::with_strategy`] opts into
-/// fused batching.
+/// picks the self-tuning [`BatchStrategy::Auto`] default and
+/// [`QueryEngine::with_strategy`] pins a fixed strategy.
 pub struct QueryEngine<'a> {
     index: &'a dyn SpatialIndex,
     strategy: BatchStrategy,
@@ -180,7 +200,7 @@ pub struct QueryEngine<'a> {
 
 impl<'a> QueryEngine<'a> {
     /// Creates an engine over `index` with the default
-    /// [`BatchStrategy::Sequential`].
+    /// [`BatchStrategy::Auto`].
     pub fn new(index: &'a dyn SpatialIndex) -> Self {
         Self {
             index,
@@ -274,7 +294,7 @@ impl<'a> QueryEngine<'a> {
         }
         let start = Instant::now();
         let (kernel, point_kernel) = match self.strategy {
-            BatchStrategy::Fused | BatchStrategy::FusedParallel { .. } => (
+            BatchStrategy::Auto | BatchStrategy::Fused | BatchStrategy::FusedParallel { .. } => (
                 self.index.range_batch_kernel(),
                 self.index.point_batch_kernel(),
             ),
@@ -317,6 +337,7 @@ impl<'a> QueryEngine<'a> {
             fused_points: 0,
             fused_knn: 0,
             shards_used: 0,
+            strategy_chosen: StrategyDecisions::default(),
         })
     }
 
@@ -328,18 +349,30 @@ impl<'a> QueryEngine<'a> {
     /// sweeps whose rings reuse the range kernel (sharded rings under the
     /// parallel strategy). Everything else runs sequentially, and the
     /// answers are reassembled into input order.
+    ///
+    /// Under [`BatchStrategy::Auto`] each partition first passes through
+    /// the cost model ([`cost`]): the range partition is projected once,
+    /// its statistics decide among the candidates, and the projection is
+    /// reused by whichever fused execution wins — deciding never projects
+    /// twice. A partition the model routes to `Sequential` executes
+    /// through the per-query loop (zero fused counters, exactly as if the
+    /// engine were pinned sequential); every decision is recorded in
+    /// [`BatchReport::strategy_chosen`].
     fn execute_batch_fused(
         &self,
         queries: &[Query],
         kernel: Option<&dyn RangeBatchKernel>,
         point_kernel: Option<&dyn PointBatchKernel>,
     ) -> Result<BatchReport, EngineError> {
+        let auto = self.strategy == BatchStrategy::Auto;
         let shards = match self.strategy {
             BatchStrategy::FusedParallel { shards } if shards > 1 => shards,
             _ => 1,
         };
+        let workers = available_workers();
         let mut slots: Vec<Option<QueryReport>> = (0..queries.len()).map(|_| None).collect();
         let mut shards_used = 0usize;
+        let mut decisions = StrategyDecisions::default();
 
         // Range partition: one fused sweep for every range plan.
         let mut range_shared = ExecStats::default();
@@ -357,36 +390,110 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if requests.len() >= 2 {
-                let sharded = if shards > 1 { kernel.sharded() } else { None };
-                let (response, used) = match sharded {
-                    Some(sharded) => Self::run_sharded_batch(sharded, &requests, shards),
-                    None => (kernel.run_range_batch(&requests), 1),
+                // Pick the partition's execution. Auto projects the batch
+                // once, decides from the projected statistics, and hands
+                // the projection to whichever fused execution wins.
+                let mut prepared: Option<(BatchProjection, Option<Vec<u64>>)> = None;
+                let (chosen, estimate) = if auto {
+                    match kernel.sharded() {
+                        Some(sharded) => {
+                            let projection = sharded.project_batch(&requests);
+                            let counts = sharded.address_counts();
+                            let stats = RangeBatchStats::from_projection(
+                                &projection.intervals,
+                                counts.as_deref(),
+                            );
+                            let (chosen, estimate) = decide_range_strategy(
+                                kernel.cost_class(),
+                                &stats,
+                                workers,
+                                &CalibrationTable::BAKED,
+                            );
+                            prepared = Some((projection, counts));
+                            (chosen, Some(estimate))
+                        }
+                        // No sharded protocol to project through: fall back
+                        // to the class rule (page-backed sweeps share
+                        // fetches, flat sweeps have none to share).
+                        None => (
+                            match kernel.cost_class() {
+                                KernelClass::PageBacked => ChosenStrategy::Fused,
+                                KernelClass::FlatArray => ChosenStrategy::Sequential,
+                            },
+                            None,
+                        ),
+                    }
+                } else if shards > 1 && kernel.sharded().is_some() {
+                    (ChosenStrategy::FusedParallel { shards }, None)
+                } else {
+                    (ChosenStrategy::Fused, None)
                 };
-                debug_assert_eq!(response.outputs.len(), requests.len());
-                debug_assert_eq!(response.per_query.len(), requests.len());
-                for ((&position, output), stats) in range_positions
-                    .iter()
-                    .zip(response.outputs)
-                    .zip(response.per_query)
-                {
-                    let mode = match &queries[position] {
-                        Query::Range { mode, .. } => *mode,
-                        _ => unreachable!("range positions only index range plans"),
-                    };
-                    let output = match (output, mode) {
-                        (RangeBatchOutput::Points(points), _) => QueryOutput::Points(points),
-                        (RangeBatchOutput::Count(n), RangeMode::Stream) => QueryOutput::Streamed(n),
-                        (RangeBatchOutput::Count(n), _) => QueryOutput::Count(n),
-                    };
-                    slots[position] = Some(QueryReport {
-                        output,
-                        stats,
-                        latency_ns: 0,
+                let executed = Instant::now();
+                match chosen {
+                    ChosenStrategy::Sequential => {
+                        for &position in &range_positions {
+                            slots[position] = Some(self.execute(&queries[position])?);
+                        }
+                    }
+                    ChosenStrategy::Fused | ChosenStrategy::FusedParallel { .. } => {
+                        let plan_shards = match chosen {
+                            ChosenStrategy::FusedParallel { shards } => shards,
+                            _ => 1,
+                        };
+                        let (response, used) = match (prepared, kernel.sharded()) {
+                            (Some((projection, counts)), Some(sharded)) => {
+                                Self::run_projected_batch(
+                                    sharded,
+                                    &requests,
+                                    projection,
+                                    counts,
+                                    plan_shards,
+                                )
+                            }
+                            (_, Some(sharded)) if plan_shards > 1 => {
+                                Self::run_sharded_batch(sharded, &requests, plan_shards)
+                            }
+                            _ => (kernel.run_range_batch(&requests), 1),
+                        };
+                        debug_assert_eq!(response.outputs.len(), requests.len());
+                        debug_assert_eq!(response.per_query.len(), requests.len());
+                        for ((&position, output), stats) in range_positions
+                            .iter()
+                            .zip(response.outputs)
+                            .zip(response.per_query)
+                        {
+                            let mode = match &queries[position] {
+                                Query::Range { mode, .. } => *mode,
+                                _ => unreachable!("range positions only index range plans"),
+                            };
+                            let output = match (output, mode) {
+                                (RangeBatchOutput::Points(points), _) => {
+                                    QueryOutput::Points(points)
+                                }
+                                (RangeBatchOutput::Count(n), RangeMode::Stream) => {
+                                    QueryOutput::Streamed(n)
+                                }
+                                (RangeBatchOutput::Count(n), _) => QueryOutput::Count(n),
+                            };
+                            slots[position] = Some(QueryReport {
+                                output,
+                                stats,
+                                latency_ns: 0,
+                            });
+                        }
+                        range_shared = response.shared;
+                        fused_queries = range_positions.len();
+                        shards_used = shards_used.max(used);
+                    }
+                }
+                if auto {
+                    decisions.range = Some(PartitionDecision {
+                        queries: range_positions.len(),
+                        chosen,
+                        estimate,
+                        actual_ns: executed.elapsed().as_nanos() as u64,
                     });
                 }
-                range_shared = response.shared;
-                fused_queries = range_positions.len();
-                shards_used = shards_used.max(used);
             }
         }
 
@@ -404,29 +511,60 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if probes.len() >= 2 {
-                // Probe-heavy batches parallelize too: the sorted group
-                // list splits at group boundaries (groups are disjoint by
-                // construction), so chunked execution is bit-identical to
-                // the single pass.
-                let (response, point_shards) = if shards > 1 {
-                    run_point_batch_sharded(point_kernel, &probes, shards)
+                // Auto routes the partition by the range kernel's class
+                // rule: grouped probes share page fetches on page-backed
+                // indexes; a flat array's probe is a binary search with
+                // nothing to share, so the per-probe loop wins there.
+                let chosen = if auto {
+                    let class = kernel.map_or(KernelClass::PageBacked, |k| k.cost_class());
+                    decide_point_strategy(class, probes.len(), workers)
+                } else if shards > 1 {
+                    ChosenStrategy::FusedParallel { shards }
                 } else {
-                    (run_point_batch(point_kernel, &probes), 1)
+                    ChosenStrategy::Fused
                 };
-                for ((&position, found), stats) in point_positions
-                    .iter()
-                    .zip(response.found)
-                    .zip(response.per_query)
-                {
-                    slots[position] = Some(QueryReport {
-                        output: QueryOutput::Found(found),
-                        stats,
-                        latency_ns: 0,
+                let executed = Instant::now();
+                match chosen {
+                    ChosenStrategy::Sequential => {
+                        for &position in &point_positions {
+                            slots[position] = Some(self.execute(&queries[position])?);
+                        }
+                    }
+                    ChosenStrategy::Fused | ChosenStrategy::FusedParallel { .. } => {
+                        // Probe-heavy batches parallelize too: the sorted
+                        // group list splits at group boundaries (groups are
+                        // disjoint by construction), so chunked execution
+                        // is bit-identical to the single pass.
+                        let (response, point_shards) = match chosen {
+                            ChosenStrategy::FusedParallel { shards } => {
+                                run_point_batch_sharded(point_kernel, &probes, shards)
+                            }
+                            _ => (run_point_batch(point_kernel, &probes), 1),
+                        };
+                        for ((&position, found), stats) in point_positions
+                            .iter()
+                            .zip(response.found)
+                            .zip(response.per_query)
+                        {
+                            slots[position] = Some(QueryReport {
+                                output: QueryOutput::Found(found),
+                                stats,
+                                latency_ns: 0,
+                            });
+                        }
+                        point_shared = response.shared;
+                        fused_points = point_positions.len();
+                        shards_used = shards_used.max(point_shards);
+                    }
+                }
+                if auto {
+                    decisions.point = Some(PartitionDecision {
+                        queries: point_positions.len(),
+                        chosen,
+                        estimate: None,
+                        actual_ns: executed.elapsed().as_nanos() as u64,
                     });
                 }
-                point_shared = response.shared;
-                fused_points = point_positions.len();
-                shards_used = shards_used.max(point_shards);
             }
         }
 
@@ -446,31 +584,69 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if plans.len() >= 2 {
-                let sharded = if shards > 1 { kernel.sharded() } else { None };
-                let mut ring_shards_used = 1usize;
-                let mut run_ring = |requests: &[RangeBatchRequest]| match sharded {
-                    Some(sharded) => {
-                        let (response, used) = Self::run_sharded_batch(sharded, requests, shards);
-                        ring_shards_used = ring_shards_used.max(used);
-                        response
-                    }
-                    None => kernel.run_range_batch(requests),
+                // Auto routes the partition by the range kernel's class
+                // rule: ring sweeps share candidate pages on page-backed
+                // indexes; on a flat array the rings only add sweep
+                // coordination, so the per-plan loop wins.
+                let chosen = if auto {
+                    decide_knn_strategy(kernel.cost_class(), plans.len(), workers)
+                } else if shards > 1 {
+                    ChosenStrategy::FusedParallel { shards }
+                } else {
+                    ChosenStrategy::Fused
                 };
-                let response = run_knn_batch_with(self.index, &plans, &mut run_ring);
-                for ((&position, neighbors), stats) in knn_positions
-                    .iter()
-                    .zip(response.neighbors)
-                    .zip(response.per_query)
-                {
-                    slots[position] = Some(QueryReport {
-                        output: QueryOutput::Neighbors(neighbors),
-                        stats,
-                        latency_ns: 0,
+                let executed = Instant::now();
+                match chosen {
+                    ChosenStrategy::Sequential => {
+                        for &position in &knn_positions {
+                            slots[position] = Some(self.execute(&queries[position])?);
+                        }
+                    }
+                    ChosenStrategy::Fused | ChosenStrategy::FusedParallel { .. } => {
+                        let ring_shards = match chosen {
+                            ChosenStrategy::FusedParallel { shards } => shards,
+                            _ => 1,
+                        };
+                        let sharded = if ring_shards > 1 {
+                            kernel.sharded()
+                        } else {
+                            None
+                        };
+                        let mut ring_shards_used = 1usize;
+                        let mut run_ring = |requests: &[RangeBatchRequest]| match sharded {
+                            Some(sharded) => {
+                                let (response, used) =
+                                    Self::run_sharded_batch(sharded, requests, ring_shards);
+                                ring_shards_used = ring_shards_used.max(used);
+                                response
+                            }
+                            None => kernel.run_range_batch(requests),
+                        };
+                        let response = run_knn_batch_with(self.index, &plans, &mut run_ring);
+                        for ((&position, neighbors), stats) in knn_positions
+                            .iter()
+                            .zip(response.neighbors)
+                            .zip(response.per_query)
+                        {
+                            slots[position] = Some(QueryReport {
+                                output: QueryOutput::Neighbors(neighbors),
+                                stats,
+                                latency_ns: 0,
+                            });
+                        }
+                        knn_shared = response.shared;
+                        fused_knn = knn_positions.len();
+                        shards_used = shards_used.max(ring_shards_used);
+                    }
+                }
+                if auto {
+                    decisions.knn = Some(PartitionDecision {
+                        queries: knn_positions.len(),
+                        chosen,
+                        estimate: None,
+                        actual_ns: executed.elapsed().as_nanos() as u64,
                     });
                 }
-                knn_shared = response.shared;
-                fused_knn = knn_positions.len();
-                shards_used = shards_used.max(ring_shards_used);
             }
         }
 
@@ -498,6 +674,7 @@ impl<'a> QueryEngine<'a> {
             fused_points,
             fused_knn,
             shards_used,
+            strategy_chosen: decisions,
         })
     }
 
@@ -527,16 +704,31 @@ impl<'a> QueryEngine<'a> {
         shards: usize,
     ) -> (RangeBatchResponse, usize) {
         let projection = sharded.project_batch(requests);
+        let counts = sharded.address_counts();
+        Self::run_projected_batch(sharded, requests, projection, counts, shards)
+    }
+
+    /// [`QueryEngine::run_sharded_batch`] with the projection phase already
+    /// done — the entry point the Auto strategy uses so the projection that
+    /// fed the cost model is reused by the execution it chose, never
+    /// recomputed. A `shards` of one degenerates to the single fused sweep
+    /// (one hull-bounds shard swept inline), which is bit-identical to
+    /// [`RangeBatchKernel::run_range_batch`] for every sharded kernel.
+    fn run_projected_batch(
+        sharded: &dyn ShardedRangeBatchKernel,
+        requests: &[RangeBatchRequest],
+        projection: BatchProjection,
+        counts: Option<Vec<u64>>,
+        shards: usize,
+    ) -> (RangeBatchResponse, usize) {
         debug_assert_eq!(projection.intervals.len(), requests.len());
         // Work-weighted planning when the kernel exposes per-address point
         // counts; interval-coverage balancing otherwise.
-        let plan = match sharded.address_counts() {
+        let plan = match counts {
             Some(counts) => plan_shard_bounds_weighted(&projection.intervals, shards, &counts),
             None => plan_shard_bounds(&projection.intervals, shards),
         };
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(plan.len());
+        let workers = available_workers().min(plan.len());
         let responses: Vec<RangeBatchResponse> = if plan.len() <= 1 || workers <= 1 {
             plan.iter()
                 .map(|&bounds| sharded.sweep_shard(requests, &projection, bounds))
@@ -550,6 +742,15 @@ impl<'a> QueryEngine<'a> {
             shards_used,
         )
     }
+}
+
+/// Worker threads the host can usefully run
+/// ([`std::thread::available_parallelism`], one when unknown). Feeds both
+/// the oversubscription guard of the threaded sweep and the cost model's
+/// parallel-candidate gate — on a single-core host the model never picks
+/// [`BatchStrategy::FusedParallel`].
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Sweeps the planned shards on at most `workers` scoped worker threads —

@@ -1,5 +1,6 @@
 //! Execution reports: what the engine hands back alongside every answer.
 
+use crate::engine::cost::PartitionDecision;
 use crate::engine::QueryOutput;
 use wazi_storage::ExecStats;
 
@@ -67,6 +68,39 @@ pub struct BatchReport {
     /// the planned shard count under
     /// [`crate::BatchStrategy::FusedParallel`]).
     pub shards_used: usize,
+    /// The strategies [`crate::BatchStrategy::Auto`] picked per partition,
+    /// with the model's predicted costs and the partition's measured
+    /// wall-clock. Empty (every field `None`) under a fixed strategy, and
+    /// for partitions where no choice existed (fewer than two members, or
+    /// no kernel).
+    pub strategy_chosen: StrategyDecisions,
+}
+
+/// The per-partition strategy decisions of one Auto-scheduled batch — the
+/// engine's answer to "what did the cost model do?". See
+/// [`crate::BatchStrategy::Auto`] and the [`crate::engine::cost`] module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrategyDecisions {
+    /// Decision for the range partition, when one was made.
+    pub range: Option<PartitionDecision>,
+    /// Decision for the point-probe partition, when one was made.
+    pub point: Option<PartitionDecision>,
+    /// Decision for the kNN partition, when one was made.
+    pub knn: Option<PartitionDecision>,
+}
+
+impl StrategyDecisions {
+    /// Iterates the decisions that were actually made, labelled by
+    /// partition kind (`"range"` / `"point"` / `"knn"`).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, PartitionDecision)> {
+        [
+            ("range", self.range),
+            ("point", self.point),
+            ("knn", self.knn),
+        ]
+        .into_iter()
+        .filter_map(|(kind, decision)| decision.map(|d| (kind, d)))
+    }
 }
 
 impl BatchReport {
@@ -157,6 +191,7 @@ mod tests {
             fused_points: 1,
             fused_knn: 0,
             shards_used: 1,
+            strategy_chosen: StrategyDecisions::default(),
         };
         assert_eq!(batch.len(), 2);
         assert!(!batch.is_empty());

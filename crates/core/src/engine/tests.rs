@@ -105,12 +105,12 @@ fn execute_streaming_delivers_the_collected_points() {
     assert_eq!(sunk, collected);
 }
 
-/// The default batch path must be indistinguishable from a hand-written
+/// The sequential batch path must be indistinguishable from a hand-written
 /// per-query loop: same outputs, same per-query stats, zero shared stats.
 #[test]
 fn sequential_batch_equals_the_per_query_loop() {
     let index = wazi_index();
-    let engine = QueryEngine::new(&index);
+    let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Sequential);
     let mut batch: Vec<Query> = overlapping_rects()
         .into_iter()
         .enumerate()
@@ -150,7 +150,7 @@ fn sequential_batch_equals_the_per_query_loop() {
 #[test]
 fn fused_batch_matches_sequential_and_shares_pages() {
     let index = wazi_index();
-    let sequential = QueryEngine::new(&index);
+    let sequential = QueryEngine::new(&index).with_strategy(BatchStrategy::Sequential);
     let fused = QueryEngine::new(&index).with_strategy(BatchStrategy::Fused);
     assert_eq!(fused.strategy(), BatchStrategy::Fused);
 
@@ -347,7 +347,10 @@ fn fused_bb_checks_equal_the_sequential_walks() {
         .into_iter()
         .map(Query::range_count)
         .collect();
-    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
     let fused = QueryEngine::new(&index)
         .with_strategy(BatchStrategy::Fused)
         .execute_batch(&batch)
@@ -388,7 +391,10 @@ fn fused_parallel_matches_sequential_for_every_shard_count() {
         .collect();
     batch.push(Query::point(Point::new(0.07, 0.04)));
     batch.push(Query::knn(Point::new(0.3, 0.3), 3));
-    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
     for shards in [0, 1, 2, 4, 8, 64] {
         let parallel = QueryEngine::new(&index)
             .with_strategy(BatchStrategy::FusedParallel { shards })
@@ -426,7 +432,10 @@ fn fused_parallel_bb_checks_equal_the_single_sweep() {
         .into_iter()
         .map(Query::range_count)
         .collect();
-    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
     let fused = QueryEngine::new(&index)
         .with_strategy(BatchStrategy::Fused)
         .execute_batch(&batch)
@@ -464,7 +473,10 @@ fn fused_parallel_handles_degenerate_batches() {
     let single = vec![Query::range_count(Rect::from_coords(0.1, 0.1, 0.2, 0.2))];
     let report = engine.execute_batch(&single).unwrap();
     assert_eq!(report.fused_queries, 0, "one range plan runs sequentially");
-    let expected = QueryEngine::new(&index).execute_batch(&single).unwrap();
+    let expected = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&single)
+        .unwrap();
     assert_eq!(report.reports[0].output, expected.reports[0].output);
 
     let three: Vec<Query> = overlapping_rects()
@@ -473,7 +485,10 @@ fn fused_parallel_handles_degenerate_batches() {
         .map(Query::range)
         .collect();
     let report = engine.execute_batch(&three).unwrap();
-    let expected = QueryEngine::new(&index).execute_batch(&three).unwrap();
+    let expected = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&three)
+        .unwrap();
     for (got, want) in report.reports.iter().zip(&expected.reports) {
         assert_eq!(got.output, want.output);
     }
@@ -641,7 +656,10 @@ fn fused_point_batch_matches_sequential_and_shares_pages() {
     for p in points.iter().take(8) {
         batch.push(Query::point(*p));
     }
-    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
     let fused = QueryEngine::new(&index)
         .with_strategy(BatchStrategy::Fused)
         .execute_batch(&batch)
@@ -685,7 +703,10 @@ fn fused_knn_batch_matches_sequential() {
         Query::knn(Point::new(5.0, -2.0), 2),  // far outside the data
         Query::knn(Point::new(0.13, 0.11), 4),
     ];
-    let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
     let fused = QueryEngine::new(&index)
         .with_strategy(BatchStrategy::Fused)
         .execute_batch(&batch)
@@ -756,5 +777,92 @@ fn range_mode_is_exposed_on_the_plan() {
             Query::Range { mode: m, .. } => assert_eq!(m, mode),
             other => panic!("unexpected plan {other:?}"),
         }
+    }
+}
+
+/// Auto is a pure scheduler: outputs and deterministic per-query counters
+/// on a mixed batch are bit-identical to the sequential loop, and the
+/// report says which strategies the cost model picked.
+#[test]
+fn auto_matches_sequential_and_records_its_decisions() {
+    use crate::engine::ChosenStrategy;
+    let index = wazi_index();
+    let mut batch: Vec<Query> = overlapping_rects().into_iter().map(Query::range).collect();
+    batch.push(Query::point(Point::new(0.205, 0.205)));
+    batch.push(Query::point(Point::new(0.48, 0.52)));
+    batch.push(Query::knn(Point::new(0.2, 0.2), 5));
+    batch.push(Query::knn(Point::new(0.7, 0.7), 3));
+
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
+    let auto = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+
+    for (a, s) in auto.reports.iter().zip(&sequential.reports) {
+        assert_eq!(a.output, s.output);
+    }
+    assert_eq!(
+        auto.merged_stats().results,
+        sequential.merged_stats().results
+    );
+    assert_eq!(auto.bbs_checked(), sequential.bbs_checked());
+
+    // The fixed strategies leave the decision record empty...
+    assert_eq!(sequential.strategy_chosen.iter().count(), 0);
+    // ...while Auto records one decision per partition it had a choice on.
+    let decisions: Vec<_> = auto.strategy_chosen.iter().collect();
+    assert_eq!(decisions.len(), 3, "range + point + knn partitions");
+    for (kind, decision) in decisions {
+        match kind {
+            "range" => {
+                assert_eq!(decision.queries, overlapping_rects().len());
+                let estimate = decision.estimate.expect("range partitions are modelled");
+                match decision.chosen {
+                    ChosenStrategy::Sequential => {
+                        assert!(estimate.sequential_ns <= estimate.fused_ns);
+                    }
+                    ChosenStrategy::Fused | ChosenStrategy::FusedParallel { .. } => {
+                        assert!(estimate.fused_ns <= estimate.sequential_ns);
+                    }
+                }
+            }
+            "point" => assert_eq!(decision.queries, 2),
+            "knn" => assert_eq!(decision.queries, 2),
+            other => panic!("unexpected partition kind {other}"),
+        }
+    }
+}
+
+/// A tiny batch of two far-apart range plans gives fusion nothing to share:
+/// the cost model must route it sequentially, leaving fused counters at 0.
+#[test]
+fn auto_routes_tiny_disjoint_batches_sequentially() {
+    use crate::engine::ChosenStrategy;
+    let index = wazi_index();
+    let batch = vec![
+        Query::range_count(Rect::from_coords(0.02, 0.02, 0.03, 0.03)),
+        Query::range_count(Rect::from_coords(0.95, 0.95, 0.96, 0.96)),
+    ];
+    let report = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+    let decision = report.strategy_chosen.range.expect("a choice was made");
+    assert_eq!(decision.chosen, ChosenStrategy::Sequential);
+    assert_eq!(report.fused_queries, 0);
+    assert_eq!(report.shared_stats, ExecStats::default());
+
+    let sequential = QueryEngine::new(&index)
+        .with_strategy(BatchStrategy::Sequential)
+        .execute_batch(&batch)
+        .unwrap();
+    for (a, s) in report.reports.iter().zip(&sequential.reports) {
+        assert_eq!(a.output, s.output);
+        // Timings are wall-clock; compare only the deterministic counters.
+        let mut a_stats = a.stats;
+        let mut s_stats = s.stats;
+        a_stats.projection_ns = 0;
+        a_stats.scan_ns = 0;
+        s_stats.projection_ns = 0;
+        s_stats.scan_ns = 0;
+        assert_eq!(a_stats, s_stats);
     }
 }

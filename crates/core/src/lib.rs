@@ -74,7 +74,10 @@
 //!     Query::knn(Point::new(0.2, 0.2), 5),
 //! ];
 //!
-//! let sequential = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+//! let sequential = QueryEngine::new(&index)
+//!     .with_strategy(BatchStrategy::Sequential)
+//!     .execute_batch(&batch)
+//!     .unwrap();
 //! let fused = QueryEngine::new(&index)
 //!     .with_strategy(BatchStrategy::Fused)
 //!     .execute_batch(&batch)
@@ -86,6 +89,13 @@
 //! }
 //! assert_eq!(fused.fused_queries, 2); // both range plans shared one sweep
 //! assert!(matches!(fused.reports[3].output, QueryOutput::Neighbors(ref n) if n.len() == 5));
+//!
+//! // The engine's default is `BatchStrategy::Auto`: the cost model picks
+//! // the schedule per partition — never changing results, only cost.
+//! let auto = QueryEngine::new(&index).execute_batch(&batch).unwrap();
+//! for (a, b) in auto.reports.iter().zip(&sequential.reports) {
+//!     assert_eq!(a.output, b.output);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -103,12 +113,14 @@ mod zindex;
 pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
 pub use engine::{
-    group_knn_plans, merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted,
-    run_full_sweep, run_knn_batch, run_point_batch, run_point_batch_sharded, BatchProjection,
-    BatchReport, BatchStrategy, EngineError, KnnBatchResponse, PointBatchKernel,
-    PointBatchResponse, Query, QueryEngine, QueryOutput, QueryReport, RangeBatchKernel,
-    RangeBatchOutput, RangeBatchRequest, RangeBatchResponse, RangeMode, ShardBounds,
-    ShardedRangeBatchKernel, SweepInterval,
+    decide_knn_strategy, decide_point_strategy, decide_range_strategy, group_knn_plans,
+    merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted, run_full_sweep,
+    run_knn_batch, run_point_batch, run_point_batch_sharded, BatchProjection, BatchReport,
+    BatchStrategy, CalibrationTable, ChosenStrategy, CostConstants, CostEstimate, EngineError,
+    KernelClass, KnnBatchResponse, PartitionDecision, PointBatchKernel, PointBatchResponse, Query,
+    QueryEngine, QueryOutput, QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
+    RangeBatchResponse, RangeBatchStats, RangeMode, ShardBounds, ShardedRangeBatchKernel,
+    StrategyDecisions, SweepInterval,
 };
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};

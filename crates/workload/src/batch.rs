@@ -145,6 +145,41 @@ pub fn generate_overlapping_batch(
         .collect()
 }
 
+/// Generates a deterministic batch of *scattered*, barely-overlapping
+/// counting range queries: the adversarial workload for fusion, and the
+/// case the cost model must route sequentially.
+///
+/// Centres are stratified over a jittered `⌈√count⌉ × ⌈√count⌉` grid across
+/// the whole unit space — ignoring the region's hotspots on purpose — so
+/// almost no two queries share a leaf page. A fused sweep over such a batch
+/// pays its setup for nothing; a cost-based scheduler must recognise the
+/// shape (coverage ≈ union of covered addresses) and fall back to the
+/// per-query loop. All plans use the counting mode. Equal seeds produce
+/// equal batches; `region` only seasons the jitter so different regions
+/// yield different batches.
+pub fn generate_scattered_batch(
+    region: Region,
+    count: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(selectivity > 0.0, "selectivity must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ (region as u64).wrapping_mul(0x9e37_79b9));
+    let side = (count as f64).sqrt().ceil().max(1.0) as usize;
+    let cell = 1.0 / side as f64;
+    (0..count)
+        .map(|i| {
+            let (col, row) = (i % side, i / side % side);
+            let center = wazi_geom::Point::new(
+                (col as f64 + rng.gen::<f64>()) * cell,
+                (row as f64 + rng.gen::<f64>()) * cell,
+            );
+            let aspect = rng.gen_range(0.5..2.0);
+            Query::range_count(Rect::query_box(&Rect::UNIT, center, selectivity, aspect))
+        })
+        .collect()
+}
+
 /// Fraction of probes in a point-heavy batch that repeat an earlier probe
 /// (hot-key skew): the share of a real lookup workload that hammers the
 /// same keys, and the share the fused point kernel collapses onto already
@@ -318,6 +353,60 @@ mod tests {
             concentrated * 2 > baseline * 3,
             "overlapping batch ({concentrated} pairs) is not denser than the \
              regular workload ({baseline} pairs)"
+        );
+    }
+
+    #[test]
+    fn scattered_batches_are_deterministic_and_barely_overlap() {
+        let batch = generate_scattered_batch(Region::NewYork, 400, 0.0002, 9);
+        assert_eq!(batch.len(), 400);
+        assert_eq!(
+            batch,
+            generate_scattered_batch(Region::NewYork, 400, 0.0002, 9)
+        );
+        assert_ne!(
+            batch,
+            generate_scattered_batch(Region::Japan, 400, 0.0002, 9),
+            "different regions must season the jitter differently"
+        );
+        let rects: Vec<Rect> = batch
+            .iter()
+            .map(|q| match q {
+                Query::Range { rect, mode } => {
+                    assert_eq!(*mode, RangeMode::Count, "scattered batches count");
+                    *rect
+                }
+                other => panic!("unexpected plan {other:?}"),
+            })
+            .collect();
+        for rect in &rects {
+            assert!(Rect::UNIT.contains_rect(rect));
+            assert!((rect.area() - 0.0002).abs() < 1e-9);
+        }
+        // Anti-concentration: far fewer overlapping pairs than the
+        // hotspot-concentrated batch of the same size and selectivity.
+        let concentrated: Vec<Rect> = generate_overlapping_batch(Region::NewYork, 400, 0.0002, 9)
+            .iter()
+            .map(|q| match q {
+                Query::Range { rect, .. } => *rect,
+                other => panic!("unexpected plan {other:?}"),
+            })
+            .collect();
+        let overlap_pairs = |rects: &[Rect]| -> usize {
+            let mut pairs = 0;
+            for (i, a) in rects.iter().enumerate().take(100) {
+                for b in rects.iter().skip(i + 1).take(100) {
+                    pairs += usize::from(a.overlaps(b));
+                }
+            }
+            pairs
+        };
+        let scattered_pairs = overlap_pairs(&rects);
+        let hot_pairs = overlap_pairs(&concentrated);
+        assert!(
+            scattered_pairs * 10 < hot_pairs.max(10),
+            "scattered batch overlaps too much: {scattered_pairs} pairs vs \
+             {hot_pairs} concentrated"
         );
     }
 

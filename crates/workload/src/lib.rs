@@ -15,7 +15,8 @@
 //! * [`uniform_dataset`] / [`sample_point_queries`] — inputs for the insert
 //!   (Figure 11) and point-query (Figure 10) experiments;
 //! * [`generate_mixed_batch`] / [`generate_overlapping_batch`] /
-//!   [`generate_point_batch`] / [`generate_knn_batch`] — deterministic
+//!   [`generate_scattered_batch`] / [`generate_point_batch`] /
+//!   [`generate_knn_batch`] — deterministic
 //!   batches of typed [`wazi_core::Query`] plans for the query engine's
 //!   batch executor: heterogeneous mixes, hotspot-concentrated range
 //!   batches for the fused sweeps, hot-key probe batches, and clustered
@@ -34,7 +35,7 @@ mod region;
 
 pub use batch::{
     generate_knn_batch, generate_mixed_batch, generate_mixed_batch_with_mix,
-    generate_overlapping_batch, generate_point_batch, BatchMix,
+    generate_overlapping_batch, generate_point_batch, generate_scattered_batch, BatchMix,
 };
 pub use dataset::{
     generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,

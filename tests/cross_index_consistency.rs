@@ -215,7 +215,8 @@ fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
 
     for kind in all_kinds() {
         let built = build_index(kind, &points, &train, 128);
-        let engine = QueryEngine::new(built.index.as_ref());
+        let engine =
+            QueryEngine::new(built.index.as_ref()).with_strategy(BatchStrategy::Sequential);
         let mut loop_outputs = Vec::with_capacity(batch.len());
         let mut loop_stats = ExecStats::default();
         for query in &batch {
@@ -228,7 +229,7 @@ fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
         assert_eq!(batch_report.len(), batch.len(), "{kind}");
         assert_eq!(
             batch_report.fused_queries, 0,
-            "{kind}: default is sequential"
+            "{kind}: the sequential strategy fuses nothing"
         );
         for (i, (got, expected)) in batch_report.reports.iter().zip(&loop_outputs).enumerate() {
             assert_eq!(&got.output, expected, "{kind}: output {i} differs");
@@ -275,6 +276,20 @@ fn execute_batch_is_equivalent_to_the_per_query_loop_for_every_index() {
             loop_stats.results,
             "{kind}: fused results counter differs"
         );
+
+        // The engine's default is the cost-based Auto scheduler: whatever
+        // it picks must also be a pure scheduling choice.
+        let auto = QueryEngine::new(built.index.as_ref())
+            .execute_batch(&batch)
+            .expect("auto batch executes");
+        for (i, (got, expected)) in auto.reports.iter().zip(&loop_outputs).enumerate() {
+            assert_eq!(&got.output, expected, "{kind}: auto output {i} differs");
+        }
+        assert_eq!(
+            auto.merged_stats().results,
+            loop_stats.results,
+            "{kind}: auto results counter differs"
+        );
     }
 }
 
@@ -301,6 +316,7 @@ fn fused_bb_checks_never_exceed_sequential_on_any_index() {
     for kind in all_kinds() {
         let built = build_index(kind, &points, &train, 128);
         let sequential = QueryEngine::new(built.index.as_ref())
+            .with_strategy(BatchStrategy::Sequential)
             .execute_batch(&batch)
             .expect("sequential batch executes");
         let fused = QueryEngine::new(built.index.as_ref())
@@ -384,6 +400,7 @@ fn fused_parallel_is_equivalent_to_sequential_for_every_index_and_shard_count() 
         let built = build_index(kind, &points, &train, 128);
         for (label, batch) in &batches {
             let sequential = QueryEngine::new(built.index.as_ref())
+                .with_strategy(BatchStrategy::Sequential)
                 .execute_batch(batch)
                 .expect("sequential batch executes");
             for shards in [1usize, 2, 4, 8] {
@@ -435,8 +452,8 @@ fn fused_parallel_is_equivalent_to_sequential_for_every_index_and_shard_count() 
     }
 }
 
-/// The mixed-batch fusion property: for **all nine index kinds**, fused and
-/// fused-parallel execution of a heterogeneous batch — ranges in all three
+/// The mixed-batch fusion property: for **all nine index kinds**, fused,
+/// fused-parallel and cost-based auto execution of a heterogeneous batch — ranges in all three
 /// modes, point probes and kNN plans, spiced with the edge cases the fused
 /// kernels must not trip over (k = 0, duplicate probe points, probes and
 /// kNN centres outside `data_bounds`, k larger than the index) — produces
@@ -475,9 +492,15 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
     for kind in all_kinds() {
         let built = build_index(kind, &points, &train, 128);
         let sequential = QueryEngine::new(built.index.as_ref())
+            .with_strategy(BatchStrategy::Sequential)
             .execute_batch(&batch)
             .expect("sequential batch executes");
         assert_eq!(sequential.total_fused(), 0, "{kind}");
+        assert_eq!(
+            sequential.strategy_chosen.iter().count(),
+            0,
+            "{kind}: fixed strategies record no decisions"
+        );
         let has_range_kernel = built.index.range_batch_kernel().is_some();
         let has_point_kernel = built.index.point_batch_kernel().is_some();
         for (label, strategy) in [
@@ -490,6 +513,7 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
                 "fused-parallel/4",
                 BatchStrategy::FusedParallel { shards: 4 },
             ),
+            ("auto", BatchStrategy::Auto),
         ] {
             let report = QueryEngine::new(built.index.as_ref())
                 .with_strategy(strategy)
@@ -542,23 +566,36 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
                 fused_totals.pages_scanned <= sequential_totals.pages_scanned,
                 "{kind}/{label}: fusion added page visits"
             );
-            // The per-plan-type fused counters account for exactly the
-            // partitions the index's kernels can take.
-            assert_eq!(
-                report.fused_queries,
-                if has_range_kernel { ranges } else { 0 },
-                "{kind}/{label}"
-            );
-            assert_eq!(
-                report.fused_points,
-                if has_point_kernel { probes } else { 0 },
-                "{kind}/{label}"
-            );
-            assert_eq!(
-                report.fused_knn,
-                if has_range_kernel { knns } else { 0 },
-                "{kind}/{label}"
-            );
+            if strategy == BatchStrategy::Auto {
+                // Auto decides per partition, so fused counts depend on
+                // what it chose — but the choice itself must be on record
+                // wherever a kernel gave it one.
+                if has_range_kernel {
+                    assert!(
+                        report.strategy_chosen.range.is_some(),
+                        "{kind}/{label}: no range decision recorded"
+                    );
+                }
+            } else {
+                // The per-plan-type fused counters account for exactly the
+                // partitions the index's kernels can take under a fixed
+                // fused strategy.
+                assert_eq!(
+                    report.fused_queries,
+                    if has_range_kernel { ranges } else { 0 },
+                    "{kind}/{label}"
+                );
+                assert_eq!(
+                    report.fused_points,
+                    if has_point_kernel { probes } else { 0 },
+                    "{kind}/{label}"
+                );
+                assert_eq!(
+                    report.fused_knn,
+                    if has_range_kernel { knns } else { 0 },
+                    "{kind}/{label}"
+                );
+            }
         }
     }
 }
@@ -566,9 +603,10 @@ fn fused_mixed_batches_match_sequential_for_every_index() {
 /// The fused kernels must not trip over degenerate index shapes: an empty
 /// index, a single-leaf tree (fewer points than one page) and an index of
 /// all-duplicate points (one leaf MBR collapsed to a point; hot-key probes
-/// all landing in one group). For every index kind and every strategy,
-/// outputs and work counters must match the sequential loop on a batch
-/// spiced with plans that hit, miss and straddle the degenerate geometry.
+/// all landing in one group). For every index kind and every strategy —
+/// the cost-based Auto default included — outputs and work counters must
+/// match the sequential loop on a batch spiced with plans that hit, miss
+/// and straddle the degenerate geometry.
 #[test]
 fn fused_kernels_handle_degenerate_indexes() {
     let duplicate = Point::new(0.25, 0.75);
@@ -599,6 +637,7 @@ fn fused_kernels_handle_degenerate_indexes() {
         for kind in all_kinds() {
             let built = build_index(kind, points, &train, 32);
             let sequential = QueryEngine::new(built.index.as_ref())
+                .with_strategy(BatchStrategy::Sequential)
                 .execute_batch(&batch)
                 .expect("sequential batch executes");
             for (strategy_label, strategy) in [
@@ -611,6 +650,7 @@ fn fused_kernels_handle_degenerate_indexes() {
                     "fused-parallel/4",
                     BatchStrategy::FusedParallel { shards: 4 },
                 ),
+                ("auto", BatchStrategy::Auto),
             ] {
                 let report = QueryEngine::new(built.index.as_ref())
                     .with_strategy(strategy)

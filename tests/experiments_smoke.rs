@@ -3,7 +3,7 @@
 //! the test that guards the `reproduce` binary's coverage of every table and
 //! figure in the paper.
 
-use wazi_bench::{registry, ExperimentContext};
+use wazi_bench::{registry, ExperimentContext, StrategyFilter};
 
 #[test]
 fn every_registered_experiment_runs_and_produces_rows() {
@@ -15,6 +15,7 @@ fn every_registered_experiment_runs_and_produces_rows() {
         leaf_capacity: 64,
         seed: 7,
         batch_shards: 4,
+        strategy: StrategyFilter::Auto,
         // Smoke runs must never overwrite the committed BENCH_batch.json
         // (it is regenerated at full scale by `reproduce batch`).
         emit_artifacts: false,

@@ -84,7 +84,10 @@ fn main() {
 
     let selected = select(&experiment_ids);
     if selected.is_empty() {
-        eprintln!("no experiment matches {experiment_ids:?}; use --list to see identifiers");
+        eprintln!("no experiment matches {experiment_ids:?}; registered experiments:");
+        for spec in wazi_bench::registry() {
+            eprintln!("  {:<16} {}", spec.id, spec.description);
+        }
         std::process::exit(2);
     }
 

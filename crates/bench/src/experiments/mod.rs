@@ -12,6 +12,7 @@ pub mod calibrate;
 pub mod point;
 pub mod properties;
 pub mod range;
+pub mod service;
 pub mod updates;
 
 use crate::report::Report;
@@ -294,6 +295,12 @@ pub fn registry() -> Vec<ExperimentSpec> {
                  the decision boundaries (BENCH_calibrate.json)",
             run: calibrate::calibrate,
         },
+        ExperimentSpec {
+            id: "service",
+            description: "Concurrent query service under offered load: adaptive micro-batching \
+                 vs per-query dispatch, throughput and tail latency (BENCH_service.json)",
+            run: service::service,
+        },
     ]
 }
 
@@ -322,6 +329,10 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), registry.len(), "ids must be unique");
 
+        assert!(
+            registry.iter().any(|s| s.id == "service"),
+            "the service experiment must be registered"
+        );
         let picked = select(&["figure6".to_string(), "table3".to_string()]);
         assert_eq!(picked.len(), 2);
         let all = select(&["all".to_string()]);

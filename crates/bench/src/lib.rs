@@ -18,6 +18,11 @@
 //! repository root (`reproduce batch [--shards N]`); it hard-asserts the
 //! engine's fusion contract — identical results, never more pages or
 //! bounding-box checks than sequential — so CI fails on any divergence.
+//! The `service` experiment drives the `wazi-service` concurrent query
+//! service with open-loop arrival schedules and emits `BENCH_service.json`
+//! (`reproduce service`); it hard-asserts that every routed response is
+//! bit-identical to solo execution and that adaptive micro-batching beats
+//! per-query dispatch at saturating offered load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

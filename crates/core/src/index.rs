@@ -47,7 +47,13 @@ impl std::error::Error for IndexError {}
 /// this workspace overrides them with non-materializing fast paths so the
 /// work measured by the benchmark harness matches the paper's cost model
 /// (points compared, not vectors allocated).
-pub trait SpatialIndex {
+///
+/// The trait requires `Send + Sync`: all query methods take `&self`, and the
+/// concurrent query service (`wazi-service`) shares one index across its
+/// worker pool and client threads behind an `Arc<dyn SpatialIndex>`. Every
+/// index in this workspace is a plain owned data structure with no interior
+/// mutability, so the bound costs implementors nothing.
+pub trait SpatialIndex: Send + Sync {
     /// Short display name used in experiment tables ("WaZI", "Base", ...).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,161 @@
+//! Completion handles and response types: what a submitter gets back.
+
+use std::sync::mpsc;
+
+use wazi_core::{EngineError, QueryReport, StrategyDecisions};
+use wazi_storage::ExecStats;
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The engine rejected the query — either at submission time (invalid
+    /// plan, caught before it can poison a coalesced batch) or during batch
+    /// execution.
+    Engine(EngineError),
+    /// The service has shut down and accepts no new submissions.
+    Closed,
+    /// The response channel was severed without a response. This indicates
+    /// a worker died; it does not happen in normal operation (graceful
+    /// shutdown drains every pending query first).
+    Lost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Engine(err) => write!(f, "engine error: {err}"),
+            ServiceError::Closed => write!(f, "service is shut down"),
+            ServiceError::Lost => write!(f, "response channel severed without a response"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(err: EngineError) -> Self {
+        ServiceError::Engine(err)
+    }
+}
+
+/// Batch-level context attached to every response: the per-query
+/// [`QueryReport`] answers *what*, this summary answers *how* the batch
+/// that carried the query was executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Number of queries coalesced into the batch.
+    pub size: usize,
+    /// Wall-clock of the whole batch inside the engine, in nanoseconds.
+    pub latency_ns: u64,
+    /// Range queries executed through the fused sweep kernel.
+    pub fused_queries: usize,
+    /// Point probes executed through the fused leaf-grouped kernel.
+    pub fused_points: usize,
+    /// kNN plans executed through the shared expanding-ring sweep.
+    pub fused_knn: usize,
+    /// Sweep shards the fused range kernel ran on (zero when sequential).
+    pub shards_used: usize,
+    /// Work the fused kernels performed once on behalf of several queries.
+    pub shared_stats: ExecStats,
+    /// The engine's per-partition strategy decisions for this batch.
+    pub decisions: StrategyDecisions,
+}
+
+/// The service's answer to one submitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The per-query report, exactly as [`wazi_core::QueryEngine`] produced
+    /// it — output, work counters, per-query latency. Outputs are
+    /// bit-identical to a solo `execute` of the same query by the engine's
+    /// fusion guarantee.
+    pub report: QueryReport,
+    /// How the coalesced batch carrying this query was executed.
+    pub batch: BatchSummary,
+    /// Time the query spent coalescing in the submission queue before a
+    /// worker drained it, in nanoseconds.
+    pub queue_ns: u64,
+    /// End-to-end service latency in nanoseconds: submission to response
+    /// routing (queueing + batch execution).
+    pub total_ns: u64,
+}
+
+/// Outcome of a [`crate::Service::submit`] call.
+#[derive(Debug)]
+pub enum Submit {
+    /// The query was enqueued; redeem the [`Ticket`] for the response.
+    Accepted(Ticket),
+    /// The queue was full under [`crate::FullQueuePolicy::Reject`]; the
+    /// query was shed and will not be executed.
+    Rejected,
+}
+
+impl Submit {
+    /// Returns the ticket of an accepted submission, `None` if shed.
+    pub fn ticket(self) -> Option<Ticket> {
+        match self {
+            Submit::Accepted(ticket) => Some(ticket),
+            Submit::Rejected => None,
+        }
+    }
+
+    /// Returns `true` when the submission was shed.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Submit::Rejected)
+    }
+}
+
+/// Completion handle for one accepted query. `Send + 'static`: hand it to
+/// whatever thread should consume the response.
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Result<QueryResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the service answers.
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Lost))
+    }
+
+    /// Returns the response if it has already arrived, without blocking.
+    /// `None` means the query is still queued or executing.
+    pub fn try_wait(&self) -> Option<Result<QueryResponse, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(response) => Some(response),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::Lost)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_error_display() {
+        assert_eq!(ServiceError::Closed.to_string(), "service is shut down");
+        assert!(ServiceError::Lost.to_string().contains("severed"));
+        let engine = ServiceError::from(EngineError::InvalidQuery("nan".into()));
+        assert!(engine.to_string().contains("invalid query"));
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_as_lost() {
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let ticket = Ticket { rx };
+        assert!(ticket.try_wait() == Some(Err(ServiceError::Lost)));
+    }
+
+    #[test]
+    fn rejected_submission_has_no_ticket() {
+        assert!(Submit::Rejected.is_rejected());
+        assert!(Submit::Rejected.ticket().is_none());
+    }
+}

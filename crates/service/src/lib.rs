@@ -1,0 +1,385 @@
+//! # wazi-service
+//!
+//! A thread-based concurrent query service over the `wazi-core` fused
+//! batch engine: many client threads submit [`wazi_core::Query`] plans, the
+//! service
+//! coalesces them in a bounded queue under an **adaptive micro-batching
+//! window**, executes each coalesced batch through
+//! [`wazi_core::QueryEngine::execute_batch`] (default
+//! [`wazi_core::BatchStrategy::Auto`]), and routes every response back to
+//! its submitter through a completion [`Ticket`].
+//!
+//! ## Why coalesce
+//!
+//! The engine's fused kernels fetch each page once per batch however many
+//! co-located queries need it — but a fused batch must first *exist*. Under
+//! concurrent traffic nobody hands the engine a batch; this crate forms
+//! batches from the arrival stream itself, waiting at most one coalescing
+//! window before flushing. The window adapts: it grows while arrivals
+//! saturate it (capacity cuts) and shrinks when traffic is light (timer
+//! cuts), and an EWMA of the cost model's predicted fusion saving
+//! ([`wazi_core::CostEstimate`]) collapses it to the minimum whenever the
+//! model says sharing is not worth queueing for. See `docs/SERVICE.md` at
+//! the repository root for the full guide.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! clients ──submit()──▶ bounded queue ──window/capacity cut──▶ worker pool
+//!    ▲                  (backpressure:                          │ execute_batch
+//!    │                   Block | Reject)                        ▼ (Auto strategy)
+//!    └──────────── Ticket::wait() ◀─────── per-query QueryResponse routing
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wazi_core::{Query, QueryOutput, SpatialIndex, ZIndex};
+//! use wazi_geom::{Point, Rect};
+//! use wazi_service::Service;
+//!
+//! let points: Vec<Point> = (0..1_000)
+//!     .map(|i| Point::new((i % 40) as f64 / 40.0, (i / 40) as f64 / 25.0))
+//!     .collect();
+//! let index: Arc<dyn SpatialIndex> = Arc::new(ZIndex::build_base(points));
+//!
+//! let service = Service::builder(Arc::clone(&index)).start();
+//!
+//! // Submit from any number of threads; here, two scoped clients.
+//! let (a, b) = std::thread::scope(|s| {
+//!     let ta = s.spawn(|| {
+//!         let ticket = service
+//!             .submit(Query::range_count(Rect::from_coords(0.1, 0.1, 0.6, 0.6)))
+//!             .unwrap()
+//!             .ticket()
+//!             .unwrap();
+//!         ticket.wait().unwrap()
+//!     });
+//!     let tb = s.spawn(|| {
+//!         let ticket = service
+//!             .submit(Query::knn(Point::new(0.5, 0.5), 3))
+//!             .unwrap()
+//!             .ticket()
+//!             .unwrap();
+//!         ticket.wait().unwrap()
+//!     });
+//!     (ta.join().unwrap(), tb.join().unwrap())
+//! });
+//!
+//! assert!(matches!(a.report.output, QueryOutput::Count(_)));
+//! assert!(matches!(b.report.output, QueryOutput::Neighbors(ref n) if n.len() == 3));
+//!
+//! let stats = service.shutdown(); // drains in-flight work, joins workers
+//! assert_eq!(stats.completed, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod handle;
+mod service;
+mod stats;
+mod window;
+
+pub use config::{FullQueuePolicy, ServiceConfig};
+pub use handle::{BatchSummary, QueryResponse, ServiceError, Submit, Ticket};
+pub use service::{Service, ServiceBuilder};
+pub use stats::ServiceStats;
+
+/// Compile-time guarantees the service is built on: everything that crosses
+/// a thread boundary — submitted plans, routed responses, completion
+/// handles — must be `Send + 'static`. These assertions fail the build of
+/// this crate (not just a test run) if a field of any of these types loses
+/// the bound.
+const fn assert_send_static<T: Send + 'static>() {}
+
+const _: () = {
+    assert_send_static::<wazi_core::Query>();
+    assert_send_static::<wazi_core::QueryOutput>();
+    assert_send_static::<wazi_core::QueryReport>();
+    assert_send_static::<wazi_core::BatchReport>();
+    assert_send_static::<QueryResponse>();
+    assert_send_static::<BatchSummary>();
+    assert_send_static::<ServiceError>();
+    assert_send_static::<ServiceStats>();
+    assert_send_static::<Submit>();
+    assert_send_static::<Ticket>();
+};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use wazi_core::{
+        BatchStrategy, EngineError, Query, QueryEngine, QueryOutput, SpatialIndex, ZIndex,
+    };
+    use wazi_geom::{Point, Rect};
+
+    use crate::{FullQueuePolicy, Service, ServiceError, Submit};
+
+    fn clustered_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i % 50) as f64 / 50.0, (i / 50) as f64 / 40.0))
+            .collect()
+    }
+
+    fn small_index() -> Arc<dyn SpatialIndex> {
+        Arc::new(ZIndex::build_base(clustered_points(2_000)))
+    }
+
+    /// A mixed workload of overlapping counting ranges, point probes and
+    /// kNN plans, deterministic without any RNG.
+    fn mixed_queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 | 1 => {
+                    let off = (i % 7) as f64 / 100.0;
+                    Query::range_count(Rect::from_coords(
+                        0.10 + off,
+                        0.10 + off,
+                        0.55 + off,
+                        0.50 + off,
+                    ))
+                }
+                2 => Query::point(Point::new(
+                    ((i / 4) % 50) as f64 / 50.0,
+                    ((i / 4) / 50 % 40) as f64 / 40.0,
+                )),
+                _ => Query::knn(Point::new(0.3 + (i % 5) as f64 / 10.0, 0.4), 4),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn responses_match_solo_execution() {
+        let index = small_index();
+        let queries = mixed_queries(60);
+        let engine = QueryEngine::new(index.as_ref());
+        let expected: Vec<QueryOutput> = queries
+            .iter()
+            .map(|q| engine.execute(q).unwrap().output)
+            .collect();
+
+        let service = Service::builder(Arc::clone(&index))
+            .window(Duration::from_micros(200), Duration::from_millis(2))
+            .start();
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| service.submit(q.clone()).unwrap().ticket().unwrap())
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(&expected) {
+            let response = ticket.wait().unwrap();
+            assert_eq!(&response.report.output, want);
+            assert!(response.total_ns >= response.queue_ns);
+            assert!(response.batch.size >= 1);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 60);
+        assert_eq!(stats.submitted, 60);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn coalescing_actually_fuses_under_a_wide_window() {
+        let index = small_index();
+        let service = Service::builder(Arc::clone(&index))
+            // A wide fixed window: the first flush waits for the whole burst.
+            .fixed_window(Duration::from_millis(200))
+            .start();
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                let off = i as f64 / 200.0;
+                service
+                    .submit(Query::range_count(Rect::from_coords(
+                        0.1 + off,
+                        0.1,
+                        0.5 + off,
+                        0.5,
+                    )))
+                    .unwrap()
+                    .ticket()
+                    .unwrap()
+            })
+            .collect();
+        let mut max_batch = 0;
+        for ticket in tickets {
+            let response = ticket.wait().unwrap();
+            max_batch = max_batch.max(response.batch.size);
+        }
+        // All 16 submissions landed well inside the 200ms window, so at
+        // least one coalesced batch carried several queries and the fused
+        // range kernel served them.
+        assert!(
+            max_batch > 1,
+            "no coalescing happened (max batch {max_batch})"
+        );
+        let stats = service.shutdown();
+        assert!(stats.batches < 16, "every query executed alone");
+        assert!(stats.max_batch_size as usize == max_batch);
+    }
+
+    #[test]
+    fn invalid_query_is_refused_at_submission() {
+        let index = small_index();
+        let service = Service::builder(index).start();
+        let err = service
+            .submit(Query::knn(Point::new(f64::NAN, 0.5), 3))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Engine(EngineError::InvalidQuery(_))
+        ));
+        // The refusal left the service fully operational.
+        let ok = service
+            .submit(Query::point(Point::new(0.5, 0.5)))
+            .unwrap()
+            .ticket()
+            .unwrap();
+        assert!(matches!(
+            ok.wait().unwrap().report.output,
+            QueryOutput::Found(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let index = small_index();
+        // A very wide fixed window and a huge batch bound: nothing flushes
+        // until shutdown cuts the queue.
+        let service = Service::builder(Arc::clone(&index))
+            .fixed_window(Duration::from_secs(30))
+            .max_batch(1_000)
+            .start();
+        let queries = mixed_queries(24);
+        let engine = QueryEngine::new(index.as_ref());
+        let expected: Vec<QueryOutput> = queries
+            .iter()
+            .map(|q| engine.execute(q).unwrap().output)
+            .collect();
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| service.submit(q.clone()).unwrap().ticket().unwrap())
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 24, "shutdown must drain the queue");
+        assert!(stats.flushed_on_shutdown >= 1);
+        for (ticket, want) in tickets.into_iter().zip(&expected) {
+            assert_eq!(ticket.wait().unwrap().report.output, *want);
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let index = small_index();
+        let service = Service::builder(Arc::clone(&index)).start();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 0);
+        // `shutdown` consumed the handle; a fresh service that is dropped
+        // behaves the same way (Drop shuts down gracefully).
+        let service = Service::builder(index).start();
+        let ticket = service
+            .submit(Query::point(Point::new(0.1, 0.1)))
+            .unwrap()
+            .ticket()
+            .unwrap();
+        drop(service);
+        assert!(ticket.wait().is_ok(), "drop must drain accepted queries");
+    }
+
+    #[test]
+    fn reject_policy_sheds_under_a_full_queue() {
+        let index = small_index();
+        let service = Service::builder(index)
+            .queue_capacity(1)
+            .max_batch(1)
+            .on_full(FullQueuePolicy::Reject)
+            .start();
+        // A tight submission loop against a capacity-1 queue: the single
+        // worker cannot keep up with back-to-back submissions, so some are
+        // shed. (Deterministically asserting *which* ones would require
+        // pausing the worker; the service only guarantees the accounting.)
+        let mut tickets = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..5_000 {
+            let q = Query::point(Point::new((i % 50) as f64 / 50.0, 0.2));
+            match service.submit(q).unwrap() {
+                Submit::Accepted(t) => tickets.push(t),
+                Submit::Rejected => shed += 1,
+            }
+        }
+        assert!(shed > 0, "a capacity-1 queue under a tight loop must shed");
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.shed as usize, shed);
+        assert_eq!(stats.completed + stats.shed, 5_000);
+    }
+
+    #[test]
+    fn block_policy_is_lossless() {
+        let index = small_index();
+        let service = Service::builder(index)
+            .queue_capacity(4)
+            .max_batch(4)
+            .on_full(FullQueuePolicy::Block)
+            .start();
+        let tickets: Vec<_> = (0..200)
+            .map(|i| {
+                service
+                    .submit(Query::point(Point::new((i % 50) as f64 / 50.0, 0.4)))
+                    .unwrap()
+                    .ticket()
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.completed, 200);
+        assert!(stats.max_batch_size <= 4);
+    }
+
+    #[test]
+    fn dispatch_mode_executes_every_query_alone() {
+        let index = small_index();
+        let service = Service::builder(index)
+            .max_batch(1)
+            .strategy(BatchStrategy::Sequential)
+            .start();
+        let tickets: Vec<_> = mixed_queries(12)
+            .into_iter()
+            .map(|q| service.submit(q).unwrap().ticket().unwrap())
+            .collect();
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().batch.size, 1);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.batches, 12);
+        assert_eq!(stats.max_batch_size, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_mid_flight_is_consistent() {
+        let index = small_index();
+        let service = Service::builder(index).start();
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.window_ns > 0, "window starts at the configured min");
+        let t = service
+            .submit(Query::point(Point::new(0.2, 0.2)))
+            .unwrap()
+            .ticket()
+            .unwrap();
+        t.wait().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! The service proper: bounded submission queue, worker pool, coalesced
+//! execution, response routing, graceful shutdown.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wazi_core::{BatchStrategy, Query, QueryEngine, SpatialIndex};
+
+use crate::config::{FullQueuePolicy, ServiceConfig};
+use crate::handle::{BatchSummary, QueryResponse, ServiceError, Submit, Ticket};
+use crate::stats::{ServiceStats, StatsInner};
+use crate::window::{FlushCause, WindowController};
+
+/// One accepted query waiting in the submission queue.
+struct Pending {
+    query: Query,
+    tx: mpsc::Sender<Result<QueryResponse, ServiceError>>,
+    submitted_at: Instant,
+}
+
+/// State behind the service mutex.
+struct QueueState {
+    pending: VecDeque<Pending>,
+    window: WindowController,
+    shutdown: bool,
+}
+
+/// State shared by the service handle, its workers and every submitter.
+struct Shared {
+    index: Arc<dyn SpatialIndex>,
+    config: ServiceConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled when work arrives or shutdown begins; workers wait here.
+    work: Condvar,
+    /// Signalled when a worker drains the queue; blocked submitters under
+    /// [`FullQueuePolicy::Block`] wait here.
+    space: Condvar,
+    stats: StatsInner,
+}
+
+/// Builder-style front end for a [`Service`]; construct with
+/// [`Service::builder`], finish with [`ServiceBuilder::start`].
+pub struct ServiceBuilder {
+    index: Arc<dyn SpatialIndex>,
+    config: ServiceConfig,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("index", &self.index.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ServiceBuilder {
+    /// Bounds the submission queue (floored at 1 query).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bounds the coalesced batch size (floored at 1). `1` is dispatch
+    /// mode: every query executes alone, nothing coalesces.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the adaptive window's bounds (`max` floored at `min`).
+    pub fn window(mut self, min: Duration, max: Duration) -> Self {
+        self.config.min_window = min;
+        self.config.max_window = max.max(min);
+        self
+    }
+
+    /// Pins the window to a fixed value (no adaptation range).
+    pub fn fixed_window(self, window: Duration) -> Self {
+        self.window(window, window)
+    }
+
+    /// Sizes the worker pool explicitly (floored at 1 thread). The default
+    /// is the host's `available_parallelism`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the backpressure policy for a full submission queue.
+    pub fn on_full(mut self, policy: FullQueuePolicy) -> Self {
+        self.config.on_full = policy;
+        self
+    }
+
+    /// Sets the engine strategy used for every coalesced batch.
+    pub fn strategy(mut self, strategy: BatchStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Starts the worker pool and returns the running service.
+    pub fn start(self) -> Service {
+        let window = WindowController::new(
+            self.config.min_window.as_nanos() as u64,
+            self.config.max_window.as_nanos() as u64,
+        );
+        let shared = Arc::new(Shared {
+            index: self.index,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::with_capacity(self.config.queue_capacity.min(4096)),
+                window,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            stats: StatsInner::default(),
+            config: self.config,
+        });
+        shared.stats.window_ns.store(
+            shared.config.min_window.as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wazi-service-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+}
+
+/// A running concurrent query service over one shared index.
+///
+/// Submissions from any number of client threads coalesce in a bounded
+/// queue under an adaptive micro-batching window and execute as fused
+/// engine batches; see the crate docs for the pipeline and
+/// `docs/SERVICE.md` at the repository root for the full guide.
+///
+/// The handle is `Sync`: share `&Service` across client threads (e.g. via
+/// `std::thread::scope`). Dropping it shuts the service down gracefully,
+/// draining every accepted query first.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts building a service over `index`.
+    pub fn builder(index: Arc<dyn SpatialIndex>) -> ServiceBuilder {
+        ServiceBuilder {
+            index,
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// The configuration the service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Submits one query for coalesced execution.
+    ///
+    /// Validates the plan immediately — an invalid query is refused here
+    /// with [`ServiceError::Engine`] rather than poisoning a whole
+    /// coalesced batch later (the engine rejects batches atomically).
+    /// When the queue is full, [`FullQueuePolicy::Block`] waits for space
+    /// and [`FullQueuePolicy::Reject`] sheds ([`Submit::Rejected`]).
+    pub fn submit(&self, query: Query) -> Result<Submit, ServiceError> {
+        query.validate()?;
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("service mutex");
+        loop {
+            if queue.shutdown {
+                return Err(ServiceError::Closed);
+            }
+            if queue.pending.len() < shared.config.queue_capacity {
+                break;
+            }
+            match shared.config.on_full {
+                FullQueuePolicy::Reject => {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Submit::Rejected);
+                }
+                FullQueuePolicy::Block => {
+                    queue = shared.space.wait(queue).expect("service mutex");
+                }
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        queue.pending.push_back(Pending {
+            query,
+            tx,
+            submitted_at: Instant::now(),
+        });
+        let depth = queue.pending.len();
+        drop(queue);
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // Wake a worker only when it has something new to act on: the
+        // empty→nonempty transition (a timer must be armed for the new
+        // oldest query) or a queue deep enough for a capacity cut. Any
+        // other submission is already covered by the armed timer —
+        // notifying on every submit would wake the worker once per query,
+        // the exact per-query overhead coalescing exists to amortise.
+        if depth == 1 || depth >= shared.config.max_batch {
+            shared.work.notify_one();
+        }
+        Ok(Submit::Accepted(Ticket { rx }))
+    }
+
+    /// Snapshots the service counters (including the live queue depth).
+    pub fn stats(&self) -> ServiceStats {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .expect("service mutex")
+            .pending
+            .len();
+        self.shared.stats.snapshot(depth)
+    }
+
+    /// Shuts down gracefully: refuses new submissions, drains every
+    /// accepted query through the engine (their tickets all resolve), joins
+    /// the worker pool, and returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("service mutex");
+            queue.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("index", &self.shared.index.name())
+            .field("config", &self.shared.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Drains up to `max_batch` pending queries, deciding the flush cause.
+/// Returns `None` (worker exits) once the service is shut down and empty.
+fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
+    let mut queue: MutexGuard<'_, QueueState> = shared.queue.lock().expect("service mutex");
+    loop {
+        if queue.pending.is_empty() {
+            if queue.shutdown {
+                return None;
+            }
+            queue = shared.work.wait(queue).expect("service mutex");
+            continue;
+        }
+        let cause = if queue.shutdown {
+            FlushCause::Shutdown
+        } else if queue.pending.len() >= shared.config.max_batch {
+            FlushCause::Capacity
+        } else {
+            let window = Duration::from_nanos(queue.window.window_ns());
+            let oldest = queue.pending.front().expect("non-empty queue").submitted_at;
+            let waited = oldest.elapsed();
+            if waited < window {
+                let (guard, _timeout) = shared
+                    .work
+                    .wait_timeout(queue, window - waited)
+                    .expect("service mutex");
+                queue = guard;
+                continue;
+            }
+            FlushCause::Timer
+        };
+        let take = queue.pending.len().min(shared.config.max_batch);
+        let batch: Vec<Pending> = queue.pending.drain(..take).collect();
+        if !queue.pending.is_empty() {
+            // Leftovers (queue deeper than one batch): wake a sibling so it
+            // can start cutting the next batch while this one executes.
+            shared.work.notify_one();
+        }
+        drop(queue);
+        // Space opened up: release submitters blocked on the full queue.
+        shared.space.notify_all();
+        return Some((batch, cause));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((batch, cause)) = next_batch(shared) {
+        execute_and_respond(shared, batch, cause);
+    }
+}
+
+/// Executes one coalesced batch and routes each response to its submitter.
+fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) {
+    let drained_at = Instant::now();
+    let queries: Vec<Query> = batch.iter().map(|p| p.query.clone()).collect();
+    let engine = QueryEngine::new(shared.index.as_ref()).with_strategy(shared.config.strategy);
+    let report = match engine.execute_batch(&queries) {
+        Ok(report) => report,
+        Err(err) => {
+            // Queries are validated at submission, so this is unreachable
+            // for plan errors; still, fail every submitter loudly rather
+            // than dropping tickets.
+            let service_err = ServiceError::Engine(err);
+            for pending in batch {
+                let _ = pending.tx.send(Err(service_err.clone()));
+            }
+            return;
+        }
+    };
+
+    // Feed the flush back into the adaptive window (brief lock; execution
+    // above ran unlocked).
+    {
+        let mut queue = shared.queue.lock().expect("service mutex");
+        queue.window.observe_flush(
+            cause,
+            batch.len(),
+            shared.config.max_batch,
+            &report.strategy_chosen,
+        );
+        shared
+            .stats
+            .window_ns
+            .store(queue.window.window_ns(), Ordering::Relaxed);
+    }
+
+    let stats = &shared.stats;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    match cause {
+        FlushCause::Capacity => stats.flushed_on_capacity.fetch_add(1, Ordering::Relaxed),
+        FlushCause::Timer => stats.flushed_on_timer.fetch_add(1, Ordering::Relaxed),
+        FlushCause::Shutdown => stats.flushed_on_shutdown.fetch_add(1, Ordering::Relaxed),
+    };
+    StatsInner::record_max(&stats.max_batch_size, batch.len() as u64);
+
+    let summary = BatchSummary {
+        size: batch.len(),
+        latency_ns: report.latency_ns,
+        fused_queries: report.fused_queries,
+        fused_points: report.fused_points,
+        fused_knn: report.fused_knn,
+        shards_used: report.shards_used,
+        shared_stats: report.shared_stats,
+        decisions: report.strategy_chosen,
+    };
+
+    // Count the batch as completed *before* routing responses, so a client
+    // that receives its response and immediately snapshots the stats never
+    // sees its own query missing from `completed`.
+    let mut queue_wait_total = 0u64;
+    let queue_waits: Vec<u64> = batch
+        .iter()
+        .map(|pending| {
+            let queue_ns = drained_at
+                .saturating_duration_since(pending.submitted_at)
+                .as_nanos() as u64;
+            queue_wait_total += queue_ns;
+            StatsInner::record_max(&stats.max_queue_wait_ns, queue_ns);
+            queue_ns
+        })
+        .collect();
+    stats
+        .completed
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats
+        .total_queue_wait_ns
+        .fetch_add(queue_wait_total, Ordering::Relaxed);
+
+    for ((pending, query_report), queue_ns) in
+        batch.into_iter().zip(report.reports).zip(queue_waits)
+    {
+        let total_ns = pending.submitted_at.elapsed().as_nanos() as u64;
+        // A submitter that dropped its ticket is gone; that is its choice.
+        let _ = pending.tx.send(Ok(QueryResponse {
+            report: query_report,
+            batch: summary.clone(),
+            queue_ns,
+            total_ns,
+        }));
+    }
+}

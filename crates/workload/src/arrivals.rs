@@ -1,0 +1,199 @@
+//! Deterministic open-loop arrival schedules for the query service bench.
+//!
+//! The service experiment measures `wazi-service` under *offered load*: a
+//! client replays a schedule of (arrival time, query) pairs, submitting
+//! each query when its time comes regardless of how fast the service
+//! answers (open-loop, so queueing delay is visible instead of hidden by
+//! client back-off). This module turns any generated query batch into such
+//! a schedule:
+//!
+//! * [`poisson_arrivals`] — memoryless traffic: exponential interarrival
+//!   gaps at a constant rate, the standard open-loop model;
+//! * [`bursty_arrivals`] — on/off traffic: alternating bursts (the rate
+//!   multiplied) and lulls (the rate divided), with geometrically
+//!   distributed phase lengths — the shape that stresses an adaptive
+//!   coalescing window, since the right window differs between phases.
+//!
+//! Both are deterministic given their seed, like every generator in this
+//! crate. Hot-key skew comes from the query source, not the schedule: feed
+//! them [`crate::generate_overlapping_batch`] or
+//! [`crate::generate_point_batch`] (25% hot-key repeats) to replay skewed
+//! traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wazi_core::Query;
+
+/// One scheduled submission: `query` is offered `offset_ns` nanoseconds
+/// after the replay starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Nanoseconds after replay start at which the query is offered.
+    pub offset_ns: u64,
+    /// The query plan to submit.
+    pub query: Query,
+}
+
+/// An exponential interarrival gap at `rate_qps`, drawn by inverse-CDF from
+/// one uniform sample: `-ln(1 - u) / rate` seconds.
+fn exponential_gap_ns(rng: &mut StdRng, rate_qps: f64) -> u64 {
+    let u: f64 = rng.gen();
+    let gap_secs = -(1.0 - u).ln() / rate_qps;
+    (gap_secs * 1e9) as u64
+}
+
+/// Schedules `queries` as a Poisson arrival process at `rate_qps` queries
+/// per second: interarrival gaps are independent exponential draws, so the
+/// schedule is memoryless and arrivals cluster by chance.
+///
+/// Queries keep their input order; only their timing is generated. Equal
+/// seeds produce equal schedules. `rate_qps` is clamped to a positive
+/// floor, and the first query arrives after one gap (not at zero), so the
+/// schedule is well-formed for any input.
+pub fn poisson_arrivals(queries: Vec<Query>, rate_qps: f64, seed: u64) -> Vec<Arrival> {
+    let rate = rate_qps.max(1e-3);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA441_7A15);
+    let mut clock_ns = 0u64;
+    queries
+        .into_iter()
+        .map(|query| {
+            clock_ns = clock_ns.saturating_add(exponential_gap_ns(&mut rng, rate));
+            Arrival {
+                offset_ns: clock_ns,
+                query,
+            }
+        })
+        .collect()
+}
+
+/// Schedules `queries` as on/off bursty traffic around `base_rate_qps`.
+///
+/// The schedule alternates *burst* phases (Poisson at
+/// `base_rate_qps * burst_multiplier`) and *lull* phases (Poisson at
+/// `base_rate_qps / burst_multiplier`); phase lengths are geometrically
+/// distributed with mean `mean_phase_len` queries, so bursts vary in size
+/// but average out deterministically per seed. The long-run offered rate
+/// sits between the two phase rates.
+///
+/// This is the adversarial shape for a fixed coalescing window: a window
+/// tuned for the burst wastes latency in the lull and vice versa, which is
+/// exactly what the service's adaptive window is for.
+pub fn bursty_arrivals(
+    queries: Vec<Query>,
+    base_rate_qps: f64,
+    burst_multiplier: f64,
+    mean_phase_len: usize,
+    seed: u64,
+) -> Vec<Arrival> {
+    let base = base_rate_qps.max(1e-3);
+    let multiplier = burst_multiplier.max(1.0);
+    let mean_len = mean_phase_len.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB5B5_7A15);
+    // The geometric phase-end probability: a phase ends after each query
+    // with probability 1/mean_len, giving mean_len queries per phase.
+    let phase_end = 1.0 / mean_len as f64;
+    let mut in_burst = true;
+    let mut clock_ns = 0u64;
+    queries
+        .into_iter()
+        .map(|query| {
+            let rate = if in_burst {
+                base * multiplier
+            } else {
+                base / multiplier
+            };
+            clock_ns = clock_ns.saturating_add(exponential_gap_ns(&mut rng, rate));
+            if rng.gen_bool(phase_end) {
+                in_burst = !in_burst;
+            }
+            Arrival {
+                offset_ns: clock_ns,
+                query,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::generate_overlapping_batch;
+    use crate::region::Region;
+
+    fn queries(n: usize) -> Vec<Query> {
+        generate_overlapping_batch(Region::CaliNev, n, 0.01, 7)
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_ordered() {
+        let a = poisson_arrivals(queries(200), 10_000.0, 42);
+        let b = poisson_arrivals(queries(200), 10_000.0, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for w in a.windows(2) {
+            assert!(w[0].offset_ns <= w[1].offset_ns, "offsets must be monotone");
+        }
+        // Queries keep their input order: the schedule only adds timing.
+        let source = queries(200);
+        for (arrival, query) in a.iter().zip(&source) {
+            assert_eq!(&arrival.query, query);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_the_rate() {
+        let rate = 50_000.0;
+        let n = 2_000;
+        let schedule = poisson_arrivals(queries(n), rate, 9);
+        let span_secs = schedule.last().unwrap().offset_ns as f64 / 1e9;
+        let achieved = n as f64 / span_secs;
+        // 2000 exponential draws: the empirical rate lands within ~10%.
+        assert!(
+            (achieved / rate - 1.0).abs() < 0.10,
+            "achieved {achieved:.0} qps vs offered {rate:.0} qps"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = poisson_arrivals(queries(50), 10_000.0, 1);
+        let b = poisson_arrivals(queries(50), 10_000.0, 2);
+        assert_ne!(
+            a.iter().map(|x| x.offset_ns).collect::<Vec<_>>(),
+            b.iter().map(|x| x.offset_ns).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bursty_is_deterministic_and_actually_bursts() {
+        let a = bursty_arrivals(queries(2_000), 20_000.0, 8.0, 50, 11);
+        let b = bursty_arrivals(queries(2_000), 20_000.0, 8.0, 50, 11);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].offset_ns <= w[1].offset_ns);
+        }
+        // The gap distribution must be bimodal: with an 8x multiplier the
+        // burst-phase mean gap is 64x shorter than the lull-phase mean gap,
+        // so the widest decile of gaps dwarfs the narrowest.
+        let mut gaps: Vec<u64> = a
+            .windows(2)
+            .map(|w| w[1].offset_ns - w[0].offset_ns)
+            .collect();
+        gaps.sort_unstable();
+        let lo = gaps[gaps.len() / 10].max(1);
+        let hi = gaps[gaps.len() * 9 / 10];
+        assert!(
+            hi / lo >= 8,
+            "expected bimodal gaps, got p10 {lo} ns vs p90 {hi} ns"
+        );
+    }
+
+    #[test]
+    fn degenerate_parameters_are_floored() {
+        let schedule = poisson_arrivals(queries(5), 0.0, 3);
+        assert_eq!(schedule.len(), 5);
+        let schedule = bursty_arrivals(queries(5), -1.0, 0.0, 0, 3);
+        assert_eq!(schedule.len(), 5);
+        assert!(poisson_arrivals(Vec::new(), 100.0, 3).is_empty());
+    }
+}

@@ -20,7 +20,10 @@
 //!   batches of typed [`wazi_core::Query`] plans for the query engine's
 //!   batch executor: heterogeneous mixes, hotspot-concentrated range
 //!   batches for the fused sweeps, hot-key probe batches, and clustered
-//!   kNN plans.
+//!   kNN plans;
+//! * [`poisson_arrivals`] / [`bursty_arrivals`] — deterministic open-loop
+//!   arrival schedules ([`Arrival`]) turning any query batch into timed
+//!   offered-load traffic for the `wazi-service` bench.
 //!
 //! All generators are deterministic given their seeds, so every experiment
 //! in `wazi-bench` is reproducible bit-for-bit.
@@ -28,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod batch;
 mod dataset;
 mod queries;
 mod region;
 
+pub use arrivals::{bursty_arrivals, poisson_arrivals, Arrival};
 pub use batch::{
     generate_knn_batch, generate_mixed_batch, generate_mixed_batch_with_mix,
     generate_overlapping_batch, generate_point_batch, generate_scattered_batch, BatchMix,

@@ -1,0 +1,131 @@
+//! Quickstart for the concurrent query service: share one index across
+//! client threads, let submissions coalesce under the adaptive
+//! micro-batching window, and read the answers back off completion
+//! tickets — bit-identical to running each query alone, but executed as
+//! fused batches sized by the arrival rate.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example service
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wazi_core::{QueryOutput, SpatialIndex, ZIndex};
+use wazi_service::{FullQueuePolicy, Service, Submit};
+use wazi_workload::{
+    generate_dataset, generate_mixed_batch, generate_queries, poisson_arrivals, Region,
+    SELECTIVITIES,
+};
+
+fn main() {
+    // 1. Build the workload-aware index exactly as in `quickstart.rs`,
+    //    then put it behind an Arc: every query method takes `&self`, so
+    //    one index serves every client and worker without copies.
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 100_000);
+    let train = generate_queries(region, 2_000, SELECTIVITIES[2]);
+    let index: Arc<dyn SpatialIndex> = Arc::new(ZIndex::build_wazi(points, &train));
+
+    // 2. Start the service. The builder holds the whole configuration
+    //    surface: queue bound, batch ceiling, adaptive window range, what
+    //    to do when the queue is full, and the engine strategy batches
+    //    execute under (the cost-based Auto default picks per partition).
+    let service = Service::builder(Arc::clone(&index))
+        .queue_capacity(1024)
+        .max_batch(256)
+        .window(Duration::from_micros(50), Duration::from_millis(5))
+        .on_full(FullQueuePolicy::Block)
+        .start();
+    println!("service up: {:?}", service.config());
+
+    // 3. Clients submit `Query` values and get a ticket per submission.
+    //    A deterministic Poisson schedule stands in for real traffic;
+    //    three client threads replay disjoint slices of it concurrently.
+    const CLIENTS: usize = 3;
+    let batch = generate_mixed_batch(region, 3_000, SELECTIVITIES[3], 42);
+    let arrivals = poisson_arrivals(batch, 50_000.0, 7);
+    let answered: Vec<(usize, QueryOutput)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let service = &service;
+                let arrivals = &arrivals;
+                s.spawn(move || {
+                    let tickets: Vec<_> = arrivals
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % CLIENTS == client)
+                        .map(|(i, arrival)| {
+                            // Block policy: submit never sheds, it waits
+                            // for queue space instead.
+                            match service.submit(arrival.query.clone()) {
+                                Ok(Submit::Accepted(ticket)) => (i, ticket),
+                                Ok(Submit::Rejected) | Err(_) => {
+                                    unreachable!("blocking service refused a valid query")
+                                }
+                            }
+                        })
+                        .collect();
+                    // 4. Redeem the tickets. Each response carries the
+                    //    solo-identical answer plus the batch it rode in:
+                    //    size, engine latency, fused-plan counts and the
+                    //    cost model's per-partition decisions.
+                    tickets
+                        .into_iter()
+                        .map(|(i, ticket)| {
+                            let response = ticket.wait().expect("service answers");
+                            if i == 0 {
+                                println!(
+                                    "first response: {} queries in its batch, \
+                                     {} fused, queued {:.1} us",
+                                    response.batch.size,
+                                    response.batch.fused_queries,
+                                    response.queue_ns as f64 / 1e3
+                                );
+                            }
+                            (i, response.report.output)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    println!(
+        "{} queries answered across {CLIENTS} clients",
+        answered.len()
+    );
+
+    // 5. Graceful shutdown drains everything still queued and returns the
+    //    final counters: how many batches the window formed, how they were
+    //    cut (capacity / timer / shutdown), queue-wait percentiles' raw
+    //    material, and where the adaptive window ended up.
+    let stats = service.shutdown();
+    println!(
+        "{} batches (mean size {:.1}, max {}), cuts: {} capacity / {} timer / {} shutdown",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.max_batch_size,
+        stats.flushed_on_capacity,
+        stats.flushed_on_timer,
+        stats.flushed_on_shutdown
+    );
+    println!(
+        "mean queue wait {:.1} us, window ended at {:.1} us",
+        stats.mean_queue_wait_ns() / 1e3,
+        stats.window_ns as f64 / 1e3
+    );
+
+    // 6. The service guarantee, spot-checked: every routed answer equals a
+    //    solo execution of the same query on the same index.
+    let engine = wazi_core::QueryEngine::new(index.as_ref());
+    for (i, output) in answered.iter().take(200) {
+        let solo = engine.execute(&arrivals[*i].query).expect("valid query");
+        assert_eq!(output, &solo.output, "response {i} diverged");
+    }
+    println!("spot-check passed: responses are bit-identical to solo execution");
+}

@@ -16,10 +16,15 @@
 //!   and the typed query-plan [`core::QueryEngine`] with sequential and
 //!   fused batch execution;
 //! * [`baselines`] — the six competitor indexes of the evaluation;
-//! * [`workload`] — deterministic dataset and query-workload generators;
+//! * [`workload`] — deterministic dataset and query-workload generators,
+//!   including the open-loop arrival schedules driving the service bench;
+//! * [`service`] — the concurrent query service coalescing submissions
+//!   into fused engine batches under an adaptive micro-batching window
+//!   (`docs/SERVICE.md`);
 //! * [`mod@bench`] — the experiment harness reproducing every table and
 //!   figure, including the `batch` experiment comparing sequential vs fused
-//!   batch execution (`BENCH_batch.json`).
+//!   batch execution (`BENCH_batch.json`) and the `service` experiment
+//!   measuring the service under offered load (`BENCH_service.json`).
 //!
 //! Entry points for humans: the repository README for the quickstart and
 //! pointer map, `docs/ENGINE.md` for the batch-execution pipeline guide,
@@ -33,6 +38,7 @@ pub use wazi_bench as bench;
 pub use wazi_core as core;
 pub use wazi_density as density;
 pub use wazi_geom as geom;
+pub use wazi_service as service;
 pub use wazi_storage as storage;
 pub use wazi_workload as workload;
 
@@ -42,4 +48,5 @@ pub use wazi_core::{
     RangeMode, SpatialIndex, ZIndex, ZIndexBuilder, ZIndexConfig,
 };
 pub use wazi_geom::{Point, Rect};
+pub use wazi_service::{Service, ServiceStats};
 pub use wazi_storage::ExecStats;

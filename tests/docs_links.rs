@@ -11,6 +11,7 @@ const DOCUMENTS: &[&str] = &[
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ENGINE.md",
+    "docs/SERVICE.md",
     "crates/vendor/README.md",
 ];
 
@@ -93,7 +94,9 @@ fn documentation_surface_is_complete() {
         "CHANGES.md",
         "PAPER.md",
         "docs/ENGINE.md",
+        "docs/SERVICE.md",
         "BENCH_batch.json",
+        "BENCH_service.json",
     ] {
         assert!(
             root.join(required).exists(),

@@ -1,0 +1,183 @@
+//! Cross-crate integration test for the concurrent query service: whatever
+//! the service does — coalesce submissions from many client threads into
+//! micro-batches, execute them under the cost-based Auto strategy, route
+//! responses back over completion tickets — the answer each client receives
+//! must be bit-identical to a solo `QueryEngine::execute` of the same query
+//! on the same index. The batch engine's fusion guarantee extends through
+//! the service layer, for every index of the evaluation suite.
+//!
+//! Alongside the identity property, the two service lifecycle guarantees
+//! the facade promises: shutdown drains every accepted query before the
+//! workers exit, and a full bounded queue under `FullQueuePolicy::Reject`
+//! sheds loudly instead of blocking or dropping silently.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wazi_bench::{build_index, IndexKind};
+use wazi_core::{BatchReport, Query, QueryEngine, QueryOutput, QueryReport, SpatialIndex};
+use wazi_service::{FullQueuePolicy, Service, Submit};
+use wazi_workload::{
+    generate_dataset, generate_mixed_batch, generate_queries, Region, SELECTIVITIES,
+};
+
+/// The compile-time contract the service is built on, restated at the
+/// facade level: everything that crosses a service thread boundary is
+/// `Send + 'static`.
+const fn assert_send_static<T: Send + 'static>() {}
+const _: () = {
+    assert_send_static::<Query>();
+    assert_send_static::<QueryOutput>();
+    assert_send_static::<QueryReport>();
+    assert_send_static::<BatchReport>();
+};
+
+fn fixture(kind: IndexKind) -> (Arc<dyn SpatialIndex>, Vec<Query>) {
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 4_000);
+    let train = generate_queries(region, 120, SELECTIVITIES[1]);
+    let batch = generate_mixed_batch(region, 90, SELECTIVITIES[2], 0x5E41);
+    let built = build_index(kind, &points, &train, 128);
+    (Arc::from(built.index), batch)
+}
+
+/// Concurrent clients through the service vs a solo per-query loop, for
+/// every index of the paper's overview comparison. The mixed batch covers
+/// all plan types (ranges in three modes, point probes, kNN), so every
+/// fused kernel the Auto strategy may pick is behind the assert.
+#[test]
+fn service_responses_match_solo_execution_for_every_index() {
+    const CLIENTS: usize = 3;
+    for kind in IndexKind::OVERVIEW {
+        let (index, batch) = fixture(kind);
+        let reference: Vec<QueryOutput> = {
+            let engine = QueryEngine::new(index.as_ref());
+            batch
+                .iter()
+                .map(|q| engine.execute(q).expect("solo execution").output)
+                .collect()
+        };
+
+        let service = Service::builder(Arc::clone(&index))
+            .window(Duration::from_micros(50), Duration::from_millis(5))
+            .start();
+        let outputs: Vec<(usize, QueryOutput)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    let service = &service;
+                    let batch = &batch;
+                    s.spawn(move || {
+                        let tickets: Vec<_> = batch
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % CLIENTS == client)
+                            .map(|(i, query)| {
+                                let ticket = service
+                                    .submit(query.clone())
+                                    .expect("service accepts while running")
+                                    .ticket()
+                                    .expect("blocking policy never sheds");
+                                (i, ticket)
+                            })
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|(i, ticket)| {
+                                let response = ticket.wait().expect("response arrives");
+                                (i, response.report.output)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let stats = service.shutdown();
+
+        assert_eq!(
+            outputs.len(),
+            batch.len(),
+            "{kind}: a response went missing"
+        );
+        for (i, output) in outputs {
+            assert_eq!(
+                output, reference[i],
+                "{kind}: service response {i} diverged from solo execution"
+            );
+        }
+        assert_eq!(stats.completed, batch.len() as u64, "{kind}");
+        assert_eq!(
+            stats.shed, 0,
+            "{kind}: the blocking policy must be lossless"
+        );
+    }
+}
+
+/// Shutdown drains: queries accepted before `shutdown` all resolve, even
+/// when the window is far too long to have flushed them on its own.
+#[test]
+fn shutdown_drains_every_accepted_query() {
+    let (index, batch) = fixture(IndexKind::Wazi);
+    let service = Service::builder(index)
+        .window(Duration::from_secs(30), Duration::from_secs(30))
+        .max_batch(1_000)
+        .start();
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|query| {
+            service
+                .submit(query.clone())
+                .expect("service accepts while running")
+                .ticket()
+                .expect("queue has room")
+        })
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, batch.len() as u64);
+    assert!(
+        stats.flushed_on_shutdown >= 1,
+        "the drain must be attributed to shutdown, not the 30s window"
+    );
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("query {i} lost: {e}"));
+        assert_eq!(response.batch.size, batch.len(), "one shutdown drain batch");
+    }
+}
+
+/// Backpressure: a one-slot queue with a worker wedged behind a huge
+/// window must shed under `FullQueuePolicy::Reject`, and everything it
+/// accepted must still be answered.
+#[test]
+fn reject_policy_sheds_when_the_queue_is_full() {
+    let (index, batch) = fixture(IndexKind::Wazi);
+    let service = Service::builder(index)
+        .queue_capacity(1)
+        .window(Duration::from_secs(30), Duration::from_secs(30))
+        .max_batch(1_000)
+        .on_full(FullQueuePolicy::Reject)
+        .start();
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for query in &batch {
+        match service.submit(query.clone()).expect("service is running") {
+            Submit::Accepted(ticket) => accepted.push(ticket),
+            Submit::Rejected => shed += 1,
+        }
+    }
+    assert!(
+        shed > 0,
+        "a one-slot queue must shed under a {}-query burst",
+        batch.len()
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed + stats.shed, batch.len() as u64);
+    for ticket in accepted {
+        ticket.wait().expect("accepted queries are answered");
+    }
+}

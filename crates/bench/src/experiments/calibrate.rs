@@ -64,9 +64,22 @@ struct Fitted {
     fitted: Option<f64>,
 }
 
+/// Warm-up pass plus best-of-N measurement. The minimum is the right
+/// statistic for the boundary asserts: a single run on a loaded one-core
+/// host can absorb a multi-millisecond scheduler hiccup — larger than the
+/// whole batch latency — and the comparisons here are about the work the
+/// strategies do, not about the scheduler.
 fn warm(index: &dyn SpatialIndex, batch: &[Query], strategy: BatchStrategy) -> BatchMeasurement {
+    const RUNS: usize = 3;
     let _ = measure_query_batch(index, batch, strategy);
-    measure_query_batch(index, batch, strategy)
+    let mut best = measure_query_batch(index, batch, strategy);
+    for _ in 1..RUNS {
+        let m = measure_query_batch(index, batch, strategy);
+        if m.batch_latency_ns < best.batch_latency_ns {
+            best = m;
+        }
+    }
+    best
 }
 
 /// Per-point cost fitted from one full-space scan: every point of the

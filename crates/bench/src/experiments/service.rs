@@ -33,10 +33,13 @@ use super::ExperimentContext;
 use crate::measure::format_ns;
 use crate::report::Report;
 use crate::suite::{build_index, IndexKind};
-use wazi_core::{BatchStrategy, QueryEngine, QueryOutput, SpatialIndex};
-use wazi_service::{FullQueuePolicy, Service, ServiceStats, Submit};
+use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex};
+use wazi_service::{
+    Fault, FaultPlan, FullQueuePolicy, Service, ServiceError, ServiceStats, Submit, SubmitOptions,
+};
 use wazi_workload::{
-    bursty_arrivals, generate_overlapping_batch, poisson_arrivals, Arrival, Region, SELECTIVITIES,
+    bursty_arrivals, fault_schedule, generate_overlapping_batch, poisson_arrivals, Arrival,
+    FaultKind, Region, SELECTIVITIES,
 };
 
 /// The overlapping counting-range workload of the batch experiment: the
@@ -234,6 +237,139 @@ fn replay(
         elapsed_ns,
         stats,
     }
+}
+
+/// What one fault-schedule replay produced: how every ticket terminated,
+/// plus the service's recovery counters.
+struct RecoveryOutcome {
+    completed: u64,
+    panicked: u64,
+    worker_died: u64,
+    stats: ServiceStats,
+    /// Faults that actually fired (0 for the control row).
+    fired: u64,
+}
+
+/// One recovery-table row's configuration: the fault schedule (if any),
+/// the uniform per-query deadline (if any), and the service shape it
+/// replays under.
+struct RecoveryCase {
+    plan: Option<Arc<FaultPlan>>,
+    deadline: Option<Duration>,
+    window: (Duration, Duration),
+    max_batch: usize,
+    label: &'static str,
+}
+
+/// Replays `queries` (closed-loop, single client so submission order ==
+/// sequence order) against a service carrying the case's fault plan, waits
+/// every ticket to a terminal outcome, then probes the service with a
+/// fresh query to prove the pool recovered. Panics if any non-faulty
+/// response diverges from `reference` or any ticket is stranded — the
+/// chaos acceptance property behind the recovery table.
+fn replay_recovery(
+    index: &Arc<dyn SpatialIndex>,
+    queries: &[Query],
+    reference: &[QueryOutput],
+    case: RecoveryCase,
+) -> RecoveryOutcome {
+    let RecoveryCase {
+        plan,
+        deadline,
+        window,
+        max_batch,
+        label,
+    } = case;
+    let mut builder = Service::builder(Arc::clone(index))
+        .max_batch(max_batch)
+        .window(window.0, window.1)
+        .on_full(FullQueuePolicy::Block);
+    if let Some(plan) = &plan {
+        builder = builder.fault_plan(Arc::clone(plan));
+    }
+    let service = builder.start();
+    let options = deadline.map_or_else(SubmitOptions::new, |d| SubmitOptions::new().deadline(d));
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .submit_with(q.clone(), options)
+                .unwrap_or_else(|err| panic!("{label}: submission refused: {err}"))
+                .ticket()
+                .expect("blocking policy never sheds")
+        })
+        .collect();
+
+    let faulty: Vec<u64> = plan.as_ref().map(|p| p.kernel_panics()).unwrap_or_default();
+    let (mut completed, mut panicked, mut worker_died, mut timed_out) = (0u64, 0u64, 0u64, 0u64);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        // `wait` is the no-ticket-left-behind assert: stranded would hang.
+        match ticket.wait() {
+            Ok(response) => {
+                assert_eq!(
+                    response.report.output, reference[i],
+                    "{label}: response {i} diverged from solo execution"
+                );
+                completed += 1;
+            }
+            Err(ServiceError::ExecutionPanicked { .. }) => {
+                assert!(
+                    faulty.contains(&(i as u64)),
+                    "{label}: query {i} panicked without a planned fault"
+                );
+                panicked += 1;
+            }
+            Err(ServiceError::WorkerDied) => worker_died += 1,
+            Err(ServiceError::DeadlineExceeded) => timed_out += 1,
+            Err(other) => panic!("{label}: query {i} failed with {other}"),
+        }
+    }
+    assert_eq!(
+        completed + panicked + worker_died + timed_out,
+        queries.len() as u64,
+        "{label}: every ticket must reach exactly one terminal outcome"
+    );
+    assert_eq!(
+        panicked,
+        faulty.len() as u64,
+        "{label}: exactly the planned kernel panics must surface"
+    );
+
+    // Recovery probe: the pool must still answer fresh traffic (and the
+    // probe carries no deadline, so it cannot be culled).
+    let probe = service
+        .submit(queries[0].clone())
+        .unwrap_or_else(|err| panic!("{label}: post-fault submission refused: {err}"))
+        .ticket()
+        .expect("queue has room");
+    let response = probe
+        .wait()
+        .unwrap_or_else(|err| panic!("{label}: post-fault probe lost: {err}"));
+    assert_eq!(
+        response.report.output, reference[0],
+        "{label}: post-fault probe diverged"
+    );
+
+    let stats = service.shutdown();
+    RecoveryOutcome {
+        completed: completed + 1, // the probe
+        panicked,
+        worker_died,
+        stats,
+        fired: plan.map(|p| p.injected()).unwrap_or(0),
+    }
+}
+
+/// Maps a workload-level fault schedule onto the service's registry.
+fn plan_from_schedule(schedule: &[wazi_workload::FaultSpec]) -> FaultPlan {
+    schedule.iter().fold(FaultPlan::new(), |plan, spec| {
+        let fault = match spec.kind {
+            FaultKind::KernelPanic => Fault::KernelPanic,
+            FaultKind::ExecDelay => Fault::ExecDelay(Duration::from_micros(spec.micros)),
+            FaultKind::QueueStall => Fault::QueueStall(Duration::from_micros(spec.micros)),
+        };
+        plan.with(spec.index, fault)
+    })
 }
 
 /// The hard bit-identity assert behind the committed artifact: every
@@ -501,7 +637,146 @@ pub fn service(ctx: &ExperimentContext) -> Vec<Report> {
          saturating load (shed + completed = offered)"
     ));
 
-    let reports = vec![table, counters];
+    // Recovery under injected faults: the fault-tolerance surface measured
+    // the same way the chaos tests assert it — no ticket left behind,
+    // non-faulty answers bit-identical, the pool recovered by a probe.
+    let mut recovery = Report::new(
+        "service-recovery",
+        format!(
+            "Service recovery under deterministic fault injection ({} queries per \
+             schedule, single client)",
+            queries.len()
+        ),
+    )
+    .with_headers(&[
+        "Schedule",
+        "Planned",
+        "Fired",
+        "Completed",
+        "Panicked",
+        "Worker died",
+        "Timed out",
+        "Degraded batches",
+        "Restarts",
+    ]);
+    let recovery_row = |name: &str, planned: usize, outcome: &RecoveryOutcome| -> Vec<String> {
+        vec![
+            name.to_string(),
+            planned.to_string(),
+            outcome.fired.to_string(),
+            outcome.completed.to_string(),
+            outcome.panicked.to_string(),
+            outcome.worker_died.to_string(),
+            outcome.stats.timed_out.to_string(),
+            outcome.stats.degraded_batches.to_string(),
+            outcome.stats.worker_restarts.to_string(),
+        ]
+    };
+    let chaos_window = (Duration::from_micros(100), Duration::from_millis(2));
+    let chaos_batch = 32.max(queries.len() / 8);
+
+    let control = replay_recovery(
+        &index,
+        &queries,
+        &reference,
+        RecoveryCase {
+            plan: None,
+            deadline: None,
+            window: chaos_window,
+            max_batch: chaos_batch,
+            label: "recovery/control",
+        },
+    );
+    assert_eq!(control.panicked + control.worker_died, 0);
+    recovery.push_row(recovery_row("none (control)", 0, &control));
+
+    let schedule = fault_schedule(
+        queries.len() as u64,
+        (queries.len() / 40).max(3),
+        ctx.seed ^ 0xFA17,
+    );
+    let chaos_plan = Arc::new(plan_from_schedule(&schedule));
+    let chaos = replay_recovery(
+        &index,
+        &queries,
+        &reference,
+        RecoveryCase {
+            plan: Some(Arc::clone(&chaos_plan)),
+            deadline: None,
+            window: chaos_window,
+            max_batch: chaos_batch,
+            label: "recovery/chaos",
+        },
+    );
+    assert!(
+        chaos.panicked >= 1,
+        "the chaos schedule must panic somewhere"
+    );
+    assert!(chaos.stats.degraded_batches >= 1);
+    assert_eq!(
+        chaos.stats.worker_panics, 0,
+        "kernel panics must never escape the execution boundary"
+    );
+    recovery.push_row(recovery_row("seeded chaos", schedule.len(), &chaos));
+
+    let kill_plan = Arc::new(FaultPlan::new().with(queries.len() as u64 / 2, Fault::WorkerKill));
+    let kill = replay_recovery(
+        &index,
+        &queries,
+        &reference,
+        RecoveryCase {
+            plan: Some(kill_plan),
+            deadline: None,
+            window: chaos_window,
+            max_batch: chaos_batch,
+            label: "recovery/worker-kill",
+        },
+    );
+    assert!(
+        kill.worker_died >= 1,
+        "the killed batch must surface WorkerDied"
+    );
+    assert_eq!(kill.stats.worker_panics, 1);
+    assert_eq!(kill.stats.worker_restarts, 1);
+    recovery.push_row(recovery_row("worker kill", 1, &kill));
+
+    // Deadlines: a 30ms fixed window against 1ms deadlines expires every
+    // query in the queue — all culled at batch formation, none executed
+    // late, none silently dropped (only the deadline-free probe completes).
+    let expired = replay_recovery(
+        &index,
+        &queries,
+        &reference,
+        RecoveryCase {
+            plan: None,
+            deadline: Some(Duration::from_millis(1)),
+            window: (Duration::from_millis(30), Duration::from_millis(30)),
+            // No capacity flushes: every query must sit out the window so
+            // its deadline expires in the queue.
+            max_batch: queries.len() + 1,
+            label: "recovery/deadline",
+        },
+    );
+    assert_eq!(expired.stats.timed_out, queries.len() as u64);
+    assert_eq!(expired.completed, 1, "only the probe survives its deadline");
+    recovery.push_row(recovery_row("deadline 1ms, window 30ms", 0, &expired));
+
+    recovery.push_note(
+        "fault kinds: kernel panics inside the execution boundary (batch degrades \
+         to one-by-one re-execution; only the faulty query fails), worker kills \
+         outside it (tickets in the dead worker's batch resolve to WorkerDied; the \
+         supervisor respawns the thread), submit stalls and execution delays; \
+         schedules are seeded and deterministic (wazi_workload::fault_schedule)",
+    );
+    recovery.push_note(
+        "hard-asserted on every row: each submission reaches exactly one terminal \
+         outcome (completed + panicked + worker died + timed out = offered + probe), \
+         completed answers bit-identical to solo execution, exactly the planned \
+         kernel panics surface, and a post-fault probe completes (the pool \
+         recovered)",
+    );
+
+    let reports = vec![table, counters, recovery];
     if ctx.emit_artifacts {
         match emit_service_json(&reports, SERVICE_JSON_PATH) {
             Ok(()) => eprintln!("   wrote {SERVICE_JSON_PATH}"),
@@ -537,7 +812,7 @@ mod tests {
     fn smoke_run_produces_wellformed_reports() {
         let ctx = ExperimentContext::smoke_test();
         let reports = service(&ctx);
-        assert_eq!(reports.len(), 2);
+        assert_eq!(reports.len(), 3);
         let load = &reports[0];
         assert_eq!(load.id, "service-load");
         // 4 configs x 2 loads + the bursty row.
@@ -548,5 +823,12 @@ mod tests {
         let counters = &reports[1];
         assert_eq!(counters.id, "service-stats");
         assert_eq!(counters.rows.len(), 2 * VARIANTS.len() + 2);
+        let recovery = &reports[2];
+        assert_eq!(recovery.id, "service-recovery");
+        // control + seeded chaos + worker kill + deadline.
+        assert_eq!(recovery.rows.len(), 4);
+        for row in &recovery.rows {
+            assert_eq!(row.len(), recovery.headers.len());
+        }
     }
 }

@@ -80,6 +80,13 @@ pub enum EngineError {
     Index(IndexError),
     /// The query plan itself was invalid (e.g. non-finite geometry).
     InvalidQuery(String),
+    /// Execution panicked inside a kernel and the panic was caught at the
+    /// engine boundary ([`catch_execution_panic`]); the payload's message is
+    /// preserved. The index itself is still valid — kernels execute over
+    /// `&self` and never mutate index state, so an unwound kernel leaves
+    /// nothing half-written (see the panic-safety notes on
+    /// [`SpatialIndex::range_batch_kernel`]).
+    ExecutionPanicked(String),
 }
 
 impl From<IndexError> for EngineError {
@@ -93,6 +100,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Index(err) => write!(f, "index error: {err}"),
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::ExecutionPanicked(msg) => {
+                write!(f, "execution panicked inside a kernel: {msg}")
+            }
         }
     }
 }
@@ -103,6 +113,52 @@ impl std::error::Error for EngineError {
             EngineError::Index(err) => Some(err),
             _ => None,
         }
+    }
+}
+
+/// Runs `f` under [`std::panic::catch_unwind`], converting a panic into
+/// [`EngineError::ExecutionPanicked`] with the payload's message preserved.
+///
+/// This is the engine's panic-isolation boundary, used by
+/// [`QueryEngine::execute_caught`] / [`QueryEngine::execute_batch_caught`]
+/// and by service layers that need to survive a faulty query without
+/// losing the process. The unwind-safety assertion is justified by the
+/// engine's execution model:
+///
+/// * every kernel entry point ([`SpatialIndex::range_query`],
+///   [`SpatialIndex::range_batch_kernel`], [`SpatialIndex::point_batch_kernel`],
+///   the kNN sweeps) takes `&self` — index state is never mutated during
+///   query execution, and no index implementation uses interior mutability
+///   (the workspace forbids `unsafe`), so an unwound kernel cannot leave
+///   the index half-written;
+/// * all per-call state (`ExecStats`, batch projections, sweep cursors) is
+///   owned by the call frame and dropped during the unwind;
+/// * panics on the engine's scoped worker threads propagate to the caller
+///   with their original payload (the shard joins re-raise via
+///   [`std::panic::resume_unwind`]), so a parallel sweep is caught here
+///   exactly like a sequential one.
+pub fn catch_execution_panic<T>(
+    f: impl FnOnce() -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        // `as_ref` matters: `&payload` would coerce the Box itself to
+        // `dyn Any` and every downcast would miss.
+        Err(payload) => Err(EngineError::ExecutionPanicked(panic_message(
+            payload.as_ref(),
+        ))),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload (`&str` and
+/// `String` payloads — what `panic!` produces — are preserved verbatim).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -274,6 +330,25 @@ impl<'a> QueryEngine<'a> {
             stats,
             latency_ns: start.elapsed().as_nanos() as u64,
         })
+    }
+
+    /// [`QueryEngine::execute`] behind the engine's panic-isolation
+    /// boundary: a panic inside a kernel is caught and returned as
+    /// [`EngineError::ExecutionPanicked`] instead of unwinding the caller.
+    /// See [`catch_execution_panic`] for why this is sound.
+    pub fn execute_caught(&self, query: &Query) -> Result<QueryReport, EngineError> {
+        catch_execution_panic(|| self.execute(query))
+    }
+
+    /// [`QueryEngine::execute_batch`] behind the engine's panic-isolation
+    /// boundary ([`catch_execution_panic`]). Note the granularity: the
+    /// whole batch fails as one [`EngineError::ExecutionPanicked`], because
+    /// a fused kernel interleaves every member's work in one sweep — a
+    /// caller that wants per-query isolation re-executes the members
+    /// one-by-one through [`QueryEngine::execute_caught`], which is exactly
+    /// what `wazi-service`'s degraded path does.
+    pub fn execute_batch_caught(&self, queries: &[Query]) -> Result<BatchReport, EngineError> {
+        catch_execution_panic(|| self.execute_batch(queries))
     }
 
     /// Executes a batch of query plans, answering in input order.
@@ -788,7 +863,15 @@ pub(crate) fn sweep_shards_threaded(
             .collect();
         handles
             .into_iter()
-            .flat_map(|handle| handle.join().expect("shard worker must not panic"))
+            .flat_map(|handle| {
+                // Re-raise a shard worker's panic with its original payload,
+                // so a kernel panic on a worker thread reaches the engine's
+                // isolation boundary (catch_execution_panic) with its
+                // message intact instead of being masked by a join error.
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
     debug_assert_eq!(

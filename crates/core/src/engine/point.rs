@@ -253,7 +253,13 @@ pub fn run_point_batch_sharded(
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| handle.join().expect("probe worker must not panic"))
+                .map(|handle| {
+                    // Re-raise with the original payload so a probe-worker
+                    // panic reaches catch_execution_panic with its message.
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
         for partial in partials {

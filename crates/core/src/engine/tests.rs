@@ -866,3 +866,116 @@ fn auto_routes_tiny_disjoint_batches_sequentially() {
         assert_eq!(a_stats, s_stats);
     }
 }
+
+/// A delegating index that panics mid-kernel whenever a query touches its
+/// poison rectangle — the genuine "panic inside a kernel entry point" shape
+/// the engine's isolation boundary exists for.
+struct PanickyIndex {
+    inner: ZIndex,
+    poison: Rect,
+}
+
+impl PanickyIndex {
+    fn trip(&self, rect: &Rect) {
+        if rect.overlaps(&self.poison) {
+            panic!("poisoned rect {:?} touched", self.poison);
+        }
+    }
+}
+
+impl SpatialIndex for PanickyIndex {
+    fn name(&self) -> &'static str {
+        "Panicky"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn data_bounds(&self) -> Rect {
+        self.inner.data_bounds()
+    }
+
+    fn range_query(&self, query: &Rect, stats: &mut ExecStats) -> Vec<Point> {
+        self.trip(query);
+        self.inner.range_query(query, stats)
+    }
+
+    fn range_count(&self, query: &Rect, stats: &mut ExecStats) -> u64 {
+        self.trip(query);
+        self.inner.range_count(query, stats)
+    }
+
+    fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool {
+        self.inner.point_query(p, stats)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+}
+
+#[test]
+fn execute_caught_converts_a_kernel_panic_into_an_error() {
+    let index = PanickyIndex {
+        inner: wazi_index(),
+        poison: Rect::from_coords(0.8, 0.8, 0.9, 0.9),
+    };
+    let engine = QueryEngine::new(&index);
+
+    let err = engine
+        .execute_caught(&Query::range_count(Rect::from_coords(
+            0.79, 0.79, 0.95, 0.95,
+        )))
+        .unwrap_err();
+    match err {
+        EngineError::ExecutionPanicked(msg) => {
+            assert!(msg.contains("poisoned rect"), "message lost: {msg}");
+        }
+        other => panic!("expected ExecutionPanicked, got {other:?}"),
+    }
+
+    // The unwound kernel left the index intact: the same engine keeps
+    // answering non-poisoned queries with correct results.
+    let safe = Rect::from_coords(0.05, 0.05, 0.2, 0.2);
+    let report = engine.execute_caught(&Query::range_count(safe)).unwrap();
+    let mut stats = ExecStats::default();
+    assert_eq!(
+        report.output,
+        QueryOutput::Count(index.inner.range_count(&safe, &mut stats))
+    );
+}
+
+#[test]
+fn execute_batch_caught_fails_the_batch_as_one_unit() {
+    let index = PanickyIndex {
+        inner: wazi_index(),
+        poison: Rect::from_coords(0.8, 0.8, 0.9, 0.9),
+    };
+    // Sequential strategy: the panic still happens inside execute_batch,
+    // and the whole batch fails as one error (per-query isolation is the
+    // caller's job, via execute_caught per member).
+    let engine = QueryEngine::new(&index).with_strategy(BatchStrategy::Sequential);
+    let batch = vec![
+        Query::range_count(Rect::from_coords(0.05, 0.05, 0.2, 0.2)),
+        Query::range_count(Rect::from_coords(0.79, 0.79, 0.95, 0.95)),
+    ];
+    let err = engine.execute_batch_caught(&batch).unwrap_err();
+    assert!(matches!(err, EngineError::ExecutionPanicked(_)));
+
+    // One-by-one re-execution recovers every non-poisoned member.
+    let ok = engine.execute_caught(&batch[0]).unwrap();
+    assert!(matches!(ok.output, QueryOutput::Count(_)));
+    assert!(engine.execute_caught(&batch[1]).is_err());
+}
+
+#[test]
+fn panic_message_preserves_str_and_string_payloads() {
+    use crate::engine::panic_message;
+    let payload: Box<dyn std::any::Any + Send> = Box::new("literal payload");
+    assert_eq!(panic_message(payload.as_ref()), "literal payload");
+    let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned payload"));
+    assert_eq!(panic_message(payload.as_ref()), "owned payload");
+    let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+    assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+}

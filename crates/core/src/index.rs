@@ -53,6 +53,20 @@ impl std::error::Error for IndexError {}
 /// worker pool and client threads behind an `Arc<dyn SpatialIndex>`. Every
 /// index in this workspace is a plain owned data structure with no interior
 /// mutability, so the bound costs implementors nothing.
+///
+/// # Panic safety
+///
+/// Every query entry point — the three range modes, [`SpatialIndex::point_query`],
+/// [`SpatialIndex::knn`], and both batch kernels — executes over `&self` and
+/// must not mutate index state (updates go through the exclusive `&mut self`
+/// methods). Under that contract a panic unwinding out of a kernel leaves
+/// the index exactly as it was: all sweep cursors, active sets and counters
+/// are call-owned and dropped with the frame. This is what lets
+/// [`crate::catch_execution_panic`] (and `wazi-service`'s degraded batch
+/// path on top of it) catch a kernel panic, fail the one poisoning query,
+/// and keep serving the same index — implementors adding caches or other
+/// interior mutability to the read path would break that recovery story and
+/// must not.
 pub trait SpatialIndex: Send + Sync {
     /// Short display name used in experiment tables ("WaZI", "Base", ...).
     fn name(&self) -> &'static str;

@@ -113,14 +113,15 @@ mod zindex;
 pub use build::{BuildReport, BuildStrategy, ZIndexBuilder};
 pub use config::{DensityMode, ZIndexConfig};
 pub use engine::{
-    decide_knn_strategy, decide_point_strategy, decide_range_strategy, group_knn_plans,
-    merge_shard_responses, plan_shard_bounds, plan_shard_bounds_weighted, run_full_sweep,
-    run_knn_batch, run_point_batch, run_point_batch_sharded, BatchProjection, BatchReport,
-    BatchStrategy, CalibrationTable, ChosenStrategy, CostConstants, CostEstimate, EngineError,
-    KernelClass, KnnBatchResponse, PartitionDecision, PointBatchKernel, PointBatchResponse, Query,
-    QueryEngine, QueryOutput, QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest,
-    RangeBatchResponse, RangeBatchStats, RangeMode, ShardBounds, ShardedRangeBatchKernel,
-    StrategyDecisions, SweepInterval,
+    catch_execution_panic, decide_knn_strategy, decide_point_strategy, decide_range_strategy,
+    group_knn_plans, merge_shard_responses, panic_message, plan_shard_bounds,
+    plan_shard_bounds_weighted, run_full_sweep, run_knn_batch, run_point_batch,
+    run_point_batch_sharded, BatchProjection, BatchReport, BatchStrategy, CalibrationTable,
+    ChosenStrategy, CostConstants, CostEstimate, EngineError, KernelClass, KnnBatchResponse,
+    PartitionDecision, PointBatchKernel, PointBatchResponse, Query, QueryEngine, QueryOutput,
+    QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse,
+    RangeBatchStats, RangeMode, ShardBounds, ShardedRangeBatchKernel, StrategyDecisions,
+    SweepInterval,
 };
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};

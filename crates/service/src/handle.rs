@@ -1,12 +1,18 @@
 //! Completion handles and response types: what a submitter gets back.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
 use wazi_core::{EngineError, QueryReport, StrategyDecisions};
 use wazi_storage::ExecStats;
 
 /// Errors surfaced by the service.
+///
+/// Marked `#[non_exhaustive]` (like [`EngineError`] and
+/// `wazi_core::IndexError`): the failure taxonomy grows with the service,
+/// and downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// The engine rejected the query — either at submission time (invalid
     /// plan, caught before it can poison a coalesced batch) or during batch
@@ -14,10 +20,23 @@ pub enum ServiceError {
     Engine(EngineError),
     /// The service has shut down and accepts no new submissions.
     Closed,
-    /// The response channel was severed without a response. This indicates
-    /// a worker died; it does not happen in normal operation (graceful
-    /// shutdown drains every pending query first).
-    Lost,
+    /// The worker that drained this query died (panicked outside the
+    /// execution boundary) before routing a response. The supervisor
+    /// respawns the worker; only the queries it was holding are lost, and
+    /// each of their tickets resolves to this error rather than hanging.
+    WorkerDied,
+    /// Execution panicked inside a kernel while this query was being
+    /// answered **and** the panic was attributed to this query: the batch
+    /// it rode in was re-executed one query at a time, every other query
+    /// got its normal response, and this one panicked again on its own.
+    ExecutionPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The query's [`SubmitOptions::deadline`] expired while it was still
+    /// queued, so the service dropped it at batch-formation time instead of
+    /// executing it late.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -25,7 +44,15 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Engine(err) => write!(f, "engine error: {err}"),
             ServiceError::Closed => write!(f, "service is shut down"),
-            ServiceError::Lost => write!(f, "response channel severed without a response"),
+            ServiceError::WorkerDied => {
+                write!(f, "worker died before routing a response to this query")
+            }
+            ServiceError::ExecutionPanicked { message } => {
+                write!(f, "execution panicked on this query: {message}")
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline expired before the query reached a worker")
+            }
         }
     }
 }
@@ -34,7 +61,37 @@ impl std::error::Error for ServiceError {}
 
 impl From<EngineError> for ServiceError {
     fn from(err: EngineError) -> Self {
-        ServiceError::Engine(err)
+        match err {
+            // Unwrap the engine's panic capture into the service's own
+            // variant so callers match one taxonomy, not a nested one.
+            EngineError::ExecutionPanicked(message) => ServiceError::ExecutionPanicked { message },
+            other => ServiceError::Engine(other),
+        }
+    }
+}
+
+/// Per-submission options for [`crate::Service::submit_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SubmitOptions {
+    /// Maximum time the query may spend in the service, measured from
+    /// acceptance. A query whose deadline expires while it is still queued
+    /// is culled at batch-formation time and its ticket resolves to
+    /// [`ServiceError::DeadlineExceeded`] — it is never executed late and
+    /// never silently dropped. `None` (the default) means no deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options with no deadline (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the deadline, measured from acceptance.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -59,6 +116,12 @@ pub struct BatchSummary {
     pub shared_stats: ExecStats,
     /// The engine's per-partition strategy decisions for this batch.
     pub decisions: StrategyDecisions,
+    /// `true` when the coalesced pass panicked and this response came from
+    /// the degraded one-query-at-a-time re-execution. Outputs are still
+    /// bit-identical to solo execution (they *are* solo executions); only
+    /// the fusion counters above are zero and the latency reflects the
+    /// sequential fallback.
+    pub degraded: bool,
 }
 
 /// The service's answer to one submitted query.
@@ -111,9 +174,23 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the service answers.
+    /// Blocks until the service answers. A severed channel (the worker
+    /// holding this query died before routing anything) surfaces as
+    /// [`ServiceError::WorkerDied`], never as a hang.
     pub fn wait(self) -> Result<QueryResponse, ServiceError> {
-        self.rx.recv().unwrap_or(Err(ServiceError::Lost))
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerDied))
+    }
+
+    /// Blocks for at most `timeout` for the service to answer. `None`
+    /// means the query is still queued or executing — the ticket remains
+    /// redeemable; `Some` carries the terminal outcome (including
+    /// [`ServiceError::WorkerDied`] for a severed channel).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResponse, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Some(response),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::WorkerDied)),
+        }
     }
 
     /// Returns the response if it has already arrived, without blocking.
@@ -122,7 +199,7 @@ impl Ticket {
         match self.rx.try_recv() {
             Ok(response) => Some(response),
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::Lost)),
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::WorkerDied)),
         }
     }
 }
@@ -140,17 +217,44 @@ mod tests {
     #[test]
     fn service_error_display() {
         assert_eq!(ServiceError::Closed.to_string(), "service is shut down");
-        assert!(ServiceError::Lost.to_string().contains("severed"));
+        assert!(ServiceError::WorkerDied.to_string().contains("worker died"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline expired"));
+        let panicked = ServiceError::ExecutionPanicked {
+            message: "index out of bounds".into(),
+        };
+        assert!(panicked.to_string().contains("index out of bounds"));
         let engine = ServiceError::from(EngineError::InvalidQuery("nan".into()));
         assert!(engine.to_string().contains("invalid query"));
     }
 
     #[test]
-    fn dropped_sender_surfaces_as_lost() {
-        let (tx, rx) = mpsc::channel();
+    fn engine_panic_unwraps_into_the_service_variant() {
+        let err = ServiceError::from(EngineError::ExecutionPanicked("boom".into()));
+        assert_eq!(
+            err,
+            ServiceError::ExecutionPanicked {
+                message: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_as_worker_died() {
+        let (tx, rx) = mpsc::channel::<Result<QueryResponse, ServiceError>>();
         drop(tx);
         let ticket = Ticket { rx };
-        assert!(ticket.try_wait() == Some(Err(ServiceError::Lost)));
+        assert!(ticket.wait_timeout(Duration::ZERO) == Some(Err(ServiceError::WorkerDied)));
+        assert!(ticket.try_wait() == Some(Err(ServiceError::WorkerDied)));
+        assert_eq!(ticket.wait(), Err(ServiceError::WorkerDied));
+    }
+
+    #[test]
+    fn submit_options_compose() {
+        assert_eq!(SubmitOptions::new().deadline, None);
+        let opts = SubmitOptions::new().deadline(Duration::from_millis(5));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
     }
 
     #[test]

@@ -22,6 +22,23 @@
 //! model says sharing is not worth queueing for. See `docs/SERVICE.md` at
 //! the repository root for the full guide.
 //!
+//! ## Failure model
+//!
+//! A faulty query fails alone; the service never loses a ticket. Batches
+//! execute inside [`wazi_core::catch_execution_panic`]: a kernel panic
+//! degrades the batch to one-by-one re-execution, so non-faulty riders
+//! still get answers bit-identical to solo execution and only the faulty
+//! query resolves to [`ServiceError::ExecutionPanicked`]. A worker that
+//! dies outside that boundary severs its drained batch into
+//! [`ServiceError::WorkerDied`] tickets (they error, never hang) and is
+//! respawned by a supervisor thread; every queue-lock acquisition recovers
+//! from poisoning. Per-query deadlines ([`SubmitOptions::deadline`]) are
+//! culled at batch formation as [`ServiceError::DeadlineExceeded`] — never
+//! executed late, never silently dropped. The `fault-injection` feature
+//! (on by default) compiles in a deterministic failpoint harness
+//! ([`FaultPlan`]) that the chaos tests and the `service-recovery` bench
+//! table drive.
+//!
 //! ## Pipeline
 //!
 //! ```text
@@ -78,13 +95,17 @@
 #![warn(missing_docs)]
 
 mod config;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 mod handle;
 mod service;
 mod stats;
 mod window;
 
 pub use config::{FullQueuePolicy, ServiceConfig};
-pub use handle::{BatchSummary, QueryResponse, ServiceError, Submit, Ticket};
+#[cfg(feature = "fault-injection")]
+pub use faults::{Fault, FaultPlan};
+pub use handle::{BatchSummary, QueryResponse, ServiceError, Submit, SubmitOptions, Ticket};
 pub use service::{Service, ServiceBuilder};
 pub use stats::ServiceStats;
 
@@ -105,6 +126,7 @@ const _: () = {
     assert_send_static::<ServiceError>();
     assert_send_static::<ServiceStats>();
     assert_send_static::<Submit>();
+    assert_send_static::<SubmitOptions>();
     assert_send_static::<Ticket>();
 };
 
@@ -362,6 +384,125 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.batches, 12);
         assert_eq!(stats.max_batch_size, 1);
+    }
+
+    #[test]
+    fn deadlines_cull_expired_queries_at_batch_formation() {
+        let index = small_index();
+        // A wide fixed window: the batch forms 200ms after the first
+        // submission, long after the 1ms deadlines have expired.
+        let service = Service::builder(Arc::clone(&index))
+            .fixed_window(Duration::from_millis(200))
+            .max_batch(100)
+            .start();
+        let queries = mixed_queries(10);
+        let tickets: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let options = if i % 2 == 0 {
+                    crate::SubmitOptions::new().deadline(Duration::from_millis(1))
+                } else {
+                    crate::SubmitOptions::new()
+                };
+                service
+                    .submit_with(q.clone(), options)
+                    .unwrap()
+                    .ticket()
+                    .unwrap()
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let outcome = ticket.wait();
+            if i % 2 == 0 {
+                assert_eq!(
+                    outcome,
+                    Err(ServiceError::DeadlineExceeded),
+                    "query {i} should have expired in the 200ms window"
+                );
+            } else {
+                let response = outcome.unwrap_or_else(|e| panic!("query {i}: {e}"));
+                assert_eq!(response.batch.size, 5, "only the live queries batch");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.timed_out, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.submitted, 10);
+    }
+
+    #[test]
+    fn wait_timeout_distinguishes_pending_from_terminal() {
+        let index = small_index();
+        let service = Service::builder(Arc::clone(&index))
+            .fixed_window(Duration::from_secs(30))
+            .max_batch(1_000)
+            .start();
+        let ticket = service
+            .submit(Query::point(Point::new(0.5, 0.5)))
+            .unwrap()
+            .ticket()
+            .unwrap();
+        // Nothing flushes inside a 30s window: the ticket is still pending.
+        assert!(ticket.wait_timeout(Duration::from_millis(20)).is_none());
+        let stats = service.shutdown(); // drains the query
+        assert_eq!(stats.completed, 1);
+        let response = ticket
+            .wait_timeout(Duration::from_secs(5))
+            .expect("shutdown drained the query")
+            .expect("drain answers it");
+        assert!(matches!(response.report.output, QueryOutput::Found(_)));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn a_kernel_panic_degrades_the_batch_and_fails_only_its_query() {
+        use crate::{Fault, FaultPlan};
+
+        let index = small_index();
+        let queries = mixed_queries(6);
+        let engine = QueryEngine::new(index.as_ref());
+        let expected: Vec<QueryOutput> = queries
+            .iter()
+            .map(|q| engine.execute(q).unwrap().output)
+            .collect();
+
+        let plan = Arc::new(FaultPlan::new().with(2, Fault::KernelPanic));
+        let service = Service::builder(Arc::clone(&index))
+            .fixed_window(Duration::from_secs(30))
+            .max_batch(1_000)
+            .fault_plan(Arc::clone(&plan))
+            .start();
+        // Single-threaded submission: seq i == query i.
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| service.submit(q.clone()).unwrap().ticket().unwrap())
+            .collect();
+        let stats = service.shutdown(); // one shutdown drain batch of 6
+        for (i, (ticket, want)) in tickets.into_iter().zip(&expected).enumerate() {
+            match ticket.wait() {
+                Ok(response) => {
+                    assert_ne!(i, 2, "the faulty query must not get a response");
+                    assert_eq!(&response.report.output, want, "query {i} diverged");
+                    assert!(response.batch.degraded, "query {i} rode the fallback");
+                    assert_eq!(response.batch.size, 6);
+                    assert_eq!(response.batch.fused_queries, 0);
+                }
+                Err(ServiceError::ExecutionPanicked { message }) => {
+                    assert_eq!(i, 2, "only the faulty query may panic");
+                    assert!(
+                        message.contains("injected kernel panic"),
+                        "panic message lost: {message}"
+                    );
+                }
+                Err(other) => panic!("query {i}: unexpected error {other}"),
+            }
+        }
+        assert_eq!(stats.degraded_batches, 1);
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.worker_panics, 0, "the panic never left the boundary");
+        assert!(plan.injected() >= 2, "batch pass + solo re-execution");
     }
 
     #[test]

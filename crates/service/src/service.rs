@@ -1,24 +1,65 @@
 //! The service proper: bounded submission queue, worker pool, coalesced
-//! execution, response routing, graceful shutdown.
+//! execution, response routing, fault isolation, worker supervision,
+//! graceful shutdown.
+//!
+//! ## Failure model (implementation view)
+//!
+//! Three layers keep one faulty query from taking the service down — see
+//! `docs/SERVICE.md` at the repository root for the user-facing guide:
+//!
+//! 1. **Panic isolation + graceful degradation.** Every coalesced batch
+//!    executes inside [`wazi_core::catch_execution_panic`]. If the fused
+//!    pass panics, [`degrade_batch`] re-executes the batch's queries one at
+//!    a time (each again inside the catch boundary): every non-faulty
+//!    query gets its normal response — bit-identical to solo execution,
+//!    because it *is* a solo execution — and only the query that panics
+//!    alone resolves to [`ServiceError::ExecutionPanicked`].
+//! 2. **Poison-resistant locking.** Every acquisition of the queue mutex
+//!    (including through the condvars) recovers the guard from a
+//!    [`PoisonError`], so a worker that dies while holding the lock cannot
+//!    wedge submitters, siblings, or shutdown. The queue state stays
+//!    consistent because workers only mutate it by draining whole batches.
+//! 3. **Worker supervision.** Each worker holds an [`ExitGuard`] that
+//!    reports its exit (and whether it panicked) to a supervisor thread,
+//!    which joins the dead thread and respawns a replacement into the same
+//!    slot — so the pool returns to full strength after any panic that
+//!    escapes the execution boundary. The queries the dead worker had
+//!    already drained are the only casualties; their tickets resolve to
+//!    [`ServiceError::WorkerDied`] when the senders drop.
+//!
+//! Deadlines are enforced at batch-formation time: a query whose
+//! [`SubmitOptions::deadline`] expired while queued is culled from the
+//! drained batch with [`ServiceError::DeadlineExceeded`] instead of being
+//! executed late — and never silently dropped.
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wazi_core::{BatchStrategy, Query, QueryEngine, SpatialIndex};
+use wazi_core::{
+    catch_execution_panic, BatchStrategy, EngineError, Query, QueryEngine, SpatialIndex,
+    StrategyDecisions,
+};
 
 use crate::config::{FullQueuePolicy, ServiceConfig};
-use crate::handle::{BatchSummary, QueryResponse, ServiceError, Submit, Ticket};
+#[cfg(feature = "fault-injection")]
+use crate::faults::{self, FaultPlan};
+use crate::handle::{BatchSummary, QueryResponse, ServiceError, Submit, SubmitOptions, Ticket};
 use crate::stats::{ServiceStats, StatsInner};
 use crate::window::{FlushCause, WindowController};
 
 /// One accepted query waiting in the submission queue.
 struct Pending {
+    /// Submission sequence number: the order of acceptance, from 0.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    seq: u64,
     query: Query,
     tx: mpsc::Sender<Result<QueryResponse, ServiceError>>,
     submitted_at: Instant,
+    /// Absolute expiry instant, from [`SubmitOptions::deadline`].
+    deadline: Option<Instant>,
 }
 
 /// State behind the service mutex.
@@ -39,6 +80,16 @@ struct Shared {
     /// [`FullQueuePolicy::Block`] wait here.
     space: Condvar,
     stats: StatsInner,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+/// Acquires the queue mutex, recovering the guard if a worker panicked
+/// while holding it. The state a panicking worker leaves behind is always
+/// consistent: batches are drained atomically under the guard, and the
+/// window controller's fields are plain integers updated in place.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Builder-style front end for a [`Service`]; construct with
@@ -46,6 +97,8 @@ struct Shared {
 pub struct ServiceBuilder {
     index: Arc<dyn SpatialIndex>,
     config: ServiceConfig,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for ServiceBuilder {
@@ -102,7 +155,17 @@ impl ServiceBuilder {
         self
     }
 
-    /// Starts the worker pool and returns the running service.
+    /// Installs a deterministic fault plan (the chaos harness): faults
+    /// fire at the planned submission sequence numbers. See
+    /// [`crate::faults`].
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Starts the worker pool (under supervision) and returns the running
+    /// service.
     pub fn start(self) -> Service {
         let window = WindowController::new(
             self.config.min_window.as_nanos() as u64,
@@ -119,21 +182,28 @@ impl ServiceBuilder {
             space: Condvar::new(),
             stats: StatsInner::default(),
             config: self.config,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: self.fault_plan,
         });
         shared.stats.window_ns.store(
             shared.config.min_window.as_nanos() as u64,
             Ordering::Relaxed,
         );
-        let workers = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("wazi-service-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn service worker")
-            })
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let handles: Vec<Option<JoinHandle<()>>> = (0..shared.config.workers)
+            .map(|slot| Some(spawn_worker(Arc::clone(&shared), slot, exit_tx.clone())))
             .collect();
-        Service { shared, workers }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wazi-service-supervisor".into())
+                .spawn(move || supervisor_loop(shared, handles, exit_rx, exit_tx))
+                .expect("spawn service supervisor")
+        };
+        Service {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 }
 
@@ -142,14 +212,16 @@ impl ServiceBuilder {
 /// Submissions from any number of client threads coalesce in a bounded
 /// queue under an adaptive micro-batching window and execute as fused
 /// engine batches; see the crate docs for the pipeline and
-/// `docs/SERVICE.md` at the repository root for the full guide.
+/// `docs/SERVICE.md` at the repository root for the full guide (including
+/// the failure model: panic isolation, degraded re-execution, deadlines,
+/// worker supervision).
 ///
 /// The handle is `Sync`: share `&Service` across client threads (e.g. via
 /// `std::thread::scope`). Dropping it shuts the service down gracefully,
 /// draining every accepted query first.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Service {
@@ -158,12 +230,20 @@ impl Service {
         ServiceBuilder {
             index,
             config: ServiceConfig::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 
     /// The configuration the service runs under.
     pub fn config(&self) -> &ServiceConfig {
         &self.shared.config
+    }
+
+    /// Submits one query for coalesced execution with default options
+    /// (no deadline). See [`Service::submit_with`].
+    pub fn submit(&self, query: Query) -> Result<Submit, ServiceError> {
+        self.submit_with(query, SubmitOptions::default())
     }
 
     /// Submits one query for coalesced execution.
@@ -173,10 +253,19 @@ impl Service {
     /// coalesced batch later (the engine rejects batches atomically).
     /// When the queue is full, [`FullQueuePolicy::Block`] waits for space
     /// and [`FullQueuePolicy::Reject`] sheds ([`Submit::Rejected`]).
-    pub fn submit(&self, query: Query) -> Result<Submit, ServiceError> {
+    ///
+    /// A [`SubmitOptions::deadline`] is measured from acceptance; if it
+    /// expires while the query is still queued, the query is culled at
+    /// batch-formation time and the ticket resolves to
+    /// [`ServiceError::DeadlineExceeded`].
+    pub fn submit_with(
+        &self,
+        query: Query,
+        options: SubmitOptions,
+    ) -> Result<Submit, ServiceError> {
         query.validate()?;
         let shared = &self.shared;
-        let mut queue = shared.queue.lock().expect("service mutex");
+        let mut queue = lock_queue(shared);
         loop {
             if queue.shutdown {
                 return Err(ServiceError::Closed);
@@ -190,19 +279,30 @@ impl Service {
                     return Ok(Submit::Rejected);
                 }
                 FullQueuePolicy::Block => {
-                    queue = shared.space.wait(queue).expect("service mutex");
+                    queue = shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
+        // The sequence number is assigned at acceptance, under the lock, so
+        // it is exactly the queue arrival order — the key space fault plans
+        // and chaos tests speak in.
+        let seq = shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "fault-injection")]
+        faults::stall_on_submit(&shared.fault_plan, seq);
         let (tx, rx) = mpsc::channel();
+        let submitted_at = Instant::now();
         queue.pending.push_back(Pending {
+            seq,
             query,
             tx,
-            submitted_at: Instant::now(),
+            submitted_at,
+            deadline: options.deadline.map(|d| submitted_at + d),
         });
         let depth = queue.pending.len();
         drop(queue);
-        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         // Wake a worker only when it has something new to act on: the
         // empty→nonempty transition (a timer must be armed for the new
         // oldest query) or a queue deep enough for a capacity cut. Any
@@ -217,33 +317,39 @@ impl Service {
 
     /// Snapshots the service counters (including the live queue depth).
     pub fn stats(&self) -> ServiceStats {
-        let depth = self
-            .shared
-            .queue
-            .lock()
-            .expect("service mutex")
-            .pending
-            .len();
+        let depth = lock_queue(&self.shared).pending.len();
         self.shared.stats.snapshot(depth)
     }
 
+    /// Initiates shutdown without waiting: refuses new submissions from
+    /// this point on and wakes both idle workers and submitters blocked on
+    /// a full queue (they return [`ServiceError::Closed`]). The drain
+    /// proceeds in the background; call [`Service::shutdown`] — or drop
+    /// the handle — to wait for it. Callable from any thread sharing
+    /// `&Service`, which is what lets one client pull the plug while
+    /// others are mid-submit.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut queue = lock_queue(&self.shared);
+            queue.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
     /// Shuts down gracefully: refuses new submissions, drains every
-    /// accepted query through the engine (their tickets all resolve), joins
-    /// the worker pool, and returns the final counters.
+    /// accepted query (their tickets all resolve — with a response, a
+    /// deadline error, or a panic error; never a hang), joins the worker
+    /// pool through the supervisor, and returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shutdown_in_place();
         self.stats()
     }
 
     fn shutdown_in_place(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("service mutex");
-            queue.shutdown = true;
-        }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        self.begin_shutdown();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -259,21 +365,111 @@ impl std::fmt::Debug for Service {
         f.debug_struct("Service")
             .field("index", &self.shared.index.name())
             .field("config", &self.shared.config)
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shared.config.workers)
             .finish()
     }
 }
 
-/// Drains up to `max_batch` pending queries, deciding the flush cause.
+/// A worker's exit report, delivered to the supervisor by [`ExitGuard`].
+struct WorkerExit {
+    slot: usize,
+    panicked: bool,
+}
+
+/// Dropped when a worker thread exits — normally or by unwinding — so the
+/// supervisor learns about every exit without polling `JoinHandle`s.
+struct ExitGuard {
+    slot: usize,
+    tx: mpsc::Sender<WorkerExit>,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        // A closed channel means the supervisor itself is gone (only
+        // possible after it counted every worker out); nothing to report.
+        let _ = self.tx.send(WorkerExit {
+            slot: self.slot,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    slot: usize,
+    exit_tx: mpsc::Sender<WorkerExit>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("wazi-service-{slot}"))
+        .spawn(move || {
+            let _guard = ExitGuard { slot, tx: exit_tx };
+            worker_loop(&shared);
+        })
+        .expect("spawn service worker")
+}
+
+/// Joins exited workers and respawns panicked ones into their slot.
+///
+/// Each worker sends exactly one [`WorkerExit`] (via its [`ExitGuard`]),
+/// so the loop runs until every live worker has been counted out. A
+/// panicked worker is respawned unless the service is shutting down with
+/// an already-empty queue — during a shutdown drain the replacement still
+/// spawns, finishes the drain, and exits cleanly, so accepted queries are
+/// drained even if the last worker dies mid-shutdown.
+fn supervisor_loop(
+    shared: Arc<Shared>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    exit_rx: mpsc::Receiver<WorkerExit>,
+    exit_tx: mpsc::Sender<WorkerExit>,
+) {
+    let mut alive = handles.iter().filter(|h| h.is_some()).count();
+    while alive > 0 {
+        let exit = exit_rx
+            .recv()
+            .expect("exit channel outlives workers: supervisor holds a sender");
+        if let Some(handle) = handles.get_mut(exit.slot).and_then(Option::take) {
+            let _ = handle.join();
+        }
+        alive -= 1;
+        if !exit.panicked {
+            continue;
+        }
+        shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+        let respawn = {
+            let queue = lock_queue(&shared);
+            !queue.shutdown || !queue.pending.is_empty()
+        };
+        if respawn {
+            let replacement = spawn_worker(Arc::clone(&shared), exit.slot, exit_tx.clone());
+            if let Some(slot) = handles.get_mut(exit.slot) {
+                *slot = Some(replacement);
+            }
+            alive += 1;
+            shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((batch, cause)) = next_batch(shared) {
+        execute_and_respond(shared, batch, cause);
+    }
+}
+
+/// Drains up to `max_batch` pending queries, deciding the flush cause,
+/// then culls the drained queries whose deadline expired while queued.
 /// Returns `None` (worker exits) once the service is shut down and empty.
 fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
-    let mut queue: MutexGuard<'_, QueueState> = shared.queue.lock().expect("service mutex");
+    let mut queue: MutexGuard<'_, QueueState> = lock_queue(shared);
     loop {
         if queue.pending.is_empty() {
             if queue.shutdown {
                 return None;
             }
-            queue = shared.work.wait(queue).expect("service mutex");
+            queue = shared
+                .work
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
             continue;
         }
         let cause = if queue.shutdown {
@@ -288,7 +484,7 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
                 let (guard, _timeout) = shared
                     .work
                     .wait_timeout(queue, window - waited)
-                    .expect("service mutex");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
                 continue;
             }
@@ -296,6 +492,14 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
         };
         let take = queue.pending.len().min(shared.config.max_batch);
         let batch: Vec<Pending> = queue.pending.drain(..take).collect();
+        // Failpoint: die here, with the guard held and the batch drained —
+        // the harshest worker death the service must survive (poisoned
+        // mutex, dropped tickets, a pool one thread short).
+        #[cfg(feature = "fault-injection")]
+        {
+            let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+            faults::kill_worker_if_planned(&shared.fault_plan, &seqs);
+        }
         if !queue.pending.is_empty() {
             // Leftovers (queue deeper than one batch): wake a sibling so it
             // can start cutting the next batch while this one executes.
@@ -304,28 +508,64 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
         drop(queue);
         // Space opened up: release submitters blocked on the full queue.
         shared.space.notify_all();
-        return Some((batch, cause));
-    }
-}
 
-fn worker_loop(shared: &Shared) {
-    while let Some((batch, cause)) = next_batch(shared) {
-        execute_and_respond(shared, batch, cause);
+        // Deadline cull: expired queries are answered (never executed,
+        // never silently dropped) and the rest form the batch. Culling at
+        // batch formation keeps the hot submit path free of deadline
+        // bookkeeping.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        let mut expired = 0u64;
+        for pending in batch {
+            match pending.deadline {
+                Some(deadline) if now >= deadline => {
+                    expired += 1;
+                    let _ = pending.tx.send(Err(ServiceError::DeadlineExceeded));
+                }
+                _ => live.push(pending),
+            }
+        }
+        if expired > 0 {
+            shared.stats.timed_out.fetch_add(expired, Ordering::Relaxed);
+        }
+        if live.is_empty() {
+            // The whole drain had expired; go back for real work.
+            queue = lock_queue(shared);
+            continue;
+        }
+        return Some((live, cause));
     }
 }
 
 /// Executes one coalesced batch and routes each response to its submitter.
+///
+/// The fused pass runs inside the engine's panic-catch boundary; a panic
+/// downgrades the batch to [`degrade_batch`] instead of killing the worker.
 fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) {
     let drained_at = Instant::now();
     let queries: Vec<Query> = batch.iter().map(|p| p.query.clone()).collect();
     let engine = QueryEngine::new(shared.index.as_ref()).with_strategy(shared.config.strategy);
-    let report = match engine.execute_batch(&queries) {
+    #[cfg(feature = "fault-injection")]
+    let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+    let result = catch_execution_panic(|| {
+        #[cfg(feature = "fault-injection")]
+        faults::delay_and_panic_if_planned(&shared.fault_plan, &seqs);
+        engine.execute_batch(&queries)
+    });
+    let report = match result {
         Ok(report) => report,
+        Err(EngineError::ExecutionPanicked(_)) => {
+            // The coalesced pass panicked somewhere inside a kernel. Fall
+            // back to one-query-at-a-time execution so the fault is
+            // attributed to exactly the query that carries it.
+            degrade_batch(shared, &engine, batch, cause, drained_at);
+            return;
+        }
         Err(err) => {
             // Queries are validated at submission, so this is unreachable
             // for plan errors; still, fail every submitter loudly rather
             // than dropping tickets.
-            let service_err = ServiceError::Engine(err);
+            let service_err = ServiceError::from(err);
             for pending in batch {
                 let _ = pending.tx.send(Err(service_err.clone()));
             }
@@ -335,27 +575,11 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
 
     // Feed the flush back into the adaptive window (brief lock; execution
     // above ran unlocked).
-    {
-        let mut queue = shared.queue.lock().expect("service mutex");
-        queue.window.observe_flush(
-            cause,
-            batch.len(),
-            shared.config.max_batch,
-            &report.strategy_chosen,
-        );
-        shared
-            .stats
-            .window_ns
-            .store(queue.window.window_ns(), Ordering::Relaxed);
-    }
+    observe_flush(shared, cause, batch.len(), &report.strategy_chosen);
 
     let stats = &shared.stats;
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    match cause {
-        FlushCause::Capacity => stats.flushed_on_capacity.fetch_add(1, Ordering::Relaxed),
-        FlushCause::Timer => stats.flushed_on_timer.fetch_add(1, Ordering::Relaxed),
-        FlushCause::Shutdown => stats.flushed_on_shutdown.fetch_add(1, Ordering::Relaxed),
-    };
+    record_flush_cause(stats, cause);
     StatsInner::record_max(&stats.max_batch_size, batch.len() as u64);
 
     let summary = BatchSummary {
@@ -367,6 +591,7 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
         shards_used: report.shards_used,
         shared_stats: report.shared_stats,
         decisions: report.strategy_chosen,
+        degraded: false,
     };
 
     // Count the batch as completed *before* routing responses, so a client
@@ -403,4 +628,113 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
             total_ns,
         }));
     }
+}
+
+/// Graceful degradation: the coalesced pass panicked, so re-execute the
+/// batch one query at a time, each inside its own catch boundary. Every
+/// query that survives alone gets its normal response (bit-identical to
+/// solo execution — it *is* one); the query that panics again resolves to
+/// [`ServiceError::ExecutionPanicked`] carrying the panic message.
+fn degrade_batch(
+    shared: &Shared,
+    engine: &QueryEngine<'_>,
+    batch: Vec<Pending>,
+    cause: FlushCause,
+    drained_at: Instant,
+) {
+    let stats = &shared.stats;
+    let outcomes: Vec<Result<wazi_core::QueryReport, EngineError>> = batch
+        .iter()
+        .map(|pending| {
+            catch_execution_panic(|| {
+                #[cfg(feature = "fault-injection")]
+                faults::panic_if_planned_solo(&shared.fault_plan, pending.seq);
+                engine.execute(&pending.query)
+            })
+        })
+        .collect();
+
+    // The degraded pass still counts as the batch's flush: feed the window
+    // a no-decision observation so adaptation keeps running across faults
+    // (an EWMA gap, not a stall).
+    observe_flush(shared, cause, batch.len(), &StrategyDecisions::default());
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+    record_flush_cause(stats, cause);
+    StatsInner::record_max(&stats.max_batch_size, batch.len() as u64);
+
+    let summary = BatchSummary {
+        size: batch.len(),
+        latency_ns: drained_at.elapsed().as_nanos() as u64,
+        fused_queries: 0,
+        fused_points: 0,
+        fused_knn: 0,
+        shards_used: 0,
+        shared_stats: Default::default(),
+        decisions: StrategyDecisions::default(),
+        degraded: true,
+    };
+
+    let completed = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+    let panicked = outcomes.len() as u64 - completed;
+    let mut queue_wait_total = 0u64;
+    for (pending, outcome) in batch.iter().zip(&outcomes) {
+        if outcome.is_ok() {
+            let queue_ns = drained_at
+                .saturating_duration_since(pending.submitted_at)
+                .as_nanos() as u64;
+            queue_wait_total += queue_ns;
+            StatsInner::record_max(&stats.max_queue_wait_ns, queue_ns);
+        }
+    }
+    stats.completed.fetch_add(completed, Ordering::Relaxed);
+    stats.panicked.fetch_add(panicked, Ordering::Relaxed);
+    stats
+        .total_queue_wait_ns
+        .fetch_add(queue_wait_total, Ordering::Relaxed);
+
+    for (pending, outcome) in batch.into_iter().zip(outcomes) {
+        let message = match outcome {
+            Ok(report) => {
+                let queue_ns = drained_at
+                    .saturating_duration_since(pending.submitted_at)
+                    .as_nanos() as u64;
+                let total_ns = pending.submitted_at.elapsed().as_nanos() as u64;
+                Ok(QueryResponse {
+                    report,
+                    batch: summary.clone(),
+                    queue_ns,
+                    total_ns,
+                })
+            }
+            Err(err) => Err(ServiceError::from(err)),
+        };
+        let _ = pending.tx.send(message);
+    }
+}
+
+/// Feeds one flush into the adaptive window under a brief lock and
+/// republishes the resulting window width.
+fn observe_flush(
+    shared: &Shared,
+    cause: FlushCause,
+    batch_len: usize,
+    decisions: &StrategyDecisions,
+) {
+    let mut queue = lock_queue(shared);
+    queue
+        .window
+        .observe_flush(cause, batch_len, shared.config.max_batch, decisions);
+    shared
+        .stats
+        .window_ns
+        .store(queue.window.window_ns(), Ordering::Relaxed);
+}
+
+fn record_flush_cause(stats: &StatsInner, cause: FlushCause) {
+    match cause {
+        FlushCause::Capacity => stats.flushed_on_capacity.fetch_add(1, Ordering::Relaxed),
+        FlushCause::Timer => stats.flushed_on_timer.fetch_add(1, Ordering::Relaxed),
+        FlushCause::Shutdown => stats.flushed_on_shutdown.fetch_add(1, Ordering::Relaxed),
+    };
 }

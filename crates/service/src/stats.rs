@@ -19,6 +19,11 @@ pub(crate) struct StatsInner {
     pub(crate) total_queue_wait_ns: AtomicU64,
     pub(crate) max_queue_wait_ns: AtomicU64,
     pub(crate) window_ns: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) panicked: AtomicU64,
+    pub(crate) degraded_batches: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) worker_restarts: AtomicU64,
 }
 
 impl StatsInner {
@@ -36,6 +41,11 @@ impl StatsInner {
             total_queue_wait_ns: self.total_queue_wait_ns.load(Ordering::Relaxed),
             max_queue_wait_ns: self.max_queue_wait_ns.load(Ordering::Relaxed),
             window_ns: self.window_ns.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +83,20 @@ pub struct ServiceStats {
     /// The adaptive coalescing window after the most recent flush, in
     /// nanoseconds.
     pub window_ns: u64,
+    /// Queries whose [`crate::SubmitOptions::deadline`] expired in the
+    /// queue; culled at batch-formation time with
+    /// [`crate::ServiceError::DeadlineExceeded`].
+    pub timed_out: u64,
+    /// Queries that panicked during their own solo re-execution and were
+    /// answered with [`crate::ServiceError::ExecutionPanicked`].
+    pub panicked: u64,
+    /// Coalesced batches whose fused pass panicked and were re-executed
+    /// one query at a time (graceful degradation).
+    pub degraded_batches: u64,
+    /// Worker threads that died on a panic outside the execution boundary.
+    pub worker_panics: u64,
+    /// Worker threads the supervisor respawned after a panic.
+    pub worker_restarts: u64,
 }
 
 impl ServiceStats {

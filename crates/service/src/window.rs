@@ -262,4 +262,83 @@ mod tests {
             "the gate must not fire without evidence"
         );
     }
+
+    #[test]
+    fn zero_window_is_floored_at_one_nanosecond() {
+        // `fixed_window(Duration::ZERO)` ends up here: both bounds zero.
+        let w = WindowController::new(0, 0);
+        assert_eq!(w.window_ns(), 1);
+        let mut w = WindowController::new(0, 0);
+        w.observe_flush(FlushCause::Capacity, 64, 64, &no_decisions());
+        assert_eq!(w.window_ns(), 1, "a degenerate window cannot grow");
+        w.observe_flush(FlushCause::Timer, 1, 64, &no_decisions());
+        assert_eq!(w.window_ns(), 1, "nor shrink below the floor");
+    }
+
+    #[test]
+    fn equal_min_max_pins_the_window_under_every_rule() {
+        let mut w = WindowController::new(MIN, MIN);
+        w.observe_flush(FlushCause::Capacity, 64, 64, &no_decisions());
+        assert_eq!(w.window_ns(), MIN, "capacity growth is clamped");
+        w.observe_flush(FlushCause::Timer, 1, 64, &no_decisions());
+        assert_eq!(w.window_ns(), MIN, "timer shrink is clamped");
+        // Even the cost gate cannot move a pinned window anywhere else.
+        w.observe_flush(FlushCause::Timer, 1, 64, &range_decision(64, 0, 90_000));
+        assert_eq!(w.window_ns(), MIN);
+    }
+
+    #[test]
+    fn inverted_bounds_are_reordered() {
+        // max below min: the controller floors max at min.
+        let mut w = WindowController::new(4_000, 2_000);
+        assert_eq!(w.window_ns(), 4_000);
+        w.observe_flush(FlushCause::Capacity, 64, 64, &no_decisions());
+        assert_eq!(w.window_ns(), 4_000);
+    }
+
+    #[test]
+    fn the_gate_never_fires_before_the_first_estimate() {
+        // With no prior samples the EWMA is None: even a long run of
+        // estimate-free flushes must leave the rate rule fully in charge.
+        let mut w = WindowController::new(MIN, MAX);
+        for _ in 0..8 {
+            w.observe_flush(FlushCause::Capacity, 64, 64, &no_decisions());
+        }
+        assert_eq!(w.saving_ewma_ns(), None);
+        assert_eq!(w.window_ns(), MAX);
+    }
+
+    #[test]
+    fn degraded_batches_interleave_without_stalling_adaptation() {
+        // A degraded (panic-recovered) batch reports default decisions —
+        // no estimate. It must count for the rate rule (its flush cause is
+        // real) while leaving the benefit EWMA untouched, so adaptation
+        // resumes seamlessly when healthy batches return.
+        let mut w = WindowController::new(MIN, MAX);
+        w.observe_flush(
+            FlushCause::Capacity,
+            64,
+            64,
+            &range_decision(64, 900_000, 100_000),
+        );
+        let ewma_before = w.saving_ewma_ns().unwrap();
+        assert_eq!(w.window_ns(), 2_000);
+        // The degraded batch: capacity cut, no decisions.
+        w.observe_flush(FlushCause::Capacity, 64, 64, &no_decisions());
+        assert_eq!(w.window_ns(), 4_000, "rate rule still applies");
+        assert_eq!(
+            w.saving_ewma_ns(),
+            Some(ewma_before),
+            "EWMA must not decay across a degraded batch"
+        );
+        // Healthy traffic resumes and keeps adapting from where it left.
+        w.observe_flush(
+            FlushCause::Capacity,
+            64,
+            64,
+            &range_decision(64, 900_000, 100_000),
+        );
+        assert_eq!(w.window_ns(), 8_000);
+        assert!(w.saving_ewma_ns().unwrap() >= ewma_before);
+    }
 }

@@ -1,0 +1,117 @@
+//! Deterministic fault schedules for the service chaos experiments.
+//!
+//! A fault schedule picks *which submissions* of an offered-load replay are
+//! poisoned and *how*, without knowing anything about the service that will
+//! execute them — the bench maps each [`FaultSpec`] onto the service's
+//! fault-injection registry (`wazi_service::FaultPlan`). Keeping the
+//! selection here, beside the arrival schedules, means a chaos experiment
+//! is fully described by `(queries, arrivals, faults)` triples that are all
+//! deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of fault to inject at a chosen submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the execution kernel while the query is being answered.
+    KernelPanic,
+    /// Delay execution of any batch carrying the query by `micros`.
+    ExecDelay,
+    /// Stall the submitting thread inside `submit` for `micros`.
+    QueueStall,
+}
+
+/// One planned fault: poison the `index`-th accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Submission sequence number (acceptance order, from 0) to poison.
+    pub index: u64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Delay magnitude in microseconds (0 for [`FaultKind::KernelPanic`]).
+    pub micros: u64,
+}
+
+/// Draws `count` faults over the first `n_queries` submissions, cycling
+/// through the three kinds so every schedule exercises panic isolation,
+/// slow execution and submit-side stalls together. Indices are distinct
+/// and the result is sorted by index. Equal seeds give equal schedules;
+/// `count` is capped at `n_queries`.
+pub fn fault_schedule(n_queries: u64, count: usize, seed: u64) -> Vec<FaultSpec> {
+    if n_queries == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_7A15);
+    let count = count.min(n_queries as usize);
+    let mut taken = std::collections::BTreeSet::new();
+    let mut schedule = Vec::with_capacity(count);
+    while schedule.len() < count {
+        let index = rng.gen_range(0..n_queries);
+        if !taken.insert(index) {
+            continue;
+        }
+        let kind = match schedule.len() % 3 {
+            0 => FaultKind::KernelPanic,
+            1 => FaultKind::ExecDelay,
+            _ => FaultKind::QueueStall,
+        };
+        let micros = match kind {
+            FaultKind::KernelPanic => 0,
+            FaultKind::ExecDelay => rng.gen_range(200..1_000),
+            FaultKind::QueueStall => rng.gen_range(100..500),
+        };
+        schedule.push(FaultSpec {
+            index,
+            kind,
+            micros,
+        });
+    }
+    schedule.sort_by_key(|spec| spec.index);
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_distinct_and_sorted() {
+        let a = fault_schedule(500, 12, 7);
+        let b = fault_schedule(500, 12, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        for w in a.windows(2) {
+            assert!(w[0].index < w[1].index, "indices must be distinct+sorted");
+        }
+        assert!(a.iter().all(|s| s.index < 500));
+        // All three kinds present in a 12-fault schedule.
+        for kind in [
+            FaultKind::KernelPanic,
+            FaultKind::ExecDelay,
+            FaultKind::QueueStall,
+        ] {
+            assert!(a.iter().any(|s| s.kind == kind));
+        }
+        // Panics carry no delay; the delays sit in their documented ranges.
+        for spec in &a {
+            match spec.kind {
+                FaultKind::KernelPanic => assert_eq!(spec.micros, 0),
+                FaultKind::ExecDelay => assert!((200..1_000).contains(&spec.micros)),
+                FaultKind::QueueStall => assert!((100..500).contains(&spec.micros)),
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(fault_schedule(500, 12, 1), fault_schedule(500, 12, 2));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(fault_schedule(0, 5, 3).is_empty());
+        assert_eq!(fault_schedule(3, 100, 3).len(), 3);
+        assert!(fault_schedule(100, 0, 3).is_empty());
+    }
+}

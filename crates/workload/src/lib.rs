@@ -23,7 +23,10 @@
 //!   kNN plans;
 //! * [`poisson_arrivals`] / [`bursty_arrivals`] — deterministic open-loop
 //!   arrival schedules ([`Arrival`]) turning any query batch into timed
-//!   offered-load traffic for the `wazi-service` bench.
+//!   offered-load traffic for the `wazi-service` bench;
+//! * [`fault_schedule`] — deterministic fault schedules ([`FaultSpec`])
+//!   picking which submissions of a replay are poisoned and how, for the
+//!   service's chaos experiments.
 //!
 //! All generators are deterministic given their seeds, so every experiment
 //! in `wazi-bench` is reproducible bit-for-bit.
@@ -34,6 +37,7 @@
 mod arrivals;
 mod batch;
 mod dataset;
+mod faults;
 mod queries;
 mod region;
 
@@ -46,6 +50,7 @@ pub use dataset::{
     generate_dataset, generate_dataset_with_seed, sample_point_queries, skew_summary,
     uniform_dataset, SkewSummary,
 };
+pub use faults::{fault_schedule, FaultKind, FaultSpec};
 pub use queries::{
     drift_workload, generate_from_spec, generate_queries, generate_queries_with_seed,
     mean_center_distance_to, uniform_queries, WorkloadSpec, ABLATION_SELECTIVITIES, SELECTIVITIES,

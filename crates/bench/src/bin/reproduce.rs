@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N]
-//!           [--leaf N] [--shards N] [--strategy S] [--smoke]
-//!           [--json PATH] [--list]
+//!           [--leaf N] [--shards N] [--strategy S] [--transport T]
+//!           [--smoke] [--json PATH] [--list]
 //!
 //! EXPERIMENT   one or more of the identifiers printed by --list
 //!              (default: all)
@@ -18,6 +18,10 @@
 //!              fused-parallel/N and the cost-based auto scheduler; a
 //!              fixed value (sequential | fused | fused-parallel) narrows
 //!              the comparison to [sequential, S]
+//! --transport T transports the service experiment's transport table
+//!              compares: both (default) measures in-process submission
+//!              and loopback TCP at the same offered load; in-process or
+//!              tcp narrows the table to one transport
 //! --smoke      start from the tiny smoke-scale context with artifact
 //!              emission off (CI's configuration; later flags still
 //!              override individual knobs)
@@ -58,6 +62,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| panic!("--strategy requires a value"));
                 ctx.strategy = value.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--transport" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("--transport requires a value"));
+                ctx.transport = value.parse().unwrap_or_else(|e| panic!("{e}"));
             }
             "--smoke" => {} // already applied above
             "--json" => json_path = iter.next(),
@@ -129,7 +139,7 @@ fn parse_number(value: Option<String>, flag: &str) -> usize {
 fn print_usage() {
     println!(
         "usage: reproduce [EXPERIMENT ...] [--size N] [--queries N] [--points N] [--leaf N] \
-         [--shards N] [--strategy auto|sequential|fused|fused-parallel] [--smoke] \
-         [--json PATH] [--list]"
+         [--shards N] [--strategy auto|sequential|fused|fused-parallel] \
+         [--transport both|in-process|tcp] [--smoke] [--json PATH] [--list]"
     );
 }

@@ -69,6 +69,50 @@ impl StrategyFilter {
     }
 }
 
+/// Which transports the `service` experiment's transport table measures
+/// (the `reproduce --transport` flag).
+///
+/// The default, [`TransportFilter::Both`], runs in-process submission and
+/// loopback TCP at the same offered load so the table shows what the wire
+/// costs; a single value narrows the table for focused runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportFilter {
+    /// In-process and loopback-TCP rows at each load point.
+    #[default]
+    Both,
+    /// In-process submission only.
+    InProcess,
+    /// Loopback TCP only.
+    Tcp,
+}
+
+impl TransportFilter {
+    /// Whether the in-process rows run under this filter.
+    pub fn includes_in_process(self) -> bool {
+        matches!(self, TransportFilter::Both | TransportFilter::InProcess)
+    }
+
+    /// Whether the loopback-TCP rows run under this filter.
+    pub fn includes_tcp(self) -> bool {
+        matches!(self, TransportFilter::Both | TransportFilter::Tcp)
+    }
+}
+
+impl std::str::FromStr for TransportFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "both" => Ok(TransportFilter::Both),
+            "in-process" => Ok(TransportFilter::InProcess),
+            "tcp" => Ok(TransportFilter::Tcp),
+            other => Err(format!(
+                "unknown transport '{other}' (expected both | in-process | tcp)"
+            )),
+        }
+    }
+}
+
 impl std::str::FromStr for StrategyFilter {
     type Err = String;
 
@@ -113,6 +157,9 @@ pub struct ExperimentContext {
     /// Which batch strategies the batch experiment compares (the
     /// `reproduce --strategy` flag).
     pub strategy: StrategyFilter,
+    /// Which transports the service experiment's transport table compares
+    /// (the `reproduce --transport` flag).
+    pub transport: TransportFilter,
 }
 
 impl Default for ExperimentContext {
@@ -127,6 +174,7 @@ impl Default for ExperimentContext {
             batch_shards: 4,
             emit_artifacts: true,
             strategy: StrategyFilter::Auto,
+            transport: TransportFilter::Both,
         }
     }
 }
@@ -144,6 +192,7 @@ impl ExperimentContext {
             batch_shards: 4,
             emit_artifacts: false,
             strategy: StrategyFilter::Auto,
+            transport: TransportFilter::Both,
         }
     }
 

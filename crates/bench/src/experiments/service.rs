@@ -34,12 +34,13 @@ use crate::measure::format_ns;
 use crate::report::Report;
 use crate::suite::{build_index, IndexKind};
 use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex};
+use wazi_net::{Client as NetClient, ClientConfig as NetClientConfig, Server};
 use wazi_service::{
     Fault, FaultPlan, FullQueuePolicy, Service, ServiceError, ServiceStats, Submit, SubmitOptions,
 };
 use wazi_workload::{
-    bursty_arrivals, fault_schedule, generate_overlapping_batch, poisson_arrivals, Arrival,
-    FaultKind, Region, SELECTIVITIES,
+    bursty_arrivals, fault_schedule, generate_overlapping_batch, poisson_arrivals,
+    reconnect_sessions, Arrival, FaultKind, Region, SELECTIVITIES,
 };
 
 /// The overlapping counting-range workload of the batch experiment: the
@@ -237,6 +238,176 @@ fn replay(
         elapsed_ns,
         stats,
     }
+}
+
+/// Builds the service variant's backing service and a loopback-TCP server
+/// fronting it.
+fn tcp_server(index: &Arc<dyn SpatialIndex>, variant: Variant) -> Server {
+    let service = Service::builder(Arc::clone(index))
+        .max_batch(variant.max_batch)
+        .window(variant.window.0, variant.window.1)
+        .strategy(variant.strategy)
+        .on_full(FullQueuePolicy::Block)
+        .start();
+    Server::bind(service, "127.0.0.1:0").expect("bind loopback server")
+}
+
+/// The TCP bench client's configuration: generous attempt deadline (the
+/// saturating load point queues deeply), a few retries for robustness.
+fn bench_client(addr: std::net::SocketAddr, seed: u64) -> NetClient {
+    NetClient::connect(
+        addr,
+        NetClientConfig {
+            request_timeout: Duration::from_secs(60),
+            max_retries: 4,
+            jitter_seed: seed,
+            ..NetClientConfig::default()
+        },
+    )
+    .expect("connect bench client")
+}
+
+/// One TCP client's share of a replay: `(index, latency_ns, output)` per
+/// answered query, plus its retry counter.
+type ClientReplay = (Vec<(usize, u64, QueryOutput)>, u64);
+
+/// Replays `arrivals` over loopback TCP from [`CLIENTS`] connections, one
+/// in-flight request per connection (the wire's pipelining unit), and
+/// returns the measurements plus the clients' summed retry counter.
+fn replay_tcp(
+    index: &Arc<dyn SpatialIndex>,
+    arrivals: &[Arrival],
+    variant: Variant,
+) -> (RunOutcome, u64) {
+    let server = tcp_server(index, variant);
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let per_client: Vec<ClientReplay> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                s.spawn(move || {
+                    let tcp = bench_client(addr, 0x0BE7_C0DE ^ client as u64);
+                    let mut results = Vec::new();
+                    for (i, arrival) in arrivals.iter().enumerate() {
+                        if i % CLIENTS != client {
+                            continue;
+                        }
+                        let scheduled = Duration::from_nanos(arrival.offset_ns);
+                        if let Some(ahead) = scheduled.checked_sub(start.elapsed()) {
+                            std::thread::sleep(ahead);
+                        }
+                        let response = tcp
+                            .request(arrival.query.clone())
+                            .unwrap_or_else(|err| panic!("tcp request {i} failed: {err}"));
+                        let completion_ns = start.elapsed().as_nanos() as u64;
+                        let latency = completion_ns.saturating_sub(arrival.offset_ns);
+                        results.push((i, latency, response.report.output));
+                    }
+                    (results, tcp.retries())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tcp client thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos().max(1) as u64;
+    let stats = server.shutdown();
+
+    let mut outputs: Vec<Option<QueryOutput>> = vec![None; arrivals.len()];
+    let mut latencies_ns = Vec::with_capacity(arrivals.len());
+    let mut retries = 0u64;
+    for (results, client_retries) in per_client {
+        retries += client_retries;
+        for (i, latency, output) in results {
+            outputs[i] = Some(output);
+            latencies_ns.push(latency);
+        }
+    }
+    latencies_ns.sort_unstable();
+    (
+        RunOutcome {
+            outputs,
+            latencies_ns,
+            elapsed_ns,
+            stats,
+        },
+        retries,
+    )
+}
+
+/// Replays a reconnect-heavy session schedule over loopback TCP: each
+/// client opens a fresh connection per epoch (the drop-and-reconnect shape
+/// [`reconnect_sessions`] encodes). Outputs are verified against solo
+/// execution inline; returns (measurements, retries, connections opened).
+fn replay_tcp_sessions(
+    index: &Arc<dyn SpatialIndex>,
+    schedules: &[wazi_workload::ClientSchedule],
+    variant: Variant,
+) -> (RunOutcome, u64) {
+    let server = tcp_server(index, variant);
+    let addr = server.local_addr();
+    let engine = QueryEngine::new(index.as_ref());
+    let start = Instant::now();
+    let per_client: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let engine = &engine;
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                s.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut retries = 0u64;
+                    for epoch in &schedule.epochs {
+                        let tcp = bench_client(addr, 0x5E55_0000 ^ schedule.client as u64);
+                        for arrival in &epoch.arrivals {
+                            let scheduled = Duration::from_nanos(arrival.offset_ns);
+                            if let Some(ahead) = scheduled.checked_sub(start.elapsed()) {
+                                std::thread::sleep(ahead);
+                            }
+                            let response = tcp
+                                .request(arrival.query.clone())
+                                .unwrap_or_else(|err| panic!("session request failed: {err}"));
+                            let completion_ns = start.elapsed().as_nanos() as u64;
+                            latencies.push(completion_ns.saturating_sub(arrival.offset_ns));
+                            let solo = engine
+                                .execute(&arrival.query)
+                                .expect("solo execution")
+                                .output;
+                            assert_eq!(
+                                response.report.output, solo,
+                                "reconnect session response diverged from solo execution"
+                            );
+                        }
+                        retries += tcp.retries();
+                    }
+                    (latencies, retries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session client thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos().max(1) as u64;
+    let stats = server.shutdown();
+    let mut latencies_ns = Vec::new();
+    let mut retries = 0u64;
+    for (client_latencies, client_retries) in per_client {
+        latencies_ns.extend(client_latencies);
+        retries += client_retries;
+    }
+    latencies_ns.sort_unstable();
+    (
+        RunOutcome {
+            outputs: Vec::new(), // verified inline against solo execution
+            latencies_ns,
+            elapsed_ns,
+            stats,
+        },
+        retries,
+    )
 }
 
 /// What one fault-schedule replay produced: how every ticket terminated,
@@ -776,7 +947,151 @@ pub fn service(ctx: &ExperimentContext) -> Vec<Report> {
          recovered)",
     );
 
-    let reports = vec![table, counters, recovery];
+    // The transport table: the same offered load routed in-process (direct
+    // `submit`) and over loopback TCP (`wazi-net`), the adaptive-auto
+    // service behind both. The wire's pinned guarantee — it changes
+    // transport, never answers — is hard-asserted on every completed
+    // response; the throughput/latency deltas are what framing, sockets
+    // and one-in-flight-per-connection pipelining cost.
+    let mut transport = Report::new(
+        "service-transport",
+        format!(
+            "In-process vs loopback-TCP transport at the same offered load \
+             ({} queries, {} clients, adaptive auto service)",
+            queries.len(),
+            CLIENTS
+        ),
+    )
+    .with_headers(&[
+        "Load",
+        "Offered qps",
+        "Transport",
+        "Completed",
+        "Achieved qps",
+        "p50",
+        "p95",
+        "p99",
+        "Connections",
+        "Retries",
+    ]);
+    let transport_row = |load: &str,
+                         offered: f64,
+                         name: &str,
+                         outcome: &RunOutcome,
+                         connections: u64,
+                         retries: u64|
+     -> Vec<String> {
+        vec![
+            load.to_string(),
+            format!("{offered:.0}"),
+            name.to_string(),
+            outcome.completed().to_string(),
+            format!("{:.0}", outcome.throughput_qps()),
+            format_ns(outcome.percentile_ns(0.50) as f64),
+            format_ns(outcome.percentile_ns(0.95) as f64),
+            format_ns(outcome.percentile_ns(0.99) as f64),
+            connections.to_string(),
+            retries.to_string(),
+        ]
+    };
+    for (load_name, offered_qps) in loads {
+        let arrivals = poisson_arrivals(queries.clone(), offered_qps, ctx.seed);
+        if ctx.transport.includes_in_process() {
+            let outcome = replay(
+                &index,
+                &arrivals,
+                VARIANTS[1],
+                ServiceConfigDefaults::QUEUE_CAPACITY,
+                FullQueuePolicy::Block,
+            );
+            let label = format!("transport/{load_name}/in-process");
+            assert_outputs_identical(&label, &outcome, &reference);
+            transport.push_row(transport_row(
+                load_name,
+                offered_qps,
+                "in-process",
+                &outcome,
+                0,
+                0,
+            ));
+        }
+        if ctx.transport.includes_tcp() {
+            let (outcome, retries) = replay_tcp(&index, &arrivals, VARIANTS[1]);
+            let label = format!("transport/{load_name}/tcp");
+            assert_outputs_identical(&label, &outcome, &reference);
+            assert_eq!(
+                outcome.completed(),
+                queries.len(),
+                "{label}: the blocking policy over TCP must be lossless"
+            );
+            assert_eq!(
+                outcome.stats.connections_opened, outcome.stats.connections_drained,
+                "{label}: every connection must drain"
+            );
+            transport.push_row(transport_row(
+                load_name,
+                offered_qps,
+                "tcp",
+                &outcome,
+                outcome.stats.connections_opened,
+                retries,
+            ));
+        }
+    }
+    if ctx.transport.includes_tcp() {
+        // The reconnect-heavy row: per-client session epochs with a fresh
+        // connection per epoch and a shared hot-key subset — the client
+        // schedule shape `wazi_workload::reconnect_sessions` generates.
+        let schedules = reconnect_sessions(
+            queries.clone(),
+            CLIENTS,
+            moderate_qps,
+            (queries.len() / (CLIENTS * 6)).max(4),
+            0.25,
+            ctx.seed,
+        );
+        let offered: usize = schedules.iter().map(|s| s.total_queries()).sum();
+        let connections: usize = schedules.iter().map(|s| s.epochs.len()).sum();
+        let (outcome, retries) = replay_tcp_sessions(&index, &schedules, VARIANTS[1]);
+        assert_eq!(
+            outcome.completed(),
+            offered,
+            "transport/reconnect: every session query must complete"
+        );
+        assert_eq!(
+            outcome.stats.connections_opened, outcome.stats.connections_drained,
+            "transport/reconnect: every connection must drain"
+        );
+        assert!(
+            outcome.stats.connections_opened as usize >= connections,
+            "transport/reconnect: each epoch dials a fresh connection"
+        );
+        transport.push_row(transport_row(
+            "reconnect-heavy",
+            moderate_qps,
+            "tcp",
+            &outcome,
+            outcome.stats.connections_opened,
+            retries,
+        ));
+    }
+    transport.push_note(
+        "same arrival schedules and adaptive-auto service on both transports; the \
+         TCP path adds framing, checksums, loopback sockets and a pipelining unit \
+         of one in-flight request per connection, so its open-loop latency upper-\
+         bounds the wire cost. Hard-asserted: every completed response \
+         bit-identical to solo execution (the wire changes transport, never \
+         answers), lossless under the blocking policy, connections opened = \
+         drained",
+    );
+    transport.push_note(
+        "the reconnect-heavy row replays wazi_workload::reconnect_sessions: \
+         per-client Poisson epochs with a fresh connection per epoch and 25% \
+         hot-key substitution, so connection churn and skew land on the server \
+         together",
+    );
+
+    let reports = vec![table, counters, transport, recovery];
     if ctx.emit_artifacts {
         match emit_service_json(&reports, SERVICE_JSON_PATH) {
             Ok(()) => eprintln!("   wrote {SERVICE_JSON_PATH}"),
@@ -812,7 +1127,7 @@ mod tests {
     fn smoke_run_produces_wellformed_reports() {
         let ctx = ExperimentContext::smoke_test();
         let reports = service(&ctx);
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), 4);
         let load = &reports[0];
         assert_eq!(load.id, "service-load");
         // 4 configs x 2 loads + the bursty row.
@@ -823,7 +1138,14 @@ mod tests {
         let counters = &reports[1];
         assert_eq!(counters.id, "service-stats");
         assert_eq!(counters.rows.len(), 2 * VARIANTS.len() + 2);
-        let recovery = &reports[2];
+        let transport = &reports[2];
+        assert_eq!(transport.id, "service-transport");
+        // (in-process + tcp) x 2 loads + the reconnect-heavy row.
+        assert_eq!(transport.rows.len(), 5);
+        for row in &transport.rows {
+            assert_eq!(row.len(), transport.headers.len());
+        }
+        let recovery = &reports[3];
         assert_eq!(recovery.id, "service-recovery");
         // control + seeded chaos + worker kill + deadline.
         assert_eq!(recovery.rows.len(), 4);

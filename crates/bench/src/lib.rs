@@ -32,6 +32,8 @@ pub mod measure;
 pub mod report;
 pub mod suite;
 
-pub use experiments::{registry, select, ExperimentContext, ExperimentSpec, StrategyFilter};
+pub use experiments::{
+    registry, select, ExperimentContext, ExperimentSpec, StrategyFilter, TransportFilter,
+};
 pub use report::Report;
 pub use suite::{build_index, BuiltIndex, IndexKind};

@@ -1,0 +1,237 @@
+//! The transport's failure taxonomy: every way the wire can fail, typed.
+//!
+//! Two layers, mirroring what a caller can observe:
+//!
+//! * [`TransportError`] — the frame never made it (or never made sense):
+//!   socket failures, timeouts, framing violations, checksum mismatches.
+//!   These say nothing about the query; [`TransportError::is_transient`]
+//!   tells the client's retry loop which ones are worth another attempt.
+//! * [`NetError`] — what [`crate::Client`] ultimately returns: a transport
+//!   failure, a typed [`ServiceError`] relayed losslessly from the server
+//!   (the same value an in-process submitter would see), or
+//!   [`NetError::Rejected`] — the wire form of [`wazi_service::Submit::Rejected`],
+//!   the service's load-shed "429".
+
+use std::io;
+
+use wazi_service::ServiceError;
+
+/// A wire-level failure: the frame was lost, late, or malformed.
+///
+/// Marked `#[non_exhaustive]` like every error taxonomy in this workspace:
+/// the failure vocabulary grows with the transport, and downstream matches
+/// must keep a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A socket operation failed. The [`io::ErrorKind`] is preserved for
+    /// classification; the message is the OS error text.
+    Io {
+        /// Kind of the underlying I/O error.
+        kind: io::ErrorKind,
+        /// Display text of the underlying I/O error.
+        message: String,
+    },
+    /// The frame did not start with the protocol magic — the peer is not
+    /// speaking this protocol, or the stream lost sync.
+    BadMagic([u8; 2]),
+    /// The peer speaks an incompatible protocol version.
+    BadVersion(u8),
+    /// The frame kind byte is not one the decoder knows.
+    UnknownKind(u8),
+    /// The declared payload length exceeds the receiver's frame-size cap.
+    /// Raised *before* any allocation: an adversarial length prefix costs
+    /// the receiver 16 header bytes, never a buffer.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The receiver's configured cap.
+        max: u32,
+    },
+    /// The frame checksum did not match its contents: bit corruption in
+    /// transit. The stream can no longer be trusted to be in sync.
+    ChecksumMismatch,
+    /// The payload ended before the field named by the context string was
+    /// fully decoded (an internal length field lied).
+    Truncated(&'static str),
+    /// The bytes framed correctly but violate the protocol (bad tag,
+    /// invalid UTF-8, trailing garbage, unrecognised error variant).
+    Protocol(String),
+    /// The peer sent an error frame reporting a transport-level problem
+    /// with something *we* sent (e.g. a malformed request payload).
+    PeerReported(String),
+    /// A read or write deadline expired.
+    Timeout,
+    /// The connection closed mid-conversation (EOF inside a frame, reset,
+    /// broken pipe).
+    ConnectionLost,
+}
+
+impl TransportError {
+    /// Whether a retry on a fresh connection has a chance of succeeding.
+    ///
+    /// Transient: socket errors, timeouts, lost connections, and checksum
+    /// mismatches (corruption in transit). Permanent: framing and protocol
+    /// violations — they would recur byte-for-byte on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Io { .. }
+                | TransportError::Timeout
+                | TransportError::ConnectionLost
+                | TransportError::ChecksumMismatch
+        )
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io { kind, message } => write!(f, "i/o error ({kind:?}): {message}"),
+            TransportError::BadMagic(magic) => {
+                write!(f, "bad frame magic {magic:02x?} (stream out of sync?)")
+            }
+            TransportError::BadVersion(version) => {
+                write!(f, "unsupported protocol version {version}")
+            }
+            TransportError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            TransportError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "declared payload of {len} bytes exceeds the {max}-byte cap"
+                )
+            }
+            TransportError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            TransportError::Truncated(context) => {
+                write!(f, "payload truncated while decoding {context}")
+            }
+            TransportError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            TransportError::PeerReported(message) => {
+                write!(f, "peer rejected our frame: {message}")
+            }
+            TransportError::Timeout => write!(f, "deadline expired"),
+            TransportError::ConnectionLost => write!(f, "connection lost"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(err: io::Error) -> Self {
+        match err.kind() {
+            // Both timeout kinds appear in practice: `read_timeout` on Unix
+            // surfaces `WouldBlock`, on Windows `TimedOut`.
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => TransportError::Timeout,
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => TransportError::ConnectionLost,
+            kind => TransportError::Io {
+                kind,
+                message: err.to_string(),
+            },
+        }
+    }
+}
+
+/// What a [`crate::Client`] request ultimately resolves to when it does not
+/// resolve to a [`wazi_service::QueryResponse`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The wire failed (after exhausting any configured retries).
+    Transport(TransportError),
+    /// The service answered with a typed error — the exact [`ServiceError`]
+    /// an in-process submitter would have received.
+    Service(ServiceError),
+    /// The service shed the query under load ([`wazi_service::Submit::Rejected`])
+    /// and retries, if enabled, were exhausted.
+    Rejected,
+}
+
+impl NetError {
+    /// Whether this is the load-shed outcome.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, NetError::Rejected)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Transport(err) => write!(f, "transport error: {err}"),
+            NetError::Service(err) => write!(f, "service error: {err}"),
+            NetError::Rejected => write!(f, "request shed by the service (queue full)"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Transport(err) => Some(err),
+            NetError::Service(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for NetError {
+    fn from(err: TransportError) -> Self {
+        NetError::Transport(err)
+    }
+}
+
+impl From<ServiceError> for NetError {
+    fn from(err: ServiceError) -> Self {
+        NetError::Service(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(TransportError::Timeout.is_transient());
+        assert!(TransportError::ConnectionLost.is_transient());
+        assert!(TransportError::ChecksumMismatch.is_transient());
+        assert!(TransportError::Io {
+            kind: io::ErrorKind::ConnectionRefused,
+            message: "refused".into()
+        }
+        .is_transient());
+        assert!(!TransportError::BadMagic([0, 0]).is_transient());
+        assert!(!TransportError::FrameTooLarge { len: 9, max: 8 }.is_transient());
+        assert!(!TransportError::Protocol("bad tag".into()).is_transient());
+        assert!(!TransportError::PeerReported("bad payload".into()).is_transient());
+    }
+
+    #[test]
+    fn io_errors_map_to_typed_kinds() {
+        let timeout = io::Error::new(io::ErrorKind::WouldBlock, "would block");
+        assert_eq!(TransportError::from(timeout), TransportError::Timeout);
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(TransportError::from(eof), TransportError::ConnectionLost);
+        let refused = io::Error::new(io::ErrorKind::ConnectionRefused, "no");
+        assert!(matches!(
+            TransportError::from(refused),
+            TransportError::Io {
+                kind: io::ErrorKind::ConnectionRefused,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(TransportError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(NetError::Rejected.to_string().contains("shed"));
+        let err = NetError::Service(ServiceError::Closed);
+        assert!(err.to_string().contains("shut down"));
+    }
+}

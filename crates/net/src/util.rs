@@ -1,0 +1,26 @@
+//! Small shared helpers.
+
+/// Fixed-increment splitmix64 step — the statelessly seedable generator the
+/// workload and service crates use, inlined here so the transport stays
+/// dependency-free. Drives the client's deterministic backoff jitter and
+/// the seeded wire fault schedules.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut a));
+    }
+}

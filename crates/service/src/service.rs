@@ -321,6 +321,43 @@ impl Service {
         self.shared.stats.snapshot(depth)
     }
 
+    /// Records that a transport front end accepted a connection over this
+    /// service ([`ServiceStats::connections_opened`]).
+    ///
+    /// The connection counters are *hooks for transports* (`wazi-net` is
+    /// the in-tree caller): the service has no connections of its own, but
+    /// it owns the accounting so one snapshot — [`Service::stats`] —
+    /// answers for queries and connections alike, and so the
+    /// no-ticket-left-behind guarantee can be audited end to end
+    /// (`connections_drained == connections_opened` after a clean front-end
+    /// shutdown).
+    pub fn note_connection_opened(&self) {
+        self.shared
+            .stats
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a transport connection was severed on a fault (timeout,
+    /// wire corruption, peer disconnect) rather than closed cleanly
+    /// ([`ServiceStats::connections_severed`]).
+    pub fn note_connection_severed(&self) {
+        self.shared
+            .stats
+            .connections_severed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a transport connection's close path redeemed every
+    /// in-flight ticket before releasing the connection
+    /// ([`ServiceStats::connections_drained`]).
+    pub fn note_connection_drained(&self) {
+        self.shared
+            .stats
+            .connections_drained
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Initiates shutdown without waiting: refuses new submissions from
     /// this point on and wakes both idle workers and submitters blocked on
     /// a full queue (they return [`ServiceError::Closed`]). The drain

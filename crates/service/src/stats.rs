@@ -24,6 +24,9 @@ pub(crate) struct StatsInner {
     pub(crate) degraded_batches: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
     pub(crate) worker_restarts: AtomicU64,
+    pub(crate) connections_opened: AtomicU64,
+    pub(crate) connections_severed: AtomicU64,
+    pub(crate) connections_drained: AtomicU64,
 }
 
 impl StatsInner {
@@ -46,6 +49,9 @@ impl StatsInner {
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_severed: self.connections_severed.load(Ordering::Relaxed),
+            connections_drained: self.connections_drained.load(Ordering::Relaxed),
         }
     }
 
@@ -97,6 +103,18 @@ pub struct ServiceStats {
     pub worker_panics: u64,
     /// Worker threads the supervisor respawned after a panic.
     pub worker_restarts: u64,
+    /// Transport connections a network front end opened over this service
+    /// (reported via [`crate::Service::note_connection_opened`]; zero when
+    /// the service is used purely in-process).
+    pub connections_opened: u64,
+    /// Connections a front end closed on a fault — read/write timeout, wire
+    /// corruption, peer disconnect — rather than a clean end-of-stream.
+    pub connections_severed: u64,
+    /// Connections whose close path redeemed every in-flight ticket before
+    /// releasing the connection (the no-ticket-left-behind guarantee
+    /// extended to transports). After a front end shuts down cleanly this
+    /// equals [`ServiceStats::connections_opened`].
+    pub connections_drained: u64,
 }
 
 impl ServiceStats {

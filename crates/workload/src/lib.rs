@@ -26,7 +26,10 @@
 //!   offered-load traffic for the `wazi-service` bench;
 //! * [`fault_schedule`] — deterministic fault schedules ([`FaultSpec`])
 //!   picking which submissions of a replay are poisoned and how, for the
-//!   service's chaos experiments.
+//!   service's chaos experiments;
+//! * [`reconnect_sessions`] — reconnect-heavy, hot-key-skewed per-client
+//!   session schedules ([`ClientSchedule`] / [`SessionEpoch`]) for the
+//!   `wazi-net` TCP transport bench.
 //!
 //! All generators are deterministic given their seeds, so every experiment
 //! in `wazi-bench` is reproducible bit-for-bit.
@@ -40,6 +43,7 @@ mod dataset;
 mod faults;
 mod queries;
 mod region;
+mod sessions;
 
 pub use arrivals::{bursty_arrivals, poisson_arrivals, Arrival};
 pub use batch::{
@@ -57,3 +61,4 @@ pub use queries::{
     WORKLOAD_SIZE,
 };
 pub use region::{Cluster, Region};
+pub use sessions::{reconnect_sessions, ClientSchedule, SessionEpoch};

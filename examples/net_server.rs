@@ -1,0 +1,76 @@
+//! TCP front end for the concurrent query service: build the
+//! workload-aware index, put the service behind `wazi_net::Server`, and
+//! answer framed queries from any number of `net_client` processes.
+//!
+//! Run with (then point `net_client` at the printed address):
+//! ```text
+//! cargo run --release --example net_server
+//! ```
+//!
+//! The server owns the whole stack — index, micro-batching service,
+//! acceptor, per-connection threads — and the wire guarantee holds
+//! end to end: the wire changes transport, never answers. Press Enter
+//! (or close stdin) to drain in-flight requests and shut down.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wazi_core::{SpatialIndex, ZIndex};
+use wazi_net::Server;
+use wazi_service::{FullQueuePolicy, Service};
+use wazi_workload::{generate_dataset, generate_queries, Region, SELECTIVITIES};
+
+fn main() -> std::io::Result<()> {
+    // 1. The index is the same one every other quickstart builds; the
+    //    transport layer never sees points or pages, only framed queries.
+    let region = Region::NewYork;
+    let points = generate_dataset(region, 100_000);
+    let train = generate_queries(region, 2_000, SELECTIVITIES[2]);
+    let index: Arc<dyn SpatialIndex> = Arc::new(ZIndex::build_wazi(points, &train));
+
+    // 2. The service behind the socket is configured exactly as in the
+    //    in-process example. `Block` keeps the wire lossless under load:
+    //    submissions wait for queue space instead of shedding, so clients
+    //    only ever see `Rejected` frames from the `Reject` policy.
+    let service = Service::builder(index)
+        .queue_capacity(1024)
+        .max_batch(256)
+        .window(Duration::from_micros(50), Duration::from_millis(5))
+        .on_full(FullQueuePolicy::Block)
+        .start();
+
+    // 3. Bind. Port 0 asks the OS for a free port; the builder exposes the
+    //    read/write deadlines and the frame-size cap that bound how much a
+    //    slow or malicious peer can cost this process.
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let server = Server::builder(service)
+        .read_timeout(Duration::from_secs(30))
+        .write_timeout(Duration::from_secs(2))
+        .bind(addr)?;
+    println!("serving on {}", server.local_addr());
+    println!(
+        "run: cargo run --release --example net_client -- {}",
+        server.local_addr()
+    );
+    println!("press Enter (or close stdin) to drain and shut down");
+
+    // 4. Serve until the operator says stop. A closed stdin (EOF) returns
+    //    immediately, so piping `echo |` through this example exercises a
+    //    full bind/serve/drain cycle without hanging.
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+
+    // 5. Graceful drain: stop accepting, let every in-flight ticket
+    //    resolve and flush, then shut the service down and report.
+    let stats = server.shutdown();
+    println!(
+        "served {} queries over {} connections ({} severed, all {} drained)",
+        stats.completed,
+        stats.connections_opened,
+        stats.connections_severed,
+        stats.connections_drained
+    );
+    Ok(())
+}

@@ -21,6 +21,10 @@
 //! * [`service`] — the concurrent query service coalescing submissions
 //!   into fused engine batches under an adaptive micro-batching window
 //!   (`docs/SERVICE.md`);
+//! * [`net`] — the hardened TCP front end over the service: checksummed
+//!   length-prefixed framing, per-connection deadlines, graceful drain,
+//!   a retrying client, and wire-level fault injection — the wire
+//!   changes transport, never answers;
 //! * [`mod@bench`] — the experiment harness reproducing every table and
 //!   figure, including the `batch` experiment comparing sequential vs fused
 //!   batch execution (`BENCH_batch.json`) and the `service` experiment
@@ -38,6 +42,7 @@ pub use wazi_bench as bench;
 pub use wazi_core as core;
 pub use wazi_density as density;
 pub use wazi_geom as geom;
+pub use wazi_net as net;
 pub use wazi_service as service;
 pub use wazi_storage as storage;
 pub use wazi_workload as workload;
@@ -48,5 +53,6 @@ pub use wazi_core::{
     RangeMode, SpatialIndex, ZIndex, ZIndexBuilder, ZIndexConfig,
 };
 pub use wazi_geom::{Point, Rect};
+pub use wazi_net::{Client, NetError, Server};
 pub use wazi_service::{Service, ServiceStats};
 pub use wazi_storage::ExecStats;

@@ -3,7 +3,7 @@
 //! the test that guards the `reproduce` binary's coverage of every table and
 //! figure in the paper.
 
-use wazi_bench::{registry, ExperimentContext, StrategyFilter};
+use wazi_bench::{registry, ExperimentContext, StrategyFilter, TransportFilter};
 
 #[test]
 fn every_registered_experiment_runs_and_produces_rows() {
@@ -16,6 +16,7 @@ fn every_registered_experiment_runs_and_produces_rows() {
         seed: 7,
         batch_shards: 4,
         strategy: StrategyFilter::Auto,
+        transport: TransportFilter::Both,
         // Smoke runs must never overwrite the committed BENCH_batch.json
         // (it is regenerated at full scale by `reproduce batch`).
         emit_artifacts: false,

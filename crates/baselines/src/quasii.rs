@@ -306,8 +306,12 @@ impl SpatialIndex for Quasii {
 
     fn insert(&mut self, _p: Point) -> Result<(), IndexError> {
         // The evaluation uses a converged (read-only) QUASII instance;
-        // incremental insertion is outside the replicated scope.
-        Err(IndexError::Unsupported("insert into converged QUASII"))
+        // incremental insertion is outside the replicated scope. The typed
+        // error lets the versioned writer fall back to a full rebuild.
+        Err(IndexError::UpdateUnsupported {
+            index: "QUASII",
+            op: "insert",
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -667,7 +671,10 @@ mod tests {
         assert!(!index.point_query(&Point::new(2.0, 2.0), &mut stats));
         assert!(matches!(
             index.insert(Point::new(0.5, 0.5)),
-            Err(IndexError::Unsupported(_))
+            Err(IndexError::UpdateUnsupported {
+                index: "QUASII",
+                op: "insert"
+            })
         ));
         assert_eq!(index.name(), "QUASII");
         assert!(index.size_bytes() > 0);

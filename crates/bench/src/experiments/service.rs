@@ -32,15 +32,17 @@ use std::time::{Duration, Instant};
 use super::ExperimentContext;
 use crate::measure::format_ns;
 use crate::report::Report;
-use crate::suite::{build_index, IndexKind};
-use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, SpatialIndex};
+use crate::suite::{build_index, build_versioned_index, IndexKind};
+use wazi_core::{
+    BatchStrategy, Query, QueryEngine, QueryOutput, Snapshot, SnapshotSource, SpatialIndex,
+};
 use wazi_net::{Client as NetClient, ClientConfig as NetClientConfig, Server};
 use wazi_service::{
     Fault, FaultPlan, FullQueuePolicy, Service, ServiceError, ServiceStats, Submit, SubmitOptions,
 };
 use wazi_workload::{
-    bursty_arrivals, fault_schedule, generate_overlapping_batch, poisson_arrivals,
-    reconnect_sessions, Arrival, FaultKind, Region, SELECTIVITIES,
+    bursty_arrivals, fault_schedule, generate_overlapping_batch, mixed_read_write_schedule,
+    poisson_arrivals, reconnect_sessions, Arrival, FaultKind, Region, RwStep, SELECTIVITIES,
 };
 
 /// The overlapping counting-range workload of the batch experiment: the
@@ -150,12 +152,17 @@ impl RunOutcome {
     }
 
     fn percentile_ns(&self, p: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
-        let rank = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
-        self.latencies_ns[rank]
+        percentile_sorted(&self.latencies_ns, p)
     }
+}
+
+/// Percentile of an ascending-sorted latency slice (0 when empty).
+fn percentile_sorted(latencies_ns: &[u64], p: f64) -> u64 {
+    if latencies_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+    latencies_ns[rank]
 }
 
 /// Replays `arrivals` open-loop from [`CLIENTS`] threads against a fresh
@@ -408,6 +415,97 @@ fn replay_tcp_sessions(
         },
         retries,
     )
+}
+
+/// What one mixed read/write replay produced.
+struct RwOutcome {
+    /// Read responses `(query index into the flattened read schedule,
+    /// epoch, output)`, verified later against the pinned snapshots.
+    responses: Vec<(usize, u64, QueryOutput)>,
+    /// Per-response service latencies (`total_ns`), sorted ascending.
+    latencies_ns: Vec<u64>,
+    /// One pinned snapshot per published epoch, `snapshots[e]` at epoch
+    /// `e` — the versions the bit-identity assert replays against.
+    snapshots: Vec<Snapshot>,
+    /// Write bursts whose ops fell back to a full rebuild.
+    rebuilds: u64,
+    stats: ServiceStats,
+}
+
+/// Replays a [`mixed_read_write_schedule`] against a versioned service
+/// with a **live writer**: a writer thread walks the schedule's write
+/// bursts (publishing a new index version per burst and pinning its
+/// snapshot) while the reader threads submit every read burst's queries
+/// concurrently — reads race writes on purpose. Returns the responses
+/// tagged with the epoch each one executed against.
+fn replay_rw(label: &str, source: &Arc<dyn SnapshotSource>, schedule: &[RwStep]) -> RwOutcome {
+    let service = Service::builder_versioned(Arc::clone(source))
+        .max_batch(64)
+        .window(MIN_WINDOW, MAX_WINDOW)
+        .strategy(BatchStrategy::Auto)
+        .on_full(FullQueuePolicy::Block)
+        .start();
+    let snapshots = std::sync::Mutex::new(vec![source.snapshot()]);
+    let (responses, latencies_ns, rebuilds) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut rebuilds = 0u64;
+            for step in schedule {
+                let RwStep::Writes(ops) = step else { continue };
+                let receipt = service
+                    .apply_write(ops)
+                    .unwrap_or_else(|err| panic!("{label}: write burst failed: {err}"));
+                let snapshot = source.snapshot();
+                assert_eq!(
+                    snapshot.epoch(),
+                    receipt.epoch,
+                    "{label}: the single writer sees its own publish"
+                );
+                snapshots.lock().expect("snapshot registry").push(snapshot);
+                rebuilds += u64::from(receipt.rebuilt);
+                // A short pause per burst so reads land across many epochs
+                // instead of all racing the first one.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            rebuilds
+        });
+        let mut tickets = Vec::new();
+        let mut flat_index = 0usize;
+        for step in schedule {
+            let RwStep::Queries(queries) = step else {
+                continue;
+            };
+            for query in queries {
+                let ticket = service
+                    .submit(query.clone())
+                    .unwrap_or_else(|err| panic!("{label}: submission refused: {err}"))
+                    .ticket()
+                    .expect("blocking policy never sheds");
+                tickets.push((flat_index, ticket));
+                flat_index += 1;
+            }
+        }
+        let mut responses = Vec::with_capacity(tickets.len());
+        let mut latencies_ns = Vec::with_capacity(tickets.len());
+        for (i, ticket) in tickets {
+            let response = ticket
+                .wait()
+                .unwrap_or_else(|err| panic!("{label}: response {i} lost: {err}"));
+            latencies_ns.push(response.total_ns);
+            responses.push((i, response.batch.epoch, response.report.output));
+        }
+        let rebuilds = writer.join().expect("writer thread");
+        (responses, latencies_ns, rebuilds)
+    });
+    let stats = service.shutdown();
+    let mut latencies_ns = latencies_ns;
+    latencies_ns.sort_unstable();
+    RwOutcome {
+        responses,
+        latencies_ns,
+        snapshots: snapshots.into_inner().expect("snapshot registry"),
+        rebuilds,
+        stats,
+    }
 }
 
 /// What one fault-schedule replay produced: how every ticket terminated,
@@ -1091,7 +1189,107 @@ pub fn service(ctx: &ExperimentContext) -> Vec<Report> {
          together",
     );
 
-    let reports = vec![table, counters, transport, recovery];
+    // The read/write table: the snapshot-versioned writer path under a
+    // live writer. A writer thread publishes a new index version per write
+    // burst while clients read concurrently; every response names the
+    // epoch it executed against and is hard-asserted bit-identical to a
+    // solo execution on that epoch's pinned snapshot.
+    let mut rw = Report::new(
+        "service-rw",
+        "Snapshot reads under a live writer (mixed read/write schedule, \
+         epoch-versioned index)",
+    )
+    .with_headers(&[
+        "Index",
+        "Reads",
+        "Writes",
+        "Versions",
+        "Epochs read",
+        "Retired",
+        "Rebuilds",
+        "p50",
+        "p95",
+    ]);
+    let rw_rounds = 4usize;
+    let rw_reads = (ctx.workload_size / (rw_rounds + 1)).max(6);
+    let rw_writes = (ctx.dataset_size / 200).clamp(4, 64);
+    let rw_schedule = mixed_read_write_schedule(
+        SERVICE_REGION,
+        rw_rounds,
+        rw_reads,
+        rw_writes,
+        SERVICE_SELECTIVITY,
+        ctx.seed ^ 0x0DD_5EED,
+    );
+    let rw_queries: Vec<Query> = rw_schedule
+        .iter()
+        .filter_map(|step| match step {
+            RwStep::Queries(queries) => Some(queries.clone()),
+            RwStep::Writes(_) => None,
+        })
+        .flatten()
+        .collect();
+    let rw_bursts = rw_schedule.iter().filter(|s| s.write_count() > 0).count() as u64;
+    let rw_ops: u64 = rw_schedule.iter().map(|s| s.write_count() as u64).sum();
+    // Three writer temperaments: in-place inserts (WaZI), full
+    // insert+delete support (Flood), and rebuild-per-burst (QUASII).
+    for kind in [IndexKind::Wazi, IndexKind::Flood, IndexKind::Quasii] {
+        let source = build_versioned_index(kind, &points, &train, ctx.leaf_capacity);
+        let label = format!("rw/{kind}");
+        let outcome = replay_rw(&label, &source, &rw_schedule);
+        assert_eq!(
+            outcome.responses.len(),
+            rw_queries.len(),
+            "{label}: the blocking policy must be lossless under writes"
+        );
+        assert_eq!(outcome.stats.writes_applied, rw_ops, "{label}");
+        assert_eq!(outcome.stats.snapshots_published, rw_bursts, "{label}");
+        assert_eq!(outcome.stats.current_epoch, rw_bursts, "{label}");
+        assert_eq!(outcome.snapshots.len(), rw_bursts as usize + 1, "{label}");
+        // The live-writer bit-identity assert: each response equals a solo
+        // execution on the pinned snapshot of exactly the epoch it names.
+        let mut epochs_read = std::collections::BTreeSet::new();
+        for (i, epoch, output) in &outcome.responses {
+            epochs_read.insert(*epoch);
+            let snapshot = &outcome.snapshots[*epoch as usize];
+            let solo = QueryEngine::new(snapshot)
+                .execute(&rw_queries[*i])
+                .expect("solo execution on pinned snapshot")
+                .output;
+            assert_eq!(
+                output, &solo,
+                "{label}: response {i} diverged from its epoch-{epoch} snapshot"
+            );
+        }
+        rw.push_row(vec![
+            kind.name().to_string(),
+            outcome.responses.len().to_string(),
+            outcome.stats.writes_applied.to_string(),
+            outcome.stats.snapshots_published.to_string(),
+            epochs_read.len().to_string(),
+            outcome.stats.epochs_retired.to_string(),
+            outcome.rebuilds.to_string(),
+            format_ns(percentile_sorted(&outcome.latencies_ns, 0.50) as f64),
+            format_ns(percentile_sorted(&outcome.latencies_ns, 0.95) as f64),
+        ]);
+    }
+    rw.push_note(format!(
+        "a writer thread applies {rw_bursts} write bursts of {rw_writes} ops \
+         (inserts, deletes of earlier inserts, closing maintain) while clients \
+         submit {} reads concurrently; every response carries the epoch of the \
+         index version it executed against",
+        rw_queries.len()
+    ));
+    rw.push_note(
+        "hard-asserted per index: lossless under the blocking policy, one \
+         published version per burst, and every response bit-identical to a solo \
+         execution on the pinned snapshot of exactly the epoch it names — a \
+         snapshot never changes answers, writes only change which snapshot you \
+         read. WaZI applies inserts in place, Flood also deletes in place, \
+         QUASII rebuilds from the point mirror every burst",
+    );
+
+    let reports = vec![table, counters, transport, recovery, rw];
     if ctx.emit_artifacts {
         match emit_service_json(&reports, SERVICE_JSON_PATH) {
             Ok(()) => eprintln!("   wrote {SERVICE_JSON_PATH}"),
@@ -1127,7 +1325,7 @@ mod tests {
     fn smoke_run_produces_wellformed_reports() {
         let ctx = ExperimentContext::smoke_test();
         let reports = service(&ctx);
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), 5);
         let load = &reports[0];
         assert_eq!(load.id, "service-load");
         // 4 configs x 2 loads + the bursty row.
@@ -1151,6 +1349,13 @@ mod tests {
         assert_eq!(recovery.rows.len(), 4);
         for row in &recovery.rows {
             assert_eq!(row.len(), recovery.headers.len());
+        }
+        let rw = &reports[4];
+        assert_eq!(rw.id, "service-rw");
+        // One row per writer temperament: WaZI, Flood, QUASII.
+        assert_eq!(rw.rows.len(), 3);
+        for row in &rw.rows {
+            assert_eq!(row.len(), rw.headers.len());
         }
     }
 }

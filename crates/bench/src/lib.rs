@@ -36,4 +36,4 @@ pub use experiments::{
     registry, select, ExperimentContext, ExperimentSpec, StrategyFilter, TransportFilter,
 };
 pub use report::Report;
-pub use suite::{build_index, BuiltIndex, IndexKind};
+pub use suite::{build_index, build_versioned_index, BuiltIndex, IndexKind};

@@ -1,8 +1,9 @@
 //! Uniform construction of every index compared in the evaluation.
 
+use std::sync::Arc;
 use std::time::Instant;
 use wazi_baselines::{CurTree, FloodIndex, Quasii, StrRTree, ZOrderSorted};
-use wazi_core::{SpatialIndex, ZIndexBuilder, ZIndexConfig};
+use wazi_core::{SnapshotSource, SpatialIndex, VersionedIndex, ZIndexBuilder, ZIndexConfig};
 use wazi_geom::{Point, Rect};
 
 /// The indexes of the evaluation. The first six are the primary competitors
@@ -159,6 +160,85 @@ pub fn build_index(
     }
 }
 
+/// Builds one index and wraps it as an epoch-versioned writer-capable
+/// source for the read/write service experiments.
+///
+/// Every kind gets the rebuild fallback
+/// ([`VersionedIndex::with_rebuild`]), so even bulk-only indexes (QUASII)
+/// and partially updatable ones (STR, CUR, Zpgm) advance through the
+/// version chain: ops they reject with
+/// `IndexError::UpdateUnsupported` rebuild from the updated point mirror
+/// instead of failing the write. The rebuild closures capture the training
+/// workload so query-aware indexes retrain on their original queries.
+pub fn build_versioned_index(
+    kind: IndexKind,
+    points: &[Point],
+    queries: &[Rect],
+    leaf_capacity: usize,
+) -> Arc<dyn SnapshotSource> {
+    let points = points.to_vec();
+    let queries = queries.to_vec();
+    match kind {
+        IndexKind::Wazi => {
+            let build = move |pts: &[Point]| {
+                ZIndexBuilder::wazi()
+                    .with_config(ZIndexConfig::wazi().with_leaf_capacity(leaf_capacity))
+                    .build(pts.to_vec(), &queries)
+            };
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::WaziNoSkip => {
+            let build = move |pts: &[Point]| {
+                ZIndexBuilder::new(
+                    ZIndexConfig::wazi_without_skipping().with_leaf_capacity(leaf_capacity),
+                    wazi_core::BuildStrategy::Adaptive,
+                )
+                .build(pts.to_vec(), &queries)
+            };
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::BaseSkip => {
+            let build = move |pts: &[Point]| {
+                ZIndexBuilder::new(
+                    ZIndexConfig::base_with_skipping().with_leaf_capacity(leaf_capacity),
+                    wazi_core::BuildStrategy::Base,
+                )
+                .build(pts.to_vec(), &[])
+            };
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Base => {
+            let build = move |pts: &[Point]| {
+                ZIndexBuilder::base()
+                    .with_config(ZIndexConfig::base().with_leaf_capacity(leaf_capacity))
+                    .build(pts.to_vec(), &[])
+            };
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Str => {
+            let build = move |pts: &[Point]| StrRTree::build(pts.to_vec(), leaf_capacity);
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Cur => {
+            let build = move |pts: &[Point]| CurTree::build(pts.to_vec(), &queries, leaf_capacity);
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Flood => {
+            let build =
+                move |pts: &[Point]| FloodIndex::build(pts.to_vec(), &queries, leaf_capacity);
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Quasii => {
+            let build = move |pts: &[Point]| Quasii::build(pts.to_vec(), &queries, leaf_capacity);
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+        IndexKind::Zpgm => {
+            let build = move |pts: &[Point]| ZOrderSorted::with_default_bits(pts.to_vec());
+            Arc::new(VersionedIndex::with_rebuild(build(&points), points, build))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +267,27 @@ mod tests {
                 Some(expected) => assert_eq!(&counts, expected, "{kind} disagrees"),
                 None => reference = Some(counts),
             }
+        }
+    }
+
+    #[test]
+    fn every_versioned_index_kind_applies_writes_and_advances_epochs() {
+        let points = generate_dataset(Region::NewYork, 1_000);
+        let queries = generate_queries(Region::NewYork, 50, SELECTIVITIES[2]);
+        let extra = Point::new(0.5, 0.5);
+        for kind in IndexKind::OVERVIEW {
+            let source = build_versioned_index(kind, &points, &queries, 64);
+            let before = source.snapshot();
+            assert_eq!(before.epoch(), 0, "{kind}");
+            assert_eq!(before.len(), points.len(), "{kind}");
+            let receipt = source
+                .apply(&[wazi_core::WriteOp::Insert(extra)])
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(receipt.epoch, 1, "{kind}");
+            let after = source.snapshot();
+            assert_eq!(after.len(), points.len() + 1, "{kind}");
+            // The pinned snapshot never saw the write.
+            assert_eq!(before.len(), points.len(), "{kind}");
         }
     }
 

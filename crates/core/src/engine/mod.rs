@@ -49,6 +49,7 @@ mod knn;
 mod plan;
 mod point;
 mod report;
+pub mod snapshot;
 #[cfg(test)]
 mod tests;
 
@@ -66,6 +67,9 @@ pub(crate) use knn::{run_knn_batch_with, KnnSweepState};
 pub use plan::{Query, QueryOutput, RangeMode};
 pub use point::{run_point_batch, run_point_batch_sharded, PointBatchKernel, PointBatchResponse};
 pub use report::{BatchReport, QueryReport, StrategyDecisions};
+pub use snapshot::{Snapshot, SnapshotSource, VersionStats, VersionedIndex, WriteOp, WriteReceipt};
+#[cfg(feature = "fault-injection")]
+pub use snapshot::{WriteFault, WriteFaultPlan, WritePhase};
 
 use crate::index::{IndexError, SpatialIndex};
 use std::time::Instant;

@@ -17,6 +17,15 @@ pub enum IndexError {
     Unsupported(&'static str),
     /// The operation's input was invalid (e.g. a non-finite point).
     InvalidInput(String),
+    /// The index's structure cannot apply the requested incremental update;
+    /// callers that must make progress anyway (e.g. the versioned writer's
+    /// rebuild fallback) match on this variant specifically.
+    UpdateUnsupported {
+        /// Display name of the rejecting index ([`SpatialIndex::name`]).
+        index: &'static str,
+        /// The rejected update operation (`"insert"` or `"delete"`).
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -24,6 +33,9 @@ impl std::fmt::Display for IndexError {
         match self {
             IndexError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             IndexError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            IndexError::UpdateUnsupported { index, op } => {
+                write!(f, "{index} does not support incremental {op}")
+            }
         }
     }
 }
@@ -110,16 +122,24 @@ pub trait SpatialIndex: Send + Sync {
     fn point_query(&self, p: &Point, stats: &mut ExecStats) -> bool;
 
     /// Inserts a point. Indexes that only support bulk loading return
-    /// [`IndexError::Unsupported`].
+    /// [`IndexError::UpdateUnsupported`] naming themselves, so callers can
+    /// distinguish "this index never ingests" from other failures and fall
+    /// back to a rebuild.
     fn insert(&mut self, _p: Point) -> Result<(), IndexError> {
-        Err(IndexError::Unsupported("insert"))
+        Err(IndexError::UpdateUnsupported {
+            index: self.name(),
+            op: "insert",
+        })
     }
 
     /// Deletes a point (the first indexed point equal to `p`). Returns
     /// `Ok(true)` when a point was removed. Indexes that only support bulk
-    /// loading return [`IndexError::Unsupported`].
+    /// loading return [`IndexError::UpdateUnsupported`] naming themselves.
     fn delete(&mut self, _p: &Point) -> Result<bool, IndexError> {
-        Err(IndexError::Unsupported("delete"))
+        Err(IndexError::UpdateUnsupported {
+            index: self.name(),
+            op: "delete",
+        })
     }
 
     /// Post-batch maintenance hook: indexes that defer bookkeeping during
@@ -249,15 +269,21 @@ mod tests {
     }
 
     #[test]
-    fn default_insert_and_delete_are_unsupported() {
+    fn default_insert_and_delete_are_typed_update_unsupported() {
         let mut idx = grid_index();
         assert_eq!(
             idx.insert(Point::new(0.5, 0.5)),
-            Err(IndexError::Unsupported("insert"))
+            Err(IndexError::UpdateUnsupported {
+                index: "Scan",
+                op: "insert"
+            })
         );
         assert_eq!(
             idx.delete(&Point::new(0.5, 0.5)),
-            Err(IndexError::Unsupported("delete"))
+            Err(IndexError::UpdateUnsupported {
+                index: "Scan",
+                op: "delete"
+            })
         );
         assert!(!idx.is_empty());
     }
@@ -370,5 +396,13 @@ mod tests {
         assert!(IndexError::InvalidInput("nan".into())
             .to_string()
             .contains("nan"));
+        let typed = IndexError::UpdateUnsupported {
+            index: "QUASII",
+            op: "insert",
+        };
+        assert_eq!(
+            typed.to_string(),
+            "QUASII does not support incremental insert"
+        );
     }
 }

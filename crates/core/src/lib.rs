@@ -120,9 +120,11 @@ pub use engine::{
     ChosenStrategy, CostConstants, CostEstimate, EngineError, KernelClass, KnnBatchResponse,
     PartitionDecision, PointBatchKernel, PointBatchResponse, Query, QueryEngine, QueryOutput,
     QueryReport, RangeBatchKernel, RangeBatchOutput, RangeBatchRequest, RangeBatchResponse,
-    RangeBatchStats, RangeMode, ShardBounds, ShardedRangeBatchKernel, StrategyDecisions,
-    SweepInterval,
+    RangeBatchStats, RangeMode, ShardBounds, ShardedRangeBatchKernel, Snapshot, SnapshotSource,
+    StrategyDecisions, SweepInterval, VersionStats, VersionedIndex, WriteOp, WriteReceipt,
 };
+#[cfg(feature = "fault-injection")]
+pub use engine::{WriteFault, WriteFaultPlan, WritePhase};
 pub use index::{IndexError, SpatialIndex};
 pub use node::{Leaf, Lookahead, SkipCriterion};
 pub use zindex::ZIndex;

@@ -536,6 +536,7 @@ fn put_response(out: &mut Vec<u8>, response: &QueryResponse) {
     put_opt_decision(out, &batch.decisions.range);
     put_opt_decision(out, &batch.decisions.point);
     put_opt_decision(out, &batch.decisions.knn);
+    put_u64(out, batch.epoch);
     put_bool(out, batch.degraded);
     put_u64(out, response.queue_ns);
     put_u64(out, response.total_ns);
@@ -554,6 +555,7 @@ fn put_service_error(out: &mut Vec<u8>, error: &ServiceError) {
             put_str(out, message);
         }
         ServiceError::DeadlineExceeded => out.push(4),
+        ServiceError::WritesUnsupported => out.push(5),
         // `ServiceError` is #[non_exhaustive]: a future variant this codec
         // does not know travels as the reserved tag with its display text,
         // and decodes to a typed protocol error instead of a wrong variant.
@@ -576,6 +578,11 @@ fn put_engine_error(out: &mut Vec<u8>, error: &EngineError) {
                 IndexError::InvalidInput(msg) => {
                     out.push(1);
                     put_str(out, msg);
+                }
+                IndexError::UpdateUnsupported { index, op } => {
+                    out.push(2);
+                    put_str(out, index);
+                    put_str(out, op);
                 }
                 other => {
                     out.push(u8::MAX);
@@ -835,6 +842,7 @@ impl<'a> Reader<'a> {
                 point: self.opt_decision()?,
                 knn: self.opt_decision()?,
             },
+            epoch: self.u64("batch epoch")?,
             degraded: self.bool("batch degraded")?,
         };
         Ok(QueryResponse {
@@ -854,6 +862,7 @@ impl<'a> Reader<'a> {
                 message: self.string("panic message")?,
             }),
             4 => Ok(ServiceError::DeadlineExceeded),
+            5 => Ok(ServiceError::WritesUnsupported),
             u8::MAX => {
                 let message = self.string("unknown service error")?;
                 Err(TransportError::Protocol(format!(
@@ -878,6 +887,14 @@ impl<'a> Reader<'a> {
                 1 => Ok(EngineError::Index(IndexError::InvalidInput(
                     self.string("invalid input message")?,
                 ))),
+                2 => {
+                    let index = self.string("update-unsupported index")?;
+                    let op = self.string("update-unsupported operation")?;
+                    Ok(EngineError::Index(IndexError::UpdateUnsupported {
+                        index: intern_static(&index),
+                        op: intern_static(&op),
+                    }))
+                }
                 u8::MAX => {
                     let message = self.string("unknown index error")?;
                     Err(TransportError::Protocol(format!(
@@ -929,7 +946,21 @@ impl<'a> Reader<'a> {
 /// decoder substitutes a fixed fallback message rather than letting remote
 /// input grow process memory without limit.
 fn intern_static(message: &str) -> &'static str {
-    const KNOWN: &[&str] = &["insert", "delete", "insert into converged QUASII"];
+    const KNOWN: &[&str] = &[
+        "insert",
+        "delete",
+        "insert into an immutable snapshot",
+        "delete from an immutable snapshot",
+        // Index display names, as carried by `IndexError::UpdateUnsupported`.
+        "WaZI",
+        "Base",
+        "STR",
+        "CUR",
+        "Flood",
+        "QUASII",
+        "Zpgm",
+        "Scan",
+    ];
     /// Most distinct unknown messages ever leaked.
     const INTERN_CAP: usize = 32;
     /// Longest unknown message ever leaked, in bytes.
@@ -1075,8 +1106,13 @@ mod tests {
             },
             ServiceError::Engine(EngineError::InvalidQuery("non-finite point".into())),
             ServiceError::Engine(EngineError::Index(IndexError::Unsupported("insert"))),
+            ServiceError::Engine(EngineError::Index(IndexError::UpdateUnsupported {
+                index: "QUASII",
+                op: "insert",
+            })),
             ServiceError::Engine(EngineError::Index(IndexError::InvalidInput("nan".into()))),
             ServiceError::Engine(EngineError::ExecutionPanicked("boom".into())),
+            ServiceError::WritesUnsupported,
         ];
         for error in errors {
             let frame = Frame {

@@ -96,6 +96,7 @@ fn response_with(output: QueryOutput) -> QueryResponse {
                     actual_ns: 9,
                 }),
             },
+            epoch: 3,
             degraded: true,
         },
         queue_ns: 11_000,
@@ -118,6 +119,10 @@ fn every_output() -> Vec<QueryOutput> {
 fn every_service_error() -> Vec<ServiceError> {
     vec![
         ServiceError::Engine(EngineError::Index(IndexError::Unsupported("insert"))),
+        ServiceError::Engine(EngineError::Index(IndexError::UpdateUnsupported {
+            index: "Flood",
+            op: "delete",
+        })),
         ServiceError::Engine(EngineError::Index(IndexError::InvalidInput(
             "page size must be positive".into(),
         ))),
@@ -129,6 +134,7 @@ fn every_service_error() -> Vec<ServiceError> {
             message: "kernel overflow".into(),
         },
         ServiceError::DeadlineExceeded,
+        ServiceError::WritesUnsupported,
     ]
 }
 

@@ -37,6 +37,10 @@ pub enum ServiceError {
     /// queued, so the service dropped it at batch-formation time instead of
     /// executing it late.
     DeadlineExceeded,
+    /// [`crate::Service::apply_write`] was called on a service built over a
+    /// frozen index ([`crate::Service::builder`]); only a service built with
+    /// [`crate::Service::builder_versioned`] has a writer path.
+    WritesUnsupported,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -52,6 +56,12 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::DeadlineExceeded => {
                 write!(f, "deadline expired before the query reached a worker")
+            }
+            ServiceError::WritesUnsupported => {
+                write!(
+                    f,
+                    "service was built over a frozen index; writes need a versioned index"
+                )
             }
         }
     }
@@ -116,6 +126,11 @@ pub struct BatchSummary {
     pub shared_stats: ExecStats,
     /// The engine's per-partition strategy decisions for this batch.
     pub decisions: StrategyDecisions,
+    /// Epoch of the index snapshot the batch executed against: 0 forever on
+    /// a frozen index, and the [`wazi_core::Snapshot::epoch`] of the pinned
+    /// snapshot on a versioned one. Every query in a batch reads the same
+    /// epoch — a batch never observes a write published mid-execution.
+    pub epoch: u64,
     /// `true` when the coalesced pass panicked and this response came from
     /// the degraded one-query-at-a-time re-execution. Outputs are still
     /// bit-identical to solo execution (they *are* solo executions); only

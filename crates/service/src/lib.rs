@@ -109,6 +109,13 @@ pub use handle::{BatchSummary, QueryResponse, ServiceError, Submit, SubmitOption
 pub use service::{Service, ServiceBuilder};
 pub use stats::ServiceStats;
 
+// Re-export the versioning vocabulary the writer path speaks in
+// ([`Service::builder_versioned`], [`Service::apply_write`]), so service
+// callers need not depend on `wazi-core` directly for it.
+pub use wazi_core::{
+    Snapshot, SnapshotSource, VersionStats, VersionedIndex, WriteOp, WriteReceipt,
+};
+
 /// Compile-time guarantees the service is built on: everything that crosses
 /// a thread boundary — submitted plans, routed responses, completion
 /// handles — must be `Send + 'static`. These assertions fail the build of

@@ -39,8 +39,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wazi_core::{
-    catch_execution_panic, BatchStrategy, EngineError, Query, QueryEngine, SpatialIndex,
-    StrategyDecisions,
+    catch_execution_panic, BatchStrategy, EngineError, Query, QueryEngine, Snapshot,
+    SnapshotSource, SpatialIndex, StrategyDecisions, VersionStats, WriteOp, WriteReceipt,
 };
 
 use crate::config::{FullQueuePolicy, ServiceConfig};
@@ -69,9 +69,58 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// What the service executes queries against: a frozen index shared
+/// directly, or a versioned index whose current snapshot is pinned per
+/// batch (the writer path of [`Service::apply_write`]).
+enum IndexSource {
+    Frozen(Arc<dyn SpatialIndex>),
+    Versioned(Arc<dyn SnapshotSource>),
+}
+
+impl IndexSource {
+    /// Pins the version a batch will execute against. On a frozen index
+    /// this is a plain borrow; on a versioned one it takes an epoch-pinned
+    /// snapshot, so the whole batch — including a degraded re-execution —
+    /// reads one immutable version however many writes are published
+    /// meanwhile.
+    fn pin(&self) -> PinnedIndex<'_> {
+        match self {
+            IndexSource::Frozen(index) => PinnedIndex::Frozen(index.as_ref()),
+            IndexSource::Versioned(source) => PinnedIndex::Snapshot(source.snapshot()),
+        }
+    }
+}
+
+/// One batch's pinned view of the index; see [`IndexSource::pin`].
+enum PinnedIndex<'a> {
+    Frozen(&'a dyn SpatialIndex),
+    Snapshot(Snapshot),
+}
+
+impl PinnedIndex<'_> {
+    fn index(&self) -> &dyn SpatialIndex {
+        match self {
+            PinnedIndex::Frozen(index) => *index,
+            PinnedIndex::Snapshot(snapshot) => snapshot,
+        }
+    }
+
+    /// The epoch stamped into the batch's [`BatchSummary`]; 0 on a frozen
+    /// index.
+    fn epoch(&self) -> u64 {
+        match self {
+            PinnedIndex::Frozen(_) => 0,
+            PinnedIndex::Snapshot(snapshot) => snapshot.epoch(),
+        }
+    }
+}
+
 /// State shared by the service handle, its workers and every submitter.
 struct Shared {
-    index: Arc<dyn SpatialIndex>,
+    index: IndexSource,
+    /// Cached display name of the underlying index (the source may need a
+    /// snapshot to answer, so it is resolved once at startup).
+    index_name: &'static str,
     config: ServiceConfig,
     queue: Mutex<QueueState>,
     /// Signalled when work arrives or shutdown begins; workers wait here.
@@ -95,7 +144,8 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
 /// Builder-style front end for a [`Service`]; construct with
 /// [`Service::builder`], finish with [`ServiceBuilder::start`].
 pub struct ServiceBuilder {
-    index: Arc<dyn SpatialIndex>,
+    index: IndexSource,
+    index_name: &'static str,
     config: ServiceConfig,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<Arc<FaultPlan>>,
@@ -104,7 +154,7 @@ pub struct ServiceBuilder {
 impl std::fmt::Debug for ServiceBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceBuilder")
-            .field("index", &self.index.name())
+            .field("index", &self.index_name)
             .field("config", &self.config)
             .finish()
     }
@@ -173,6 +223,7 @@ impl ServiceBuilder {
         );
         let shared = Arc::new(Shared {
             index: self.index,
+            index_name: self.index_name,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::with_capacity(self.config.queue_capacity.min(4096)),
                 window,
@@ -225,10 +276,29 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts building a service over `index`.
+    /// Starts building a service over a frozen `index`: queries only,
+    /// [`Service::apply_write`] returns [`ServiceError::WritesUnsupported`].
     pub fn builder(index: Arc<dyn SpatialIndex>) -> ServiceBuilder {
+        let index_name = index.name();
         ServiceBuilder {
-            index,
+            index: IndexSource::Frozen(index),
+            index_name,
+            config: ServiceConfig::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
+        }
+    }
+
+    /// Starts building a service over a versioned index
+    /// ([`wazi_core::VersionedIndex`] behind its [`SnapshotSource`] facade):
+    /// every batch executes against an epoch-pinned snapshot of the current
+    /// version, and [`Service::apply_write`] publishes new versions while
+    /// queries keep flowing.
+    pub fn builder_versioned(source: Arc<dyn SnapshotSource>) -> ServiceBuilder {
+        let index_name = source.snapshot().name();
+        ServiceBuilder {
+            index: IndexSource::Versioned(source),
+            index_name,
             config: ServiceConfig::default(),
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
@@ -315,10 +385,52 @@ impl Service {
         Ok(Submit::Accepted(Ticket { rx }))
     }
 
-    /// Snapshots the service counters (including the live queue depth).
+    /// Applies a batch of write operations through the versioned index's
+    /// writer path and publishes the result as a new epoch. Batches already
+    /// executing keep their pinned snapshot; batches formed after the
+    /// publish read the new version.
+    ///
+    /// Concurrent callers serialize on the index's writer lock. A panic
+    /// inside the writer (a buggy index, or an injected write fault) is
+    /// caught here: the working fork is discarded, nothing is published,
+    /// and the error is reported as [`ServiceError::ExecutionPanicked`] —
+    /// the service itself keeps serving.
+    ///
+    /// On a service built over a frozen index ([`Service::builder`]) this
+    /// returns [`ServiceError::WritesUnsupported`].
+    pub fn apply_write(&self, ops: &[WriteOp]) -> Result<WriteReceipt, ServiceError> {
+        let source = match &self.shared.index {
+            IndexSource::Frozen(_) => return Err(ServiceError::WritesUnsupported),
+            IndexSource::Versioned(source) => source,
+        };
+        match catch_execution_panic(|| Ok(source.apply(ops))) {
+            Ok(Ok(receipt)) => Ok(receipt),
+            Ok(Err(index_err)) => Err(ServiceError::Engine(EngineError::Index(index_err))),
+            Err(engine_err) => Err(ServiceError::from(engine_err)),
+        }
+    }
+
+    /// The version-lifecycle counters of the underlying versioned index
+    /// (`None` on a service built over a frozen index).
+    pub fn version_stats(&self) -> Option<VersionStats> {
+        match &self.shared.index {
+            IndexSource::Frozen(_) => None,
+            IndexSource::Versioned(source) => Some(source.version_stats()),
+        }
+    }
+
+    /// Snapshots the service counters (including the live queue depth and,
+    /// on a versioned index, the version-lifecycle counters).
     pub fn stats(&self) -> ServiceStats {
         let depth = lock_queue(&self.shared).pending.len();
-        self.shared.stats.snapshot(depth)
+        let mut stats = self.shared.stats.snapshot(depth);
+        if let Some(versions) = self.version_stats() {
+            stats.current_epoch = versions.current_epoch;
+            stats.writes_applied = versions.writes_applied;
+            stats.snapshots_published = versions.snapshots_published;
+            stats.epochs_retired = versions.epochs_retired;
+        }
+        stats
     }
 
     /// Records that a transport front end accepted a connection over this
@@ -400,7 +512,7 @@ impl Drop for Service {
 impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
-            .field("index", &self.shared.index.name())
+            .field("index", &self.shared.index_name)
             .field("config", &self.shared.config)
             .field("workers", &self.shared.config.workers)
             .finish()
@@ -581,7 +693,12 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, FlushCause)> {
 fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) {
     let drained_at = Instant::now();
     let queries: Vec<Query> = batch.iter().map(|p| p.query.clone()).collect();
-    let engine = QueryEngine::new(shared.index.as_ref()).with_strategy(shared.config.strategy);
+    // Pin the version for the whole batch: every query in it — and the
+    // degraded re-execution, should the fused pass panic — reads this one
+    // immutable snapshot, whatever the writer publishes meanwhile.
+    let pinned = shared.index.pin();
+    let epoch = pinned.epoch();
+    let engine = QueryEngine::new(pinned.index()).with_strategy(shared.config.strategy);
     #[cfg(feature = "fault-injection")]
     let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
     let result = catch_execution_panic(|| {
@@ -595,7 +712,7 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
             // The coalesced pass panicked somewhere inside a kernel. Fall
             // back to one-query-at-a-time execution so the fault is
             // attributed to exactly the query that carries it.
-            degrade_batch(shared, &engine, batch, cause, drained_at);
+            degrade_batch(shared, &engine, epoch, batch, cause, drained_at);
             return;
         }
         Err(err) => {
@@ -628,6 +745,7 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
         shards_used: report.shards_used,
         shared_stats: report.shared_stats,
         decisions: report.strategy_chosen,
+        epoch,
         degraded: false,
     };
 
@@ -675,6 +793,7 @@ fn execute_and_respond(shared: &Shared, batch: Vec<Pending>, cause: FlushCause) 
 fn degrade_batch(
     shared: &Shared,
     engine: &QueryEngine<'_>,
+    epoch: u64,
     batch: Vec<Pending>,
     cause: FlushCause,
     drained_at: Instant,
@@ -709,6 +828,7 @@ fn degrade_batch(
         shards_used: 0,
         shared_stats: Default::default(),
         decisions: StrategyDecisions::default(),
+        epoch,
         degraded: true,
     };
 

@@ -52,6 +52,13 @@ impl StatsInner {
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_severed: self.connections_severed.load(Ordering::Relaxed),
             connections_drained: self.connections_drained.load(Ordering::Relaxed),
+            // Version-lifecycle counters live on the versioned index, not in
+            // these atomics; `Service::stats` overlays them when the service
+            // was built with a writer path.
+            current_epoch: 0,
+            writes_applied: 0,
+            snapshots_published: 0,
+            epochs_retired: 0,
         }
     }
 
@@ -115,6 +122,17 @@ pub struct ServiceStats {
     /// extended to transports). After a front end shuts down cleanly this
     /// equals [`ServiceStats::connections_opened`].
     pub connections_drained: u64,
+    /// Epoch of the currently published index version (0 on a frozen
+    /// index, which never advances).
+    pub current_epoch: u64,
+    /// Write operations applied through [`crate::Service::apply_write`].
+    pub writes_applied: u64,
+    /// Index versions published by the writer path (one per successful
+    /// `apply_write`; 0 on a frozen index).
+    pub snapshots_published: u64,
+    /// Superseded index versions whose last pinned snapshot was dropped
+    /// and whose memory was reclaimed.
+    pub epochs_retired: u64,
 }
 
 impl ServiceStats {

@@ -5,15 +5,32 @@
 //! pages in a vector in leaf order; each index records the identifier of the
 //! page backing each leaf. New pages created by leaf splits are appended at
 //! the end (simulating out-of-place page allocation after updates).
+//!
+//! ## Page-level copy-on-write
+//!
+//! Pages are held behind [`Arc`], so cloning a `PageStore` is a *fork*: the
+//! clone shares every page payload with the original and only copies the
+//! page table (one pointer per page). Mutating a page through the store
+//! ([`PageStore::page_mut`], [`PageStore::append`], [`PageStore::split_page`])
+//! copies exactly that page first if it is shared (`Arc::make_mut`), leaving
+//! every other fork's view untouched. This is the storage seam the epoch
+//! snapshot layer (`wazi_core`'s `VersionedIndex`) builds on: a reader
+//! holding a forked store can never observe a torn page, because a writer
+//! never mutates a page some fork still references — it mutates a private
+//! copy.
 
 use crate::page::{Page, PageId};
 use crate::stats::ExecStats;
+use std::sync::Arc;
 use wazi_geom::{Point, Rect};
 
 /// A collection of clustered data pages with a fixed leaf capacity.
+///
+/// `Clone` forks the store in O(pages): page payloads are shared and copied
+/// lazily on first mutation (see the module docs).
 #[derive(Debug, Clone)]
 pub struct PageStore {
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     leaf_capacity: usize,
 }
 
@@ -41,38 +58,50 @@ impl PageStore {
 
     /// Total number of points across pages.
     pub fn total_points(&self) -> usize {
-        self.pages.iter().map(Page::len).sum()
+        self.pages.iter().map(|p| p.len()).sum()
     }
 
     /// Allocates a new page holding `points` and returns its identifier.
     /// Pages allocated consecutively model consecutive placement on storage.
     pub fn allocate(&mut self, points: Vec<Point>) -> PageId {
         let id = PageId(self.pages.len() as u32);
-        self.pages.push(Page::new(id, points));
+        self.pages.push(Arc::new(Page::new(id, points)));
         id
     }
 
     /// Read-only access to a page.
     #[inline]
     pub fn page(&self, id: PageId) -> &Page {
-        &self.pages[id.index()]
+        self.pages[id.index()].as_ref()
     }
 
-    /// Mutable access to a page.
+    /// Mutable access to a page. If the page payload is shared with a forked
+    /// store (a snapshot), it is copied first so the fork's view is
+    /// unaffected.
     #[inline]
     pub fn page_mut(&mut self, id: PageId) -> &mut Page {
-        &mut self.pages[id.index()]
+        Arc::make_mut(&mut self.pages[id.index()])
     }
 
     /// Iterator over all pages in allocation (leaf) order.
     pub fn pages(&self) -> impl Iterator<Item = &Page> {
-        self.pages.iter()
+        self.pages.iter().map(|p| p.as_ref())
+    }
+
+    /// Whether this store and `other` share the physical payload of page
+    /// `id` (i.e. neither fork has copied it since they diverged). Used by
+    /// tests and the snapshot layer to verify copy-on-write behaviour.
+    pub fn shares_page_with(&self, other: &PageStore, id: PageId) -> bool {
+        match (self.pages.get(id.index()), other.pages.get(id.index())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Appends a point to a page, returning the page's new length. Callers
     /// are responsible for splitting when the length exceeds the capacity.
     pub fn append(&mut self, id: PageId, p: Point) -> usize {
-        self.pages[id.index()].push(p)
+        Arc::make_mut(&mut self.pages[id.index()]).push(p)
     }
 
     /// Returns `true` when a page is over capacity and must be split.
@@ -118,7 +147,7 @@ impl PageStore {
 
     /// Approximate in-memory footprint of the store in bytes.
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.pages.iter().map(Page::size_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.pages.iter().map(|p| p.size_bytes()).sum::<usize>()
     }
 
     /// Splits the contents of `id` into `parts` new pages according to the
@@ -134,7 +163,7 @@ impl PageStore {
         mut partition: impl FnMut(&Point) -> usize,
     ) -> Vec<PageId> {
         assert!(parts >= 2, "splitting requires at least two parts");
-        let points = self.pages[id.index()].take_points();
+        let points = Arc::make_mut(&mut self.pages[id.index()]).take_points();
         let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); parts];
         for p in points {
             let part = partition(&p).min(parts - 1);
@@ -144,7 +173,7 @@ impl PageStore {
         let mut buckets = buckets.into_iter();
         // Reuse the original page slot for the first bucket.
         let first = buckets.next().expect("at least two parts requested");
-        let original = &mut self.pages[id.index()];
+        let original = Arc::make_mut(&mut self.pages[id.index()]);
         for p in first {
             original.push(p);
         }
@@ -241,5 +270,59 @@ mod tests {
         let (store, _) = store_with_grid();
         let empty = PageStore::new(4);
         assert!(store.size_bytes() > empty.size_bytes());
+    }
+
+    #[test]
+    fn clone_forks_share_pages_until_mutation() {
+        let (mut store, ids) = store_with_grid();
+        let fork = store.clone();
+        for &id in &ids {
+            assert!(store.shares_page_with(&fork, id));
+        }
+        store.append(ids[1], Point::new(0.35, 0.5));
+        assert!(store.shares_page_with(&fork, ids[0]));
+        assert!(!store.shares_page_with(&fork, ids[1]));
+        assert!(store.shares_page_with(&fork, ids[2]));
+        // The fork's view of the mutated page is unchanged.
+        assert_eq!(fork.page(ids[1]).len(), 4);
+        assert_eq!(store.page(ids[1]).len(), 5);
+    }
+
+    #[test]
+    fn split_copies_only_the_split_page_in_a_fork() {
+        let mut store = PageStore::new(4);
+        let id = store.allocate(
+            (0..8)
+                .map(|i| Point::new(i as f64 / 8.0, 0.5))
+                .collect::<Vec<_>>(),
+        );
+        let other = store.allocate(vec![Point::new(0.9, 0.9)]);
+        let fork = store.clone();
+        let parts = store.split_page(id, 2, |p| usize::from(p.x >= 0.5));
+        assert!(!store.shares_page_with(&fork, id));
+        assert!(store.shares_page_with(&fork, other));
+        // The fork still sees the pre-split contents; the new page does not
+        // exist in the fork at all.
+        assert_eq!(fork.page(id).len(), 8);
+        assert_eq!(fork.page_count(), 2);
+        assert_eq!(store.page(parts[1]).len(), 4);
+    }
+
+    #[test]
+    fn page_mut_unshares_before_mutating() {
+        let (mut store, ids) = store_with_grid();
+        let fork = store.clone();
+        store.page_mut(ids[0]).push(Point::new(0.05, 0.5));
+        assert!(!store.shares_page_with(&fork, ids[0]));
+        assert_eq!(fork.page(ids[0]).len(), 4);
+        assert_eq!(store.page(ids[0]).len(), 5);
+    }
+
+    #[test]
+    fn shares_page_with_out_of_range_is_false() {
+        let (store, _) = store_with_grid();
+        let empty = PageStore::new(4);
+        assert!(!store.shares_page_with(&empty, PageId(0)));
+        assert!(!store.shares_page_with(&store.clone(), PageId(99)));
     }
 }

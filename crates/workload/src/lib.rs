@@ -27,6 +27,10 @@
 //! * [`fault_schedule`] — deterministic fault schedules ([`FaultSpec`])
 //!   picking which submissions of a replay are poisoned and how, for the
 //!   service's chaos experiments;
+//! * [`mixed_read_write_schedule`] — alternating read-burst / write-burst
+//!   schedules ([`RwStep`]) for the snapshot-versioned writer path: mixed
+//!   query batches interleaved with insert/delete/maintain ops whose
+//!   deletes only target points inserted earlier in the same schedule;
 //! * [`reconnect_sessions`] — reconnect-heavy, hot-key-skewed per-client
 //!   session schedules ([`ClientSchedule`] / [`SessionEpoch`]) for the
 //!   `wazi-net` TCP transport bench.
@@ -43,6 +47,7 @@ mod dataset;
 mod faults;
 mod queries;
 mod region;
+mod rw;
 mod sessions;
 
 pub use arrivals::{bursty_arrivals, poisson_arrivals, Arrival};
@@ -61,4 +66,5 @@ pub use queries::{
     WORKLOAD_SIZE,
 };
 pub use region::{Cluster, Region};
+pub use rw::{mixed_read_write_schedule, RwStep};
 pub use sessions::{reconnect_sessions, ClientSchedule, SessionEpoch};

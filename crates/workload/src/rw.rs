@@ -1,0 +1,178 @@
+//! Mixed read/write schedules for the snapshot-versioned service path.
+//!
+//! The snapshot experiments interleave *read bursts* (mixed query batches
+//! executed against whatever index version is published) with *write
+//! bursts* (insert/delete/maintain ops applied through the single writer
+//! of a `wazi_core::VersionedIndex`). A schedule fixes that interleaving
+//! deterministically so the bench and the consistency tests replay the
+//! exact same traffic: equal seeds give equal schedules, bit for bit.
+//!
+//! Deletes only ever target points inserted *earlier in the same
+//! schedule*, so a replay against any base dataset is well-defined — every
+//! delete finds its victim regardless of what the index held before the
+//! schedule started.
+
+use crate::batch::{generate_mixed_batch_with_mix, BatchMix};
+use crate::dataset::sample_mixture;
+use crate::region::Region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wazi_core::{Query, WriteOp};
+
+/// One step of a read/write schedule, replayed in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RwStep {
+    /// A read burst: submit these queries (concurrently, as the replayer
+    /// sees fit) and wait for every response before the next step.
+    Queries(Vec<Query>),
+    /// A write burst: apply these ops through the writer as **one**
+    /// `apply` call, publishing exactly one new index version.
+    Writes(Vec<WriteOp>),
+}
+
+impl RwStep {
+    /// Number of queries in a read burst (0 for a write burst).
+    pub fn query_count(&self) -> usize {
+        match self {
+            RwStep::Queries(queries) => queries.len(),
+            RwStep::Writes(_) => 0,
+        }
+    }
+
+    /// Number of write ops in a write burst (0 for a read burst).
+    pub fn write_count(&self) -> usize {
+        match self {
+            RwStep::Queries(_) => 0,
+            RwStep::Writes(ops) => ops.len(),
+        }
+    }
+}
+
+/// Fraction of write-burst slots that delete a previously inserted point
+/// instead of inserting a fresh one (when any such point remains).
+const DELETE_FRACTION: f64 = 0.25;
+
+/// Generates a deterministic alternating read/write schedule:
+/// `rounds` repetitions of one read burst of `queries_per_round` mixed
+/// queries followed by one write burst of `writes_per_round` ops, closed
+/// by a final read burst so the last published version is also queried.
+///
+/// Inserts are drawn from the region's data profile (the same mixture new
+/// check-ins would follow); roughly a quarter of the ops delete a point
+/// inserted earlier in the schedule, and every write burst ends with a
+/// [`WriteOp::Maintain`] so incremental indexes restore their invariants
+/// once per published version. Equal seeds give equal schedules.
+pub fn mixed_read_write_schedule(
+    region: Region,
+    rounds: usize,
+    queries_per_round: usize,
+    writes_per_round: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<RwStep> {
+    assert!(writes_per_round > 0, "write bursts must be non-empty");
+    let data_clusters = region.data_clusters();
+    let data_weight: f64 = data_clusters.iter().map(|c| c.weight).sum();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD_5EED);
+    let mut inserted = Vec::new();
+    let mut schedule = Vec::with_capacity(2 * rounds + 1);
+    for round in 0..rounds {
+        schedule.push(RwStep::Queries(generate_mixed_batch_with_mix(
+            region,
+            queries_per_round,
+            selectivity,
+            seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9),
+            BatchMix::default(),
+        )));
+        let mut ops = Vec::with_capacity(writes_per_round);
+        // Reserve the last slot for Maintain.
+        for _ in 0..writes_per_round.saturating_sub(1) {
+            if !inserted.is_empty() && rng.gen_bool(DELETE_FRACTION) {
+                let victim = rng.gen_range(0..inserted.len());
+                ops.push(WriteOp::Delete(inserted.swap_remove(victim)));
+            } else {
+                let point = sample_mixture(&data_clusters, data_weight, &mut rng);
+                inserted.push(point);
+                ops.push(WriteOp::Insert(point));
+            }
+        }
+        ops.push(WriteOp::Maintain);
+        schedule.push(RwStep::Writes(ops));
+    }
+    schedule.push(RwStep::Queries(generate_mixed_batch_with_mix(
+        region,
+        queries_per_round,
+        selectivity,
+        seed.wrapping_add(rounds as u64).wrapping_mul(0x9E37_79B9),
+        BatchMix::default(),
+    )));
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazi_geom::Point;
+
+    fn schedule() -> Vec<RwStep> {
+        mixed_read_write_schedule(Region::CaliNev, 4, 16, 8, 0.001, 42)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_shaped() {
+        let a = schedule();
+        let b = schedule();
+        assert_eq!(a, b);
+        // rounds × (read burst + write burst) + closing read burst.
+        assert_eq!(a.len(), 2 * 4 + 1);
+        for (i, step) in a.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(step.query_count(), 16, "step {i} should be a read burst");
+            } else {
+                assert_eq!(step.write_count(), 8, "step {i} should be a write burst");
+                let RwStep::Writes(ops) = step else {
+                    unreachable!()
+                };
+                assert_eq!(ops.last(), Some(&WriteOp::Maintain));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mixed_read_write_schedule(Region::Japan, 2, 8, 4, 0.001, 1);
+        let b = mixed_read_write_schedule(Region::Japan, 2, 8, 4, 0.001, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deletes_only_target_prior_inserts() {
+        let mut live: Vec<Point> = Vec::new();
+        for step in schedule() {
+            let RwStep::Writes(ops) = step else { continue };
+            for op in ops {
+                match op {
+                    WriteOp::Insert(p) => live.push(p),
+                    WriteOp::Delete(p) => {
+                        let at = live
+                            .iter()
+                            .position(|q| *q == p)
+                            .expect("delete must target a point inserted earlier");
+                        live.swap_remove(at);
+                    }
+                    WriteOp::Maintain => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_op_bursts_are_just_maintain() {
+        let schedule = mixed_read_write_schedule(Region::Iberia, 2, 4, 1, 0.001, 9);
+        for step in &schedule {
+            if let RwStep::Writes(ops) = step {
+                assert_eq!(ops, &[WriteOp::Maintain]);
+            }
+        }
+    }
+}

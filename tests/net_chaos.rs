@@ -16,7 +16,7 @@ use wazi_net::{
     wire, Client, ClientConfig, Frame, FrameBody, NetError, Server, TransportError, WireFault,
     WireFaultPlan,
 };
-use wazi_service::{FullQueuePolicy, Service, SubmitOptions};
+use wazi_service::{Fault, FaultPlan, FullQueuePolicy, Service, SubmitOptions};
 use wazi_workload::{
     generate_dataset, generate_mixed_batch, generate_queries, reconnect_sessions, Region,
     SELECTIVITIES,
@@ -227,11 +227,21 @@ fn retrying_client_completes_workload_under_rejected_saturation() {
         .map(|q| engine.execute(q).expect("solo execution").output)
         .collect();
 
+    // Stall the lone worker on every early batch: with execution held for
+    // milliseconds while three clients keep submitting into a 2-slot
+    // Reject queue, shedding is guaranteed rather than a scheduling race
+    // (without the stalls, a fast engine can drain between submissions
+    // and the shed assertion below turns flaky).
+    let mut stalls = FaultPlan::new();
+    for seq in 0..12 {
+        stalls = stalls.with(seq, Fault::ExecDelay(Duration::from_millis(3)));
+    }
     let service = Service::builder(Arc::clone(&index))
         .queue_capacity(2)
         .max_batch(2)
         .workers(1)
         .on_full(FullQueuePolicy::Reject)
+        .fault_plan(Arc::new(stalls))
         .start();
     let server = Server::bind(service, "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();

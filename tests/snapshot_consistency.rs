@@ -1,0 +1,253 @@
+//! Cross-crate integration test: epoch-pinned snapshots taken **mid
+//! insert-stream** answer exactly like a frozen index built from the
+//! points that were visible at snapshot time — for every index of the
+//! evaluation overview and every batch strategy, including `Auto`.
+//!
+//! This is the pinned guarantee of the versioned engine extended across
+//! the whole index suite: a snapshot never changes answers; writes only
+//! change which snapshot you read. Each snapshot is compared against a
+//! *bulk-built* frozen copy of its visible point set, so the test also
+//! pins that incremental application (or the rebuild fallback, for
+//! bulk-only indexes) converges to the same answers as building from
+//! scratch:
+//!
+//! * range results as sorted-by-coordinate multisets (scan order may
+//!   legitimately differ between an incrementally grown layout and a bulk
+//!   build of the same points);
+//! * counting and streaming range modes by exact count;
+//! * point probes and kNN exactly (kNN output order is distance-sorted
+//!   with deterministic tie-breaking, so it must match bit for bit).
+
+use std::collections::VecDeque;
+
+use wazi_bench::{build_index, build_versioned_index, IndexKind};
+use wazi_core::{BatchStrategy, Query, QueryEngine, QueryOutput, Snapshot, SpatialIndex, WriteOp};
+use wazi_geom::Point;
+use wazi_workload::{
+    generate_dataset, generate_dataset_with_seed, generate_mixed_batch, generate_queries, Region,
+    SELECTIVITIES,
+};
+
+const REGION: Region = Region::NewYork;
+const BASE_POINTS: usize = 2_500;
+const STREAMED_POINTS: usize = 360;
+const BURSTS: usize = 9;
+const LEAF_CAPACITY: usize = 64;
+
+/// The strategies every snapshot/frozen pair is compared under.
+const STRATEGIES: [BatchStrategy; 4] = [
+    BatchStrategy::Auto,
+    BatchStrategy::Sequential,
+    BatchStrategy::Fused,
+    BatchStrategy::FusedParallel { shards: 4 },
+];
+
+fn sorted(mut points: Vec<Point>) -> Vec<Point> {
+    points.sort_by(|a, b| a.lex_cmp(b));
+    points
+}
+
+/// Compares two query outputs up to legitimate scan-order differences:
+/// materialized range results as sorted multisets, everything else exactly.
+fn assert_outputs_equivalent(label: &str, got: &QueryOutput, expected: &QueryOutput) {
+    match (got, expected) {
+        (QueryOutput::Points(a), QueryOutput::Points(b)) => {
+            assert_eq!(
+                sorted(a.clone()),
+                sorted(b.clone()),
+                "{label}: range multisets diverge"
+            );
+        }
+        (a, b) => assert_eq!(a, b, "{label}: outputs diverge"),
+    }
+}
+
+/// Streams `BURSTS` write bursts into a versioned `kind` index and pins a
+/// snapshot (plus a copy of the exactly-visible point set) after every
+/// burst — then keeps writing, so every pinned snapshot is genuinely
+/// mid-stream: by the time it is queried, the live index has moved on.
+fn stream_and_pin(kind: IndexKind) -> (Vec<(Snapshot, Vec<Point>)>, Vec<wazi_geom::Rect>) {
+    let base = generate_dataset(REGION, BASE_POINTS);
+    let train = generate_queries(REGION, 120, SELECTIVITIES[1]);
+    let mut incoming: VecDeque<Point> =
+        generate_dataset_with_seed(REGION, STREAMED_POINTS, REGION.seed() ^ 0x57_EA4D).into();
+    let source = build_versioned_index(kind, &base, &train, LEAF_CAPACITY);
+
+    let mut visible = base;
+    let mut inserted_this_stream: Vec<Point> = Vec::new();
+    let mut pinned = Vec::new();
+    for burst in 0..BURSTS {
+        let mut ops = Vec::new();
+        for slot in 0..(STREAMED_POINTS / BURSTS) {
+            // Every fourth op deletes an earlier streamed insert, so the
+            // visible set both grows and shrinks while snapshots are held.
+            if slot % 4 == 3 && !inserted_this_stream.is_empty() {
+                let victim = inserted_this_stream.remove(burst % inserted_this_stream.len());
+                ops.push(WriteOp::Delete(victim));
+            } else if let Some(point) = incoming.pop_front() {
+                inserted_this_stream.push(point);
+                ops.push(WriteOp::Insert(point));
+            }
+        }
+        ops.push(WriteOp::Maintain);
+        // Mirror the ops onto the tracked visible set before applying.
+        for op in &ops {
+            match op {
+                WriteOp::Insert(p) => visible.push(*p),
+                WriteOp::Delete(p) => {
+                    let at = visible
+                        .iter()
+                        .position(|q| q == p)
+                        .expect("deletes target visible points");
+                    visible.remove(at);
+                }
+                WriteOp::Maintain => {}
+            }
+        }
+        let receipt = source
+            .apply(&ops)
+            .unwrap_or_else(|e| panic!("{kind}: burst {burst} failed: {e}"));
+        assert_eq!(receipt.epoch, burst as u64 + 1, "{kind}");
+        let snapshot = source.snapshot();
+        assert_eq!(snapshot.epoch(), receipt.epoch, "{kind}");
+        assert_eq!(snapshot.len(), visible.len(), "{kind}: visible-set drift");
+        pinned.push((snapshot, visible.clone()));
+    }
+    (pinned, train)
+}
+
+/// The tentpole property, swept over every overview index: each mid-stream
+/// snapshot answers a mixed range/point/kNN batch exactly like a frozen
+/// index bulk-built from its visible points, under every strategy.
+#[test]
+fn mid_stream_snapshots_match_frozen_copies_for_every_overview_index() {
+    for kind in IndexKind::OVERVIEW {
+        let (pinned, train) = stream_and_pin(kind);
+        assert_eq!(pinned.len(), BURSTS, "{kind}");
+        // Compare a spread of snapshots (first, middle, last) — each one is
+        // stale by the time it is queried except the latest.
+        for (snapshot, visible) in [&pinned[0], &pinned[BURSTS / 2], &pinned[BURSTS - 1]] {
+            let frozen = build_index(kind, visible, &train, LEAF_CAPACITY);
+            let batch =
+                generate_mixed_batch(REGION, 48, SELECTIVITIES[2], 0xB1_7E ^ snapshot.epoch());
+            for strategy in STRATEGIES {
+                let from_snapshot = QueryEngine::new(snapshot)
+                    .with_strategy(strategy)
+                    .execute_batch(&batch)
+                    .unwrap_or_else(|e| panic!("{kind}: snapshot batch failed: {e}"));
+                let from_frozen = QueryEngine::new(frozen.index.as_ref())
+                    .with_strategy(strategy)
+                    .execute_batch(&batch)
+                    .unwrap_or_else(|e| panic!("{kind}: frozen batch failed: {e}"));
+                for (i, (got, expected)) in from_snapshot
+                    .reports
+                    .iter()
+                    .zip(&from_frozen.reports)
+                    .enumerate()
+                {
+                    assert_outputs_equivalent(
+                        &format!("{kind}/epoch {}/{strategy:?}/query {i}", snapshot.epoch()),
+                        &got.output,
+                        &expected.output,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The pinned guarantee stated directly: ask a snapshot, write more, ask
+/// the *same* snapshot again — byte-identical reports, even though the
+/// live index has visibly moved on.
+#[test]
+fn a_pinned_snapshot_never_changes_its_answers() {
+    let base = generate_dataset(REGION, 2_000);
+    let train = generate_queries(REGION, 100, SELECTIVITIES[1]);
+    for kind in IndexKind::OVERVIEW {
+        let source = build_versioned_index(kind, &base, &train, LEAF_CAPACITY);
+        let snapshot = source.snapshot();
+        let batch = generate_mixed_batch(REGION, 32, SELECTIVITIES[2], 0xF1_FE);
+        let engine = QueryEngine::new(&snapshot);
+        let before: Vec<QueryOutput> = batch
+            .iter()
+            .map(|q| engine.execute(q).expect("snapshot execution").output)
+            .collect();
+        let fresh: Vec<Point> = (0..40)
+            .map(|i| Point::new(0.31 + i as f64 * 1e-3, 0.62 - i as f64 * 1e-3))
+            .collect();
+        let ops: Vec<WriteOp> = fresh.iter().copied().map(WriteOp::Insert).collect();
+        source.apply(&ops).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(source.snapshot().len(), base.len() + fresh.len(), "{kind}");
+        let after: Vec<QueryOutput> = batch
+            .iter()
+            .map(|q| engine.execute(q).expect("snapshot execution").output)
+            .collect();
+        assert_eq!(before, after, "{kind}: the pinned snapshot changed answers");
+        assert_eq!(snapshot.len(), base.len(), "{kind}");
+    }
+}
+
+/// Snapshots are immutable on the write surface too: incremental update
+/// calls refuse with a typed error instead of silently mutating (or
+/// panicking inside) a version other readers hold.
+#[test]
+fn snapshots_refuse_direct_writes() {
+    let base = generate_dataset(REGION, 500);
+    let train = generate_queries(REGION, 50, SELECTIVITIES[1]);
+    let source = build_versioned_index(IndexKind::Wazi, &base, &train, LEAF_CAPACITY);
+    let mut snapshot = source.snapshot();
+    let err = snapshot.insert(Point::new(0.5, 0.5)).unwrap_err();
+    assert!(err.to_string().contains("immutable snapshot"), "{err}");
+    let err = snapshot.delete(&base[0]).unwrap_err();
+    assert!(err.to_string().contains("immutable snapshot"), "{err}");
+    // Refusal really was refusal: the live version is untouched.
+    assert_eq!(source.snapshot().len(), base.len());
+}
+
+/// Version lifecycle under the stream: each publish supersedes the prior
+/// version, and a superseded version is reclaimed exactly when its last
+/// pinned snapshot drops.
+#[test]
+fn superseded_versions_retire_when_their_snapshots_drop() {
+    let base = generate_dataset(REGION, 800);
+    let train = generate_queries(REGION, 50, SELECTIVITIES[1]);
+    let source = build_versioned_index(IndexKind::Wazi, &base, &train, LEAF_CAPACITY);
+    let pinned = source.snapshot(); // pins epoch 0
+    for i in 0..3 {
+        source
+            .apply(&[WriteOp::Insert(Point::new(0.1 + i as f64 * 0.2, 0.5))])
+            .expect("insert");
+    }
+    let stats = source.version_stats();
+    assert_eq!(stats.current_epoch, 3);
+    assert_eq!(stats.snapshots_published, 3);
+    // Epochs 1 and 2 had no outstanding snapshots, so they retired on
+    // supersession; epoch 0 is still pinned.
+    assert_eq!(stats.epochs_retired, 2);
+    drop(pinned);
+    assert_eq!(source.version_stats().epochs_retired, 3);
+    // The live epoch is never counted retired while it is current.
+    assert_eq!(source.version_stats().live_epochs(), 1);
+}
+
+/// The mixed batch generator feeds every plan type through the snapshot
+/// path — guard against a regression that quietly drops a query kind from
+/// the sweep above.
+#[test]
+fn the_consistency_batch_exercises_all_three_plan_kinds() {
+    let batch = generate_mixed_batch(REGION, 48, SELECTIVITIES[2], 0xB1_7E ^ 1);
+    let ranges = batch
+        .iter()
+        .filter(|q| matches!(q, Query::Range { .. }))
+        .count();
+    let points = batch
+        .iter()
+        .filter(|q| matches!(q, Query::Point(_)))
+        .count();
+    let knns = batch
+        .iter()
+        .filter(|q| matches!(q, Query::Knn { .. }))
+        .count();
+    assert!(ranges > 0 && points > 0 && knns > 0);
+    assert_eq!(ranges + points + knns, batch.len());
+}
